@@ -1,0 +1,61 @@
+// Command experiments runs the full reproduction suite E1–E14 plus the
+// ablations and prints every table. With -md it emits the tables in
+// the Markdown layout used by EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-seed 1] [-quick] [-md]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"catocs/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "smaller parameterizations (CI-sized)")
+	md := flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md layout)")
+	flag.Parse()
+
+	trials, sizes, msgs := 50, []int{4, 8, 16, 24}, 40
+	e8procs := []int{4, 8}
+	if *quick {
+		trials, sizes, msgs = 10, []int{4, 8}, 20
+		e8procs = []int{4}
+	}
+
+	tables := []*experiments.Table{
+		experiments.TableE1(trials),
+		experiments.TableE2(trials, *seed),
+		experiments.TableE3(trials, *seed+1000),
+		experiments.TableE4(trials/2, *seed+2000),
+		experiments.TableE5(sizes, msgs, *seed),
+		experiments.TableE5Piggyback(sizes, msgs, *seed),
+		experiments.TableE5Header([]int{4, 16, 64}, msgs/2, 1_000_000, *seed),
+		experiments.TableE6(sizes, msgs, 0.05, *seed),
+		experiments.TableE6Partition([]int{1, 2, 3, 4}, 4, msgs, *seed),
+		experiments.TableE6Traffic(8, msgs, *seed),
+		experiments.TableE7(sizes, *seed),
+		experiments.TableE7Join(sizes, *seed),
+		experiments.TableE8(e8procs, 100, *seed),
+		experiments.TableE9(3, 30, *seed),
+		experiments.TableE10([]int{3, 6, 9}, 4, *seed),
+		experiments.TableE11(*seed),
+		experiments.TableE12([]float64{0, 0.05, 0.15}, *seed),
+		experiments.TableE13(sizes, 48, *seed),
+		experiments.TableE14([]int{8, 16, 32}, 40, *seed),
+		experiments.TableE15([]int{4, 8, 16}, 30, *seed),
+		experiments.TableAblationTotal(sizes, msgs/2, *seed),
+	}
+
+	for _, t := range tables {
+		if *md {
+			fmt.Println(t.RenderMarkdown())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

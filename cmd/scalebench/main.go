@@ -1,0 +1,85 @@
+// Command scalebench runs the Section 5 scalability sweeps: unstable-
+// message buffer growth (and the active causal graph census),
+// false-causality delivery delay, view-change and join cost, the
+// causal-domain partitioning and traffic-shape ablations, the
+// total-order mode ablation, durability logging, and the
+// name-service-at-scale comparison.
+//
+// Usage:
+//
+//	scalebench [-exp buffer|false-causality|viewchange|partition|totalorder|
+//	            traffic|join|durability|namesvc|all]
+//	           [-sizes 4,8,16,32] [-msgs 40] [-loss 0.05] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"catocs/internal/experiments"
+)
+
+func parseSizes(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 2 {
+			fmt.Fprintf(os.Stderr, "bad size %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: buffer, false-causality, viewchange, partition, totalorder, traffic, join, durability, namesvc, all")
+	sizesFlag := flag.String("sizes", "4,8,16,24", "comma-separated group sizes")
+	msgs := flag.Int("msgs", 40, "messages per sender")
+	loss := flag.Float64("loss", 0.05, "link loss probability (buffer sweep)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	sizes := parseSizes(*sizesFlag)
+	run := func(name string) {
+		switch name {
+		case "buffer":
+			fmt.Println(experiments.TableE6(sizes, *msgs, *loss, *seed).Render())
+		case "false-causality":
+			fmt.Println(experiments.TableE5(sizes, *msgs, *seed).Render())
+			fmt.Println(experiments.TableE5Piggyback(sizes, *msgs, *seed).Render())
+		case "viewchange":
+			fmt.Println(experiments.TableE7(sizes, *seed).Render())
+		case "partition":
+			var groups []int
+			for g := 1; g <= len(sizes); g++ {
+				groups = append(groups, g)
+			}
+			fmt.Println(experiments.TableE6Partition(groups, 4, *msgs, *seed).Render())
+		case "totalorder":
+			fmt.Println(experiments.TableAblationTotal(sizes, *msgs, *seed).Render())
+		case "traffic":
+			fmt.Println(experiments.TableE6Traffic(sizes[0], *msgs, *seed).Render())
+		case "join":
+			fmt.Println(experiments.TableE7Join(sizes, *seed).Render())
+		case "durability":
+			fmt.Println(experiments.TableE13(sizes, *msgs, *seed).Render())
+		case "namesvc":
+			fmt.Println(experiments.TableE14(sizes, *msgs, *seed).Render())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"false-causality", "buffer", "viewchange", "partition",
+			"totalorder", "traffic", "join", "durability"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,44 @@
+// Deadlock-detection example (paper §4.2, Appendix 9.2): the same RPC
+// workload with an injected three-way deadlock, detected by van
+// Renesse's causal-multicast algorithm and by the paper's instance-id
+// periodic-report algorithm.
+//
+//	go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"catocs/internal/detect"
+	"catocs/internal/experiments"
+)
+
+func main() {
+	// First, the instance-granular wait-for graph by hand: the "A15
+	// waits for B37" notation from the appendix.
+	g := detect.NewWaitGraph()
+	a15 := detect.Instance{Proc: "A", ID: 15}
+	b37 := detect.Instance{Proc: "B", ID: 37}
+	c9 := detect.Instance{Proc: "C", ID: 9}
+	g.AddEdge(a15, b37)
+	g.AddEdge(b37, c9)
+	g.AddEdge(c9, a15)
+	fmt.Printf("wait-for edges: %v\n", g.Edges())
+	fmt.Printf("cycle found:    %v\n\n", g.FindCycle())
+
+	// Then the full comparison on a simulated RPC workload.
+	for _, workers := range []int{4, 8} {
+		pt := experiments.RunE8(workers, 100, 25*time.Millisecond, 7)
+		fmt.Printf("workers=%d, 100 background RPCs, 3-way deadlock injected:\n", workers)
+		fmt.Printf("  van Renesse (causal multicast): %5d msgs, detected in %6.2f ms\n",
+			pt.VRMsgs, pt.VRDetectMs)
+		fmt.Printf("  instance-id (periodic reports): %5d msgs, detected in %6.2f ms\n",
+			pt.STMsgs, pt.STDetectMs)
+		fmt.Printf("  message ratio: %.1fx, false deadlocks: %d\n\n",
+			float64(pt.VRMsgs)/float64(pt.STMsgs), pt.VRFalse+pt.STFalse)
+	}
+	fmt.Println("the causal algorithm pays 2 multicasts to everyone per RPC to detect an")
+	fmt.Println("infrequent event; periodic local wait-for reports detect the same deadlocks")
+	fmt.Println("with no ordered multicast, and handle multi-threaded servers by instance id.")
+}

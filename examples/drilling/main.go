@@ -1,0 +1,50 @@
+// Drilling-cell example (paper Appendix 9.1): the same manufacturing
+// task — drill every hole exactly once, survive a driller crash —
+// solved with a central controller (point-to-point, linear traffic)
+// and with Birman's causally ordered distributed scheduling (every
+// completion multicast to every driller).
+//
+//	go run ./examples/drilling
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"catocs/internal/apps/drilling"
+)
+
+func main() {
+	cfg := drilling.Config{
+		Seed:         1,
+		Holes:        24,
+		Drillers:     6,
+		DrillTime:    10 * time.Millisecond,
+		CrashDriller: -1,
+	}
+
+	fmt.Printf("cell: %d holes, %d drillers\n\n", cfg.Holes, cfg.Drillers)
+
+	central := drilling.RunCentral(cfg)
+	catocs := drilling.RunCatocs(cfg)
+	fmt.Println("healthy run:")
+	fmt.Printf("  %-8s  completed=%2d  double-drilled=%d  data msgs=%4d  finished=%v\n",
+		"central", central.Completed, central.DoubleDrilled, central.DataMsgs, central.Finished.Round(time.Millisecond))
+	fmt.Printf("  %-8s  completed=%2d  double-drilled=%d  data msgs=%4d  finished=%v\n",
+		"catocs", catocs.Completed, catocs.DoubleDrilled, catocs.DataMsgs, catocs.Finished.Round(time.Millisecond))
+
+	cfg.CrashDriller = 5
+	cfg.CrashAt = 15 * time.Millisecond
+	centralCrash := drilling.RunCentral(cfg)
+	catocsCrash := drilling.RunCatocs(cfg)
+	fmt.Println("\ndriller 5 crashes mid-hole:")
+	fmt.Printf("  %-8s  completed=%2d  checklist=%v  double-drilled=%d\n",
+		"central", centralCrash.Completed, centralCrash.Checklist, centralCrash.DoubleDrilled)
+	fmt.Printf("  %-8s  completed=%2d  checklist=%v  double-drilled=%d\n",
+		"catocs", catocsCrash.Completed, catocsCrash.Checklist, catocsCrash.DoubleDrilled)
+
+	fmt.Printf("\nmessage asymptotics: catocs/central data-message ratio = %.1fx (grows with drillers)\n",
+		float64(catocs.DataMsgs)/float64(central.DataMsgs))
+	fmt.Println("both designs keep the invariant: no hole is ever drilled twice; a possibly")
+	fmt.Println("part-drilled hole lands on the checklist instead of being re-drilled.")
+}

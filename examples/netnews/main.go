@@ -1,0 +1,34 @@
+// Netnews example (paper §4.1): inquiry/response ordering over an
+// asymmetric feed, solved with the References field in the news
+// database versus a whole-feed causal group.
+//
+//	go run ./examples/netnews
+package main
+
+import (
+	"fmt"
+
+	"catocs/internal/apps/netnews"
+)
+
+func main() {
+	cfg := netnews.DefaultConfig()
+	fmt.Printf("sites=%d posts=%d (each inquiry draws one response); site %d's feed is slow to half the sites\n\n",
+		cfg.Sites, cfg.Posts, cfg.SlowSite)
+
+	rs := netnews.RunState(cfg)
+	rc := netnews.RunCatocs(cfg)
+
+	fmt.Printf("%-22s  %10s  %12s  %14s  %12s\n",
+		"treatment", "misorders", "mean ms(all)", "mean ms(fresh)", "peak state")
+	fmt.Printf("%-22s  %10d  %12s  %14s  %12d\n",
+		"raw display (would-be)", rs.MisorderedDisplays, "-", "-", 0)
+	fmt.Printf("%-22s  %10d  %12.2f  %14.2f  %12d\n",
+		"References database", 0, rs.DisplayLatency.Mean()*1000, rs.UnrelatedLatency.Mean()*1000, rs.PeakOrderingState)
+	fmt.Printf("%-22s  %10d  %12.2f  %14.2f  %12d\n",
+		"causal group", rc.MisorderedDisplays, rc.DisplayLatency.Mean()*1000, rc.UnrelatedLatency.Mean()*1000, rc.PeakOrderingState)
+
+	fmt.Println("\nthe References database displays fresh articles immediately and holds only the")
+	fmt.Println("responses whose inquiry is missing; the causal group makes unrelated articles")
+	fmt.Println("queue behind the slow site's causally prior traffic.")
+}

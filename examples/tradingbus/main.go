@@ -1,0 +1,86 @@
+// Trading over the information bus — the paper's conclusion made
+// concrete (§6 and reference [23]): the same trading-floor dataflow as
+// examples/trading, but built on the state-level pub/sub framework
+// instead of ordered multicast. Option prices and theoretical prices
+// are subjects; the computed price carries its dependency (the base
+// price's sequence number) in-band; the monitor displays only
+// dependency-current pairs; a late-joining monitor synchronizes from
+// publisher caches instead of replaying communication history.
+//
+//	go run ./examples/tradingbus
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"catocs/internal/pubsub"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+)
+
+type theoPrice struct {
+	Value   float64
+	BaseSeq uint64
+}
+
+func main() {
+	k := sim.NewKernel(7)
+	net := transport.NewSimNet(k, transport.LinkConfig{
+		BaseDelay: 2 * time.Millisecond,
+		Jitter:    8 * time.Millisecond,
+	})
+	mk := func(id transport.NodeID, peers ...transport.NodeID) *pubsub.Node {
+		return pubsub.NewNode(net, id, peers)
+	}
+	pricer := mk(0, 1, 2, 3)
+	computer := mk(1, 0, 2, 3)
+	monitor := mk(2, 0, 1, 3)
+	late := mk(3, 0, 1, 2)
+
+	// The theoretical pricer recomputes on every base tick and stamps
+	// the dependency in-band.
+	computer.Subscribe("prices.OPT", pubsub.Latest, func(e pubsub.Event) {
+		computer.Publish("theo.OPT", theoPrice{Value: e.Value.(float64) + 0.25, BaseSeq: e.Seq})
+	})
+
+	// The monitor keeps latest-value views and applies the §4.1
+	// currency check before "displaying".
+	var optSeq uint64
+	var optVal float64
+	displayed, filtered := 0, 0
+	monitor.Subscribe("prices.OPT", pubsub.Latest, func(e pubsub.Event) {
+		optSeq, optVal = e.Seq, e.Value.(float64)
+	})
+	monitor.Subscribe("theo.OPT", pubsub.Latest, func(e pubsub.Event) {
+		th := e.Value.(theoPrice)
+		if th.BaseSeq < optSeq {
+			filtered++ // stale pairing: hold the previous consistent display
+			return
+		}
+		displayed++
+		fmt.Printf("%7v  display: option %.2f / theoretical %.2f (base #%d)\n",
+			k.Now().Round(time.Millisecond), optVal, th.Value, th.BaseSeq)
+	})
+
+	price := 25.50
+	for i := 0; i < 6; i++ {
+		i := i
+		k.At(time.Duration(i)*15*time.Millisecond, func() {
+			fmt.Printf("%7v  tick: option -> %.2f\n", k.Now().Round(time.Millisecond), price)
+			pricer.Publish("prices.OPT", price)
+			price += 0.50
+		})
+	}
+	k.Run()
+	fmt.Printf("\nmonitor: %d consistent displays, %d stale pairings filtered by the dependency field\n",
+		displayed, filtered)
+
+	// A late monitor joins and syncs current values from caches.
+	got := map[string]any{}
+	late.Subscribe("prices.>", pubsub.Latest, func(e pubsub.Event) { got[e.Subject] = e.Value })
+	late.Subscribe("theo.>", pubsub.Latest, func(e pubsub.Event) { got[e.Subject] = e.Value })
+	late.Sync(">")
+	k.Run()
+	fmt.Printf("late joiner synchronized from caches: %v\n", got)
+}

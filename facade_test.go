@@ -1,0 +1,181 @@
+package catocs
+
+// Facade surface tests: every public constructor builds a usable value
+// and the headline flows work end-to-end through the re-exported API
+// only, without touching internal packages directly.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeDetectionSurface(t *testing.T) {
+	g := NewWaitGraph()
+	a := Instance{Proc: "A", ID: 1}
+	b := Instance{Proc: "B", ID: 1}
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if g.FindCycle() == nil {
+		t.Fatal("cycle")
+	}
+	mon := NewDeadlockMonitor()
+	mon.Observe(WaitReport{Proc: "A", Seq: 1, Edges: []WaitEdge{{From: a, To: b}}})
+	mon.Observe(WaitReport{Proc: "B", Seq: 1, Edges: []WaitEdge{{From: b, To: a}}})
+	if mon.Deadlock() == nil {
+		t.Fatal("monitor")
+	}
+}
+
+func TestFacadeSnapshotSurface(t *testing.T) {
+	sim := NewSimulation(3, LinkConfig{BaseDelay: time.Millisecond, Jitter: 3 * time.Millisecond})
+	ps := make([]*SnapProcess, 3)
+	for i := range ps {
+		var peers []NodeID
+		for j := 0; j < 3; j++ {
+			if j != i {
+				peers = append(peers, NodeID(j))
+			}
+		}
+		ps[i] = NewSnapProcess(sim.Net, NodeID(i), peers, 100)
+	}
+	total := int64(0)
+	done := 0
+	for _, p := range ps {
+		p.OnComplete = func(s SnapLocal) {
+			done++
+			total += s.State
+			for _, amt := range s.Channel {
+				total += amt
+			}
+		}
+	}
+	sim.Kernel.At(0, func() { ps[0].Send(1, 30) })
+	sim.Kernel.At(time.Millisecond, func() { ps[0].StartSnapshot(1) })
+	sim.Run()
+	if done != 3 || total != 300 {
+		t.Fatalf("snapshot done=%d total=%d", done, total)
+	}
+}
+
+func TestFacadeTransactionSurface(t *testing.T) {
+	sim := NewSimulation(5, LinkConfig{BaseDelay: time.Millisecond})
+	coord := NewTxCoordinator(sim.Net, 100)
+	p1 := NewTxParticipant(sim.Net, 1, NewStore())
+	p2 := NewTxParticipant(sim.Net, 2, NewStore())
+	committed := false
+	coord.Run(map[NodeID][]TxWrite{
+		1: {{Key: "k", Value: 9}},
+		2: {{Key: "k", Value: 9}},
+	}, func(o TxOutcome) { committed = o.Committed })
+	sim.Run()
+	if !committed {
+		t.Fatal("2PC commit")
+	}
+	if v, _, _ := p1.Store().Get("k"); v != 9 {
+		t.Fatal("participant 1 apply")
+	}
+	if v, _, _ := p2.Store().Get("k"); v != 9 {
+		t.Fatal("participant 2 apply")
+	}
+
+	lm := NewLockManager()
+	if !lm.Acquire(TxID(1), "x", LockExclusive, nil) {
+		t.Fatal("lock")
+	}
+	v := NewOptimisticValidator()
+	if _, ok := v.TryCommit(v.Begin(), 0, nil, []string{"y"}); !ok {
+		t.Fatal("optimistic")
+	}
+}
+
+func TestFacadeRealtimeSurface(t *testing.T) {
+	m := NewTemporalMonitor()
+	m.Observe(Reading{Sensor: "s", T: 2, Value: 5})
+	if m.Observe(Reading{Sensor: "s", T: 1, Value: 4}) {
+		t.Fatal("stale applied")
+	}
+}
+
+func TestFacadeBusSurface(t *testing.T) {
+	sim := NewSimulation(7, LinkConfig{BaseDelay: time.Millisecond})
+	b0 := NewBus(sim.Net, 0, []NodeID{1})
+	b1 := NewBus(sim.Net, 1, []NodeID{0})
+	var got []BusEvent
+	b1.Subscribe("t.>", BusOrdered, func(e BusEvent) { got = append(got, e) })
+	b0.Publish("t.x", 1)
+	b0.Publish("t.x", 2)
+	sim.Run()
+	if len(got) != 2 || got[0].Seq != 1 {
+		t.Fatalf("bus got %v", got)
+	}
+	_ = BusLatest
+}
+
+func TestFacadeRPCSurface(t *testing.T) {
+	sim := NewSimulation(8, LinkConfig{BaseDelay: time.Millisecond})
+	a := NewRPCEndpoint(sim.Net, 0, "A")
+	b := NewRPCEndpoint(sim.Net, 1, "B")
+	b.Handle("echo", func(ctx RPCCtx, args any) { ctx.Respond(args, nil) })
+	var got any
+	a.Call(1, "echo", "hi", func(r any, err error) { got = r })
+	sim.Run()
+	if got != "hi" {
+		t.Fatalf("rpc got %v", got)
+	}
+}
+
+func TestFacadeDirectorySurface(t *testing.T) {
+	sim := NewSimulation(9, LinkConfig{BaseDelay: time.Millisecond})
+	r0 := NewDirectoryReplica(sim.Net, 0, []NodeID{1})
+	r1 := NewDirectoryReplica(sim.Net, 1, []NodeID{0})
+	r0.Start()
+	r1.Start()
+	r0.Bind("svc", "addr-1")
+	sim.RunUntil(500 * time.Millisecond)
+	r0.Stop()
+	r1.Stop()
+	if v, ok := r1.Lookup("svc"); !ok || v != "addr-1" {
+		t.Fatalf("directory lookup = %v %v", v, ok)
+	}
+}
+
+func TestFacadeDurabilitySurface(t *testing.T) {
+	dev := NewLogDevice()
+	ds := NewDurableStore(dev)
+	ds.Put("a", 1)
+	ds.Put("a", 2)
+	s, n, err := Recover(dev)
+	if err != nil || n != 2 {
+		t.Fatalf("recover n=%d err=%v", n, err)
+	}
+	if v, _, _ := s.Get("a"); v != 2 {
+		t.Fatal("recovered value")
+	}
+}
+
+func TestFacadeJoinSurface(t *testing.T) {
+	sim := NewSimulation(10, LinkConfig{BaseDelay: time.Millisecond})
+	nodes := []NodeID{0, 1}
+	cfg := GroupConfig{Group: "j", Ordering: Causal, Atomic: true}
+	members := NewGroup(sim.Mux, nodes, cfg, func(ProcessID) DeliverFunc { return nil })
+	mons := make([]*Monitor, 2)
+	for i, m := range members {
+		mons[i] = NewMonitor(sim.Mux, m, "j", MonitorConfig{})
+		mons[i].Start()
+	}
+	j := NewJoiner(sim.Mux, 5, 0, "j", cfg, func(Delivered) {})
+	joined := false
+	j.OnJoined = func(m *Member) {
+		joined = true
+		m.Close()
+	}
+	sim.Kernel.At(30*time.Millisecond, func() { j.Start() })
+	sim.RunUntil(time.Second)
+	for i := range mons {
+		mons[i].Stop()
+		members[i].Close()
+	}
+	if !joined {
+		t.Fatal("join")
+	}
+}

@@ -1,0 +1,3 @@
+module catocs
+
+go 1.22

@@ -1,0 +1,442 @@
+// Package drilling reproduces Appendix 9.1: Birman's causally ordered
+// drilling-cell controller versus the paper's central-controller
+// state solution.
+//
+// The task: a set of holes must each be drilled exactly once, even
+// when a driller fails mid-hole (a hole that may have been partially
+// drilled goes on a checklist, never redrilled). Two designs:
+//
+//   - Central: a cell controller assigns holes to drillers
+//     point-to-point and collects completions. Message traffic is
+//     linear in the number of holes; failures are handled by
+//     per-assignment timeouts.
+//   - CATOCS: the drillers form a causal group. The hole list is
+//     multicast once; drillers self-schedule deterministically (hole h
+//     belongs to driller h mod D) and multicast every completion to
+//     the whole group so all replicate the schedule state. Failure
+//     handling rides the group-membership view change. Every
+//     completion costs a group-wide multicast: traffic is O(holes ×
+//     drillers).
+//
+// Both must satisfy the same invariants — no hole drilled twice, every
+// hole either completed or checklisted — which the tests assert under
+// crash injection.
+package drilling
+
+import (
+	"sort"
+	"time"
+
+	"catocs/internal/group"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Seed      int64
+	Holes     int
+	Drillers  int
+	DrillTime time.Duration
+	// CrashDriller (0-based driller index) fails at CrashAt; -1
+	// disables crash injection.
+	CrashDriller int
+	CrashAt      time.Duration
+}
+
+// DefaultConfig is a small healthy cell.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Holes:        12,
+		Drillers:     3,
+		DrillTime:    10 * time.Millisecond,
+		CrashDriller: -1,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	// Completed holes (drilled to completion exactly once).
+	Completed int
+	// Checklist holes flagged for manual inspection (possibly partially
+	// drilled when their driller failed).
+	Checklist []int
+	// DoubleDrilled counts holes drilled by two drillers — must be 0.
+	DoubleDrilled int
+	// Msgs is total network sends (including any membership traffic).
+	Msgs uint64
+	// DataMsgs counts application messages only (assignments,
+	// completions, schedule multicasts × recipients).
+	DataMsgs uint64
+	// Finished is when the last hole completed or was checklisted.
+	Finished time.Duration
+}
+
+// --- Central controller mode -------------------------------------------
+
+// assignMsg gives a driller a hole.
+type assignMsg struct{ Hole int }
+
+// ApproxSize implements transport.Sizer.
+func (assignMsg) ApproxSize() int { return 24 }
+
+// doneMsg reports a completed hole.
+type doneMsg struct{ Hole int }
+
+// ApproxSize implements transport.Sizer.
+func (doneMsg) ApproxSize() int { return 24 }
+
+// RunCentral executes the central-controller design. Node 0 is the
+// controller; drillers are nodes 1..D.
+func RunCentral(cfg Config) Result {
+	k := sim.NewKernel(cfg.Seed)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	res := Result{}
+
+	const controller = transport.NodeID(0)
+	type drillerState struct {
+		node    transport.NodeID
+		busy    bool
+		hole    int
+		dead    bool
+		drilled map[int]bool
+	}
+	drillers := make([]*drillerState, cfg.Drillers)
+
+	// Controller state: the authoritative schedule.
+	queue := make([]int, 0, cfg.Holes)
+	for h := 0; h < cfg.Holes; h++ {
+		queue = append(queue, h)
+	}
+	completed := make(map[int]int) // hole -> times completed
+	checklist := map[int]bool{}
+	outstanding := make(map[int]int) // hole -> driller index
+
+	var assignNext func(d int)
+	finishCheck := func() {
+		if len(completed)+len(checklist) == cfg.Holes && res.Finished == 0 {
+			res.Finished = k.Now()
+		}
+	}
+	assignNext = func(d int) {
+		ds := drillers[d]
+		if ds.dead || ds.busy || len(queue) == 0 {
+			return
+		}
+		hole := queue[0]
+		queue = queue[1:]
+		ds.busy = true
+		ds.hole = hole
+		outstanding[hole] = d
+		res.DataMsgs++
+		net.Send(controller, ds.node, assignMsg{Hole: hole})
+		// Failure handling: if the completion is not back within twice
+		// the drill time (plus slack), the driller is presumed dead and
+		// the hole goes to the checklist.
+		deadline := 2*cfg.DrillTime + 10*time.Millisecond
+		k.After(deadline, func() {
+			if who, ok := outstanding[hole]; ok && who == d {
+				delete(outstanding, hole)
+				drillers[d].dead = true
+				checklist[hole] = true
+				finishCheck()
+			}
+		})
+	}
+
+	// Controller's receive path.
+	net.Register(controller, func(from transport.NodeID, payload any) {
+		done, ok := payload.(doneMsg)
+		if !ok {
+			return
+		}
+		d := int(from) - 1
+		delete(outstanding, done.Hole)
+		completed[done.Hole]++
+		drillers[d].busy = false
+		finishCheck()
+		assignNext(d)
+	})
+
+	// Drillers.
+	for i := 0; i < cfg.Drillers; i++ {
+		i := i
+		node := transport.NodeID(i + 1)
+		drillers[i] = &drillerState{node: node, drilled: make(map[int]bool)}
+		net.Register(node, func(_ transport.NodeID, payload any) {
+			a, ok := payload.(assignMsg)
+			if !ok {
+				return
+			}
+			if drillers[i].drilled[a.Hole] {
+				res.DoubleDrilled++
+			}
+			k.After(cfg.DrillTime, func() {
+				if net.Crashed(node) {
+					return
+				}
+				drillers[i].drilled[a.Hole] = true
+				res.DataMsgs++
+				net.Send(node, controller, doneMsg{Hole: a.Hole})
+			})
+		})
+	}
+
+	// Kick off: one hole per driller.
+	k.At(0, func() {
+		for d := range drillers {
+			assignNext(d)
+		}
+	})
+	if cfg.CrashDriller >= 0 {
+		k.At(cfg.CrashAt, func() {
+			net.Crash(transport.NodeID(cfg.CrashDriller + 1))
+		})
+	}
+
+	k.Run()
+	res.Completed = len(completed)
+	for h, times := range completed {
+		if times > 1 {
+			res.DoubleDrilled++
+		}
+		_ = h
+	}
+	for h := range checklist {
+		res.Checklist = append(res.Checklist, h)
+	}
+	sort.Ints(res.Checklist)
+	res.Msgs = net.Stats().Sent
+	return res
+}
+
+// --- CATOCS distributed mode ---------------------------------------------
+
+// scheduleMsg carries the full hole list to all drillers.
+type scheduleMsg struct{ Holes int }
+
+// ApproxSize implements transport.Sizer.
+func (scheduleMsg) ApproxSize() int { return 24 }
+
+// completionMsg announces a drilled hole to the whole group.
+type completionMsg struct {
+	Hole    int
+	Driller int
+}
+
+// ApproxSize implements transport.Sizer.
+func (completionMsg) ApproxSize() int { return 32 }
+
+// RunCatocs executes Birman's distributed design over causal atomic
+// multicast with group membership.
+func RunCatocs(cfg Config) Result {
+	k := sim.NewKernel(cfg.Seed)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	mux := transport.NewMux(net)
+	res := Result{}
+
+	nodes := make([]transport.NodeID, cfg.Drillers)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+
+	type drillerState struct {
+		member   *multicast.Member
+		monitor  *group.Monitor
+		mine     []int // holes this driller owns, in drilling order
+		next     int   // index into mine
+		busy     bool
+		drilled  map[int]bool // drilled locally (to catch double drills)
+		complete map[int]int  // replicated schedule state: hole -> driller
+		alive    []int        // driller ids in current view (by original id)
+	}
+	drillers := make([]*drillerState, cfg.Drillers)
+
+	// partition assigns holes deterministically among a set of drillers.
+	partition := func(holes []int, among []int, self int) []int {
+		var mine []int
+		for idx, h := range holes {
+			if among[idx%len(among)] == self {
+				mine = append(mine, h)
+			}
+		}
+		return mine
+	}
+
+	var startDrilling func(d int)
+	startDrilling = func(d int) {
+		ds := drillers[d]
+		if ds.busy {
+			return
+		}
+		for ds.next < len(ds.mine) {
+			hole := ds.mine[ds.next]
+			if _, done := ds.complete[hole]; done {
+				ds.next++
+				continue
+			}
+			ds.busy = true
+			k.After(cfg.DrillTime, func() {
+				if net.Crashed(ds.member.Node()) {
+					return
+				}
+				ds.busy = false
+				ds.next++
+				if ds.drilled[hole] {
+					res.DoubleDrilled++
+				}
+				ds.drilled[hole] = true
+				ds.member.Multicast(completionMsg{Hole: hole, Driller: d}, 16)
+				startDrilling(d)
+			})
+			return
+		}
+	}
+
+	allHoles := make([]int, cfg.Holes)
+	for h := range allHoles {
+		allHoles[h] = h
+	}
+
+	members := multicast.NewGroup(mux, nodes, multicast.Config{Group: "drill", Ordering: multicast.Causal, Atomic: true},
+		func(rank vclock.ProcessID) multicast.DeliverFunc {
+			d := int(rank)
+			return func(del multicast.Delivered) {
+				ds := drillers[d]
+				switch msg := del.Payload.(type) {
+				case scheduleMsg:
+					ds.mine = partition(allHoles, ds.alive, d)
+					startDrilling(d)
+				case completionMsg:
+					if prev, dup := ds.complete[msg.Hole]; dup && prev != msg.Driller && d == 0 {
+						// Observed from rank 0 only so the census is not
+						// multiplied by the group size.
+						res.DoubleDrilled++
+					}
+					ds.complete[msg.Hole] = msg.Driller
+					if d == 0 && len(ds.complete) == cfg.Holes-len(res.Checklist) && res.Finished == 0 {
+						res.Finished = k.Now()
+					}
+					startDrilling(d)
+				}
+			}
+		})
+
+	for i := range drillers {
+		alive := make([]int, cfg.Drillers)
+		for j := range alive {
+			alive[j] = j
+		}
+		drillers[i] = &drillerState{
+			member:   members[i],
+			drilled:  make(map[int]bool),
+			complete: make(map[int]int),
+			alive:    alive,
+		}
+	}
+
+	// Membership monitors drive failure handling.
+	for i := range drillers {
+		i := i
+		mon := group.NewMonitor(mux, members[i], "drill", group.Config{})
+		drillers[i].monitor = mon
+		mon.OnView = func(epoch uint64, viewNodes []transport.NodeID) {
+			ds := drillers[i]
+			// Survivors by original driller id.
+			var alive []int
+			for _, n := range viewNodes {
+				alive = append(alive, int(n))
+			}
+			sort.Ints(alive)
+			// Dead drillers' in-progress holes go to the checklist; the
+			// rest re-partition among survivors.
+			var dead []int
+			for _, old := range ds.alive {
+				found := false
+				for _, a := range alive {
+					if a == old {
+						found = true
+					}
+				}
+				if !found {
+					dead = append(dead, old)
+				}
+			}
+			var remaining []int
+			checked := map[int]bool{}
+			for _, dd := range dead {
+				deadMine := partition(allHoles, ds.alive, dd)
+				// The dead driller's first uncompleted hole was possibly
+				// in progress: checklist it.
+				first := true
+				for _, h := range deadMine {
+					if _, done := ds.complete[h]; done {
+						continue
+					}
+					if first {
+						checked[h] = true
+						first = false
+						continue
+					}
+					remaining = append(remaining, h)
+				}
+			}
+			if len(alive) > 0 && i == alive[0] { // record once, at the lowest survivor
+				for h := range checked {
+					res.Checklist = append(res.Checklist, h)
+				}
+				sort.Ints(res.Checklist)
+			}
+			ds.alive = alive
+			// Redistribute the dead drillers' remaining holes.
+			sort.Ints(remaining)
+			for idx, h := range remaining {
+				if alive[idx%len(alive)] == i {
+					ds.mine = append(ds.mine, h)
+				}
+			}
+			startDrilling(i)
+		}
+		mon.Start()
+	}
+
+	// The cell controller's single schedule multicast starts the run.
+	k.At(0, func() {
+		members[0].Multicast(scheduleMsg{Holes: cfg.Holes}, 64)
+	})
+	if cfg.CrashDriller >= 0 {
+		k.At(cfg.CrashAt, func() {
+			net.Crash(nodes[cfg.CrashDriller])
+			drillers[cfg.CrashDriller].monitor.Stop()
+			members[cfg.CrashDriller].Close()
+		})
+	}
+
+	horizon := time.Duration(cfg.Holes+4) * cfg.DrillTime * 4
+	if horizon < 2*time.Second {
+		horizon = 2 * time.Second
+	}
+	k.RunUntil(horizon)
+	for i := range drillers {
+		drillers[i].monitor.Stop()
+		members[i].Close()
+	}
+	k.RunUntil(horizon + time.Second)
+
+	// Judge completion from a survivor's replicated state.
+	judge := 0
+	if cfg.CrashDriller == 0 {
+		judge = 1
+	}
+	res.Completed = len(drillers[judge].complete)
+	res.Msgs = net.Stats().Sent
+	// Data messages: every data multicast fans out to the group.
+	for i := range members {
+		res.DataMsgs += members[i].SentCount.Value() * uint64(members[i].GroupSize())
+	}
+	return res
+}

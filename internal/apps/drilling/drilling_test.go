@@ -1,0 +1,100 @@
+package drilling
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCentralHealthyDrillsEverything(t *testing.T) {
+	r := RunCentral(DefaultConfig())
+	if r.Completed != 12 {
+		t.Fatalf("completed = %d, want 12", r.Completed)
+	}
+	if r.DoubleDrilled != 0 {
+		t.Fatalf("double drilled = %d", r.DoubleDrilled)
+	}
+	if len(r.Checklist) != 0 {
+		t.Fatalf("checklist = %v in a healthy run", r.Checklist)
+	}
+	if r.Finished == 0 {
+		t.Fatal("finish time not recorded")
+	}
+}
+
+func TestCatocsHealthyDrillsEverything(t *testing.T) {
+	r := RunCatocs(DefaultConfig())
+	if r.Completed != 12 {
+		t.Fatalf("completed = %d, want 12", r.Completed)
+	}
+	if r.DoubleDrilled != 0 {
+		t.Fatalf("double drilled = %d", r.DoubleDrilled)
+	}
+	if len(r.Checklist) != 0 {
+		t.Fatalf("checklist = %v in a healthy run", r.Checklist)
+	}
+}
+
+func TestCentralCrashChecklistsInProgressHole(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CrashDriller = 1
+	cfg.CrashAt = 15 * time.Millisecond // mid-second-hole
+	r := RunCentral(cfg)
+	if r.DoubleDrilled != 0 {
+		t.Fatalf("double drilled = %d", r.DoubleDrilled)
+	}
+	if len(r.Checklist) == 0 {
+		t.Fatal("crashed driller's hole not checklisted")
+	}
+	if r.Completed+len(r.Checklist) != cfg.Holes {
+		t.Fatalf("completed %d + checklist %d != %d holes", r.Completed, len(r.Checklist), cfg.Holes)
+	}
+}
+
+func TestCatocsCrashChecklistsInProgressHole(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CrashDriller = 1
+	cfg.CrashAt = 15 * time.Millisecond
+	r := RunCatocs(cfg)
+	if r.DoubleDrilled != 0 {
+		t.Fatalf("double drilled = %d", r.DoubleDrilled)
+	}
+	if len(r.Checklist) == 0 {
+		t.Fatal("crashed driller's hole not checklisted")
+	}
+	if r.Completed+len(r.Checklist) != cfg.Holes {
+		t.Fatalf("completed %d + checklist %d != %d holes", r.Completed, len(r.Checklist), cfg.Holes)
+	}
+}
+
+func TestMessageAsymptoticsCentralVsCatocs(t *testing.T) {
+	// The appendix's claim: central traffic is linear in holes,
+	// CATOCS traffic is holes x drillers. At D drillers the data-message
+	// ratio should approach D.
+	cfg := DefaultConfig()
+	cfg.Holes = 24
+	cfg.Drillers = 6
+	central := RunCentral(cfg)
+	catocs := RunCatocs(cfg)
+	if central.DataMsgs != uint64(2*cfg.Holes) {
+		t.Fatalf("central data msgs = %d, want %d (assign+done per hole)", central.DataMsgs, 2*cfg.Holes)
+	}
+	// CATOCS: (1 schedule + 24 completions) x 6 recipients = 150.
+	if catocs.DataMsgs < uint64(cfg.Holes*cfg.Drillers) {
+		t.Fatalf("catocs data msgs = %d, want >= %d", catocs.DataMsgs, cfg.Holes*cfg.Drillers)
+	}
+	if catocs.DataMsgs < 2*central.DataMsgs {
+		t.Fatalf("expected clear separation: catocs %d vs central %d", catocs.DataMsgs, central.DataMsgs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	a, b := RunCentral(cfg), RunCentral(cfg)
+	if a.Completed != b.Completed || a.Msgs != b.Msgs || a.Finished != b.Finished {
+		t.Fatal("central mode not deterministic")
+	}
+	c, d := RunCatocs(cfg), RunCatocs(cfg)
+	if c.Completed != d.Completed || c.DataMsgs != d.DataMsgs {
+		t.Fatal("catocs mode not deterministic")
+	}
+}

@@ -1,0 +1,307 @@
+// Package netnews reproduces the §4.1 Usenet discussion: responses can
+// arrive before the inquiries they answer, and the paper contrasts
+// three treatments —
+//
+//   - Raw display: articles display on arrival; a response whose
+//     inquiry has not arrived is a misordered display.
+//   - The application-state solution: every response carries a
+//     References field (the inquiry's article id); the site's news
+//     database holds a response until its inquiry arrives. Ordering
+//     state is proportional to held responses — the inquiries the
+//     reader actually cares about — not to total traffic.
+//   - CATOCS: make the whole newsfeed a causal group. Ordering is
+//     restored, but every article sent causally after a slow inquiry
+//     waits for it: unrelated articles inherit the delay, and the
+//     per-site ordering state (vector clocks plus holdback buffers)
+//     covers all traffic.
+//
+// The experiment measures exactly these: misordered displays, display
+// latency of unrelated articles, and peak ordering state per site.
+package netnews
+
+import (
+	"time"
+
+	"catocs/internal/metrics"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// Article is one posting.
+type Article struct {
+	ID     int
+	Origin int
+	// Ref is the References field: the inquiry this article responds
+	// to, or -1 for a fresh posting.
+	Ref    int
+	Posted time.Duration
+}
+
+// ApproxSize implements transport.Sizer: a small header plus a body.
+func (Article) ApproxSize() int { return 512 }
+
+// DB is a site's news database with References-based holding.
+type DB struct {
+	have map[int]bool
+	held map[int][]Article // pending responses keyed by missing ref
+
+	HeldHigh  int
+	Misorders int // responses that WOULD have displayed before their inquiry
+}
+
+// NewDB returns an empty news database.
+func NewDB() *DB {
+	return &DB{have: make(map[int]bool), held: make(map[int][]Article)}
+}
+
+// heldCount returns the number of held responses.
+func (db *DB) heldCount() int {
+	n := 0
+	for _, hs := range db.held {
+		n += len(hs)
+	}
+	return n
+}
+
+// Arrive offers an article and returns the articles that become
+// displayable in order (the article itself, possibly preceded/followed
+// by released responses).
+func (db *DB) Arrive(a Article) []Article {
+	if a.Ref >= 0 && !db.have[a.Ref] {
+		db.Misorders++ // raw display would have been out of order
+		db.held[a.Ref] = append(db.held[a.Ref], a)
+		if h := db.heldCount(); h > db.HeldHigh {
+			db.HeldHigh = h
+		}
+		return nil
+	}
+	out := db.release(a)
+	return out
+}
+
+// release displays a and transitively releases responses waiting on it.
+func (db *DB) release(a Article) []Article {
+	db.have[a.ID] = true
+	out := []Article{a}
+	waiting := db.held[a.ID]
+	delete(db.held, a.ID)
+	for _, w := range waiting {
+		out = append(out, db.release(w)...)
+	}
+	return out
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Seed  int64
+	Sites int
+	// Posts is the number of fresh articles posted (spread across
+	// sites); each triggers one response from a random other site.
+	Posts int
+	// PostInterval spaces the fresh posts.
+	PostInterval time.Duration
+	// SlowSite's outbound links are slow — the delayed news feed.
+	SlowSite  int
+	SlowDelay time.Duration
+	Jitter    time.Duration
+}
+
+// DefaultConfig is the standard workload.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Sites:        6,
+		Posts:        12,
+		PostInterval: 10 * time.Millisecond,
+		SlowSite:     0,
+		SlowDelay:    80 * time.Millisecond,
+		Jitter:       5 * time.Millisecond,
+	}
+}
+
+// Result aggregates one mode's run.
+type Result struct {
+	// Articles delivered/displayed across all sites.
+	Displays int
+	// MisorderedDisplays counts response-before-inquiry displays (raw
+	// mode) or would-have-been misorders (state mode, all healed).
+	MisorderedDisplays int
+	// DisplayLatency measures post-to-display across all articles.
+	DisplayLatency metrics.Histogram
+	// UnrelatedLatency measures post-to-display for fresh articles only
+	// (those with no References) — the traffic CATOCS delays
+	// collaterally.
+	UnrelatedLatency metrics.Histogram
+	// PeakOrderingState is the maximum per-site ordering state: held
+	// responses (state mode) or holdback-queue occupancy (CATOCS mode).
+	PeakOrderingState int
+	// Msgs is total network messages sent.
+	Msgs uint64
+}
+
+// buildNet creates the network. The slow site's feed is slow to the
+// odd-numbered sites only: its inquiries reach even sites (and hence
+// responders) quickly, while responses overtake the inquiry on the way
+// to odd sites — the Usenet propagation asymmetry that produces
+// response-before-inquiry in the first place.
+func buildNet(cfg Config, k *sim.Kernel) *transport.SimNet {
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 4 * time.Millisecond, Jitter: cfg.Jitter})
+	for s := 1; s < cfg.Sites; s += 2 {
+		if s != cfg.SlowSite {
+			net.SetLink(transport.NodeID(cfg.SlowSite), transport.NodeID(s),
+				transport.LinkConfig{BaseDelay: cfg.SlowDelay, Jitter: cfg.Jitter})
+		}
+	}
+	return net
+}
+
+// workload schedules the posting pattern: site (i mod Sites) posts
+// article i; a deterministic "reader" site posts a response after a
+// think delay once it has the inquiry (state mode: on display; CATOCS
+// mode: on delivery).
+type poster func(site int, a Article)
+
+func schedule(cfg Config, k *sim.Kernel, post poster) {
+	for i := 0; i < cfg.Posts; i++ {
+		i := i
+		site := i % cfg.Sites
+		at := time.Duration(i) * cfg.PostInterval
+		k.At(at, func() {
+			post(site, Article{ID: i, Origin: site, Ref: -1, Posted: k.Now()})
+		})
+	}
+}
+
+// responderFor picks which site responds to an inquiry: two sites
+// around the ring from the origin, which keeps responders on the fast
+// side of the slow site's asymmetric feed.
+func responderFor(cfg Config, inquiry int) int {
+	origin := inquiry % cfg.Sites
+	return (origin + 2) % cfg.Sites
+}
+
+// RunState executes the unordered-flood + References-database mode.
+// The same run also reports raw-mode misorders (the DB counts them
+// before healing).
+func RunState(cfg Config) Result {
+	k := sim.NewKernel(cfg.Seed)
+	net := buildNet(cfg, k)
+	res := Result{}
+
+	dbs := make([]*DB, cfg.Sites)
+	for i := range dbs {
+		dbs[i] = NewDB()
+	}
+	responded := make(map[int]bool)
+
+	var post func(site int, a Article)
+	display := func(site int, a Article) {
+		res.Displays++
+		lat := k.Now() - a.Posted
+		res.DisplayLatency.ObserveDuration(lat)
+		if a.Ref < 0 {
+			res.UnrelatedLatency.ObserveDuration(lat)
+		}
+		// A site that displays an inquiry it is the designated
+		// responder for posts a response.
+		if a.Ref < 0 && site == responderFor(cfg, a.ID) && !responded[a.ID] {
+			responded[a.ID] = true
+			k.After(3*time.Millisecond, func() {
+				post(site, Article{ID: cfg.Posts + a.ID, Origin: site, Ref: a.ID, Posted: k.Now()})
+			})
+		}
+	}
+	post = func(site int, a Article) {
+		// The poster's own site displays immediately.
+		for _, rel := range dbs[site].Arrive(a) {
+			display(site, rel)
+		}
+		for s := 0; s < cfg.Sites; s++ {
+			if s != site {
+				net.Send(transport.NodeID(site), transport.NodeID(s), a)
+			}
+		}
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		s := s
+		net.Register(transport.NodeID(s), func(_ transport.NodeID, payload any) {
+			a, ok := payload.(Article)
+			if !ok {
+				return
+			}
+			for _, rel := range dbs[s].Arrive(a) {
+				display(s, rel)
+			}
+		})
+	}
+
+	schedule(cfg, k, post)
+	k.Run()
+	for _, db := range dbs {
+		res.MisorderedDisplays += db.Misorders
+		if db.HeldHigh > res.PeakOrderingState {
+			res.PeakOrderingState = db.HeldHigh
+		}
+	}
+	res.Msgs = net.Stats().Sent
+	return res
+}
+
+// RunCatocs executes the causal-group mode: one causal multicast group
+// over all sites carries every article.
+func RunCatocs(cfg Config) Result {
+	k := sim.NewKernel(cfg.Seed)
+	net := buildNet(cfg, k)
+	res := Result{}
+
+	nodes := make([]transport.NodeID, cfg.Sites)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	responded := make(map[int]bool)
+	seen := make([]map[int]bool, cfg.Sites)
+	for i := range seen {
+		seen[i] = make(map[int]bool)
+	}
+	var members []*multicast.Member
+	members = multicast.NewGroup(net, nodes, multicast.Config{Group: "news", Ordering: multicast.Causal},
+		func(rank vclock.ProcessID) multicast.DeliverFunc {
+			site := int(rank)
+			return func(d multicast.Delivered) {
+				a, ok := d.Payload.(Article)
+				if !ok {
+					return
+				}
+				res.Displays++
+				lat := k.Now() - a.Posted
+				res.DisplayLatency.ObserveDuration(lat)
+				if a.Ref < 0 {
+					res.UnrelatedLatency.ObserveDuration(lat)
+				}
+				if a.Ref >= 0 && !seen[site][a.Ref] {
+					res.MisorderedDisplays++
+				}
+				seen[site][a.ID] = true
+				if a.Ref < 0 && site == responderFor(cfg, a.ID) && !responded[a.ID] {
+					responded[a.ID] = true
+					k.After(3*time.Millisecond, func() {
+						members[site].Multicast(Article{ID: cfg.Posts + a.ID, Origin: site, Ref: a.ID, Posted: k.Now()}, 512)
+					})
+				}
+			}
+		})
+
+	schedule(cfg, k, func(site int, a Article) {
+		members[site].Multicast(a, 512)
+	})
+	k.Run()
+	for _, m := range members {
+		if int(m.HoldbackGauge.Max()) > res.PeakOrderingState {
+			res.PeakOrderingState = int(m.HoldbackGauge.Max())
+		}
+	}
+	res.Msgs = net.Stats().Sent
+	return res
+}

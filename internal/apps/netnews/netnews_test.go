@@ -1,0 +1,109 @@
+package netnews
+
+import (
+	"testing"
+)
+
+func TestDBHoldsResponseUntilInquiry(t *testing.T) {
+	db := NewDB()
+	resp := Article{ID: 10, Ref: 1}
+	if out := db.Arrive(resp); out != nil {
+		t.Fatalf("response displayed before inquiry: %v", out)
+	}
+	if db.Misorders != 1 {
+		t.Fatalf("misorder not counted: %d", db.Misorders)
+	}
+	inq := Article{ID: 1, Ref: -1}
+	out := db.Arrive(inq)
+	if len(out) != 2 || out[0].ID != 1 || out[1].ID != 10 {
+		t.Fatalf("release order = %v", out)
+	}
+}
+
+func TestDBChainedReferences(t *testing.T) {
+	// Response to a response: both held until the root arrives.
+	db := NewDB()
+	db.Arrive(Article{ID: 20, Ref: 10})
+	db.Arrive(Article{ID: 10, Ref: 1})
+	if db.HeldHigh != 2 {
+		t.Fatalf("held high = %d", db.HeldHigh)
+	}
+	out := db.Arrive(Article{ID: 1, Ref: -1})
+	if len(out) != 3 || out[0].ID != 1 || out[1].ID != 10 || out[2].ID != 20 {
+		t.Fatalf("chained release = %v", out)
+	}
+}
+
+func TestDBFreshArticleImmediate(t *testing.T) {
+	db := NewDB()
+	out := db.Arrive(Article{ID: 5, Ref: -1})
+	if len(out) != 1 {
+		t.Fatalf("fresh article not displayed: %v", out)
+	}
+	if db.Misorders != 0 {
+		t.Fatal("fresh article counted as misorder")
+	}
+}
+
+func TestStateModeHealsAllMisorders(t *testing.T) {
+	r := RunState(DefaultConfig())
+	// The DB counts would-be misorders but displays in order; verify
+	// the workload actually produced reorder pressure.
+	if r.MisorderedDisplays == 0 {
+		t.Fatal("workload produced no reorder pressure; weaken the slow site and this test catches it")
+	}
+	if r.Displays == 0 {
+		t.Fatal("nothing displayed")
+	}
+	// Every article posted (fresh + responses) displays at every site.
+	cfg := DefaultConfig()
+	want := 2 * cfg.Posts * cfg.Sites
+	if r.Displays != want {
+		t.Fatalf("displays = %d, want %d", r.Displays, want)
+	}
+}
+
+func TestCatocsModeNoMisordersButDelays(t *testing.T) {
+	cfg := DefaultConfig()
+	rs := RunState(cfg)
+	rc := RunCatocs(cfg)
+	if rc.MisorderedDisplays != 0 {
+		t.Fatalf("causal group misordered %d displays", rc.MisorderedDisplays)
+	}
+	if rc.Displays != rs.Displays {
+		t.Fatalf("modes displayed different counts: %d vs %d", rc.Displays, rs.Displays)
+	}
+	// The headline comparison: unrelated (fresh) articles display
+	// slower under CATOCS because they queue behind the slow site's
+	// causally prior traffic.
+	if rc.UnrelatedLatency.Mean() <= rs.UnrelatedLatency.Mean() {
+		t.Fatalf("CATOCS unrelated latency %.4fs should exceed state mode %.4fs",
+			rc.UnrelatedLatency.Mean(), rs.UnrelatedLatency.Mean())
+	}
+}
+
+func TestOrderingStateMeasured(t *testing.T) {
+	cfg := DefaultConfig()
+	rs := RunState(cfg)
+	rc := RunCatocs(cfg)
+	if rs.PeakOrderingState == 0 {
+		t.Fatal("state mode held nothing; reorder pressure missing")
+	}
+	if rc.PeakOrderingState == 0 {
+		t.Fatal("CATOCS mode buffered nothing; reorder pressure missing")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	a := RunState(cfg)
+	b := RunState(cfg)
+	if a.Displays != b.Displays || a.MisorderedDisplays != b.MisorderedDisplays || a.Msgs != b.Msgs {
+		t.Fatal("state mode not deterministic")
+	}
+	c := RunCatocs(cfg)
+	d := RunCatocs(cfg)
+	if c.Displays != d.Displays || c.Msgs != d.Msgs {
+		t.Fatal("catocs mode not deterministic")
+	}
+}

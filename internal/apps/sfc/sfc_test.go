@@ -1,0 +1,79 @@
+package sfc
+
+import (
+	"strings"
+	"testing"
+
+	"catocs/internal/multicast"
+)
+
+func TestFigure2AnomalyReproduced(t *testing.T) {
+	r := Run(DefaultConfig())
+	if r.TrueFinal != "stopped" {
+		t.Fatalf("database final state = %q, want stopped", r.TrueFinal)
+	}
+	if !r.AnomalyRaw {
+		t.Fatalf("default config must reproduce the figure: raw view = %q", r.RawFinal)
+	}
+	if r.RawFinal != "started" {
+		t.Fatalf("raw view = %q, want the anomalous 'started'", r.RawFinal)
+	}
+	if r.AnomalyVersioned {
+		t.Fatalf("version-ordered observer misled: %q", r.VersionedFinal)
+	}
+	if r.VersionedFinal != "stopped" {
+		t.Fatalf("versioned view = %q", r.VersionedFinal)
+	}
+}
+
+func TestAnomalyPersistsUnderTotalOrder(t *testing.T) {
+	// The paper notes the same behaviour under totally ordered
+	// multicast: the hidden channel is invisible to any
+	// communication-level ordering.
+	cfg := DefaultConfig()
+	cfg.Ordering = multicast.TotalSeq
+	r := Run(cfg)
+	if !r.AnomalyRaw {
+		t.Fatal("hidden-channel anomaly should persist under total order")
+	}
+	if r.AnomalyVersioned {
+		t.Fatal("versioned observer misled under total order")
+	}
+}
+
+func TestNoAnomalyWithoutProcessingDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProcessingDelay1 = 0
+	r := Run(cfg)
+	if r.AnomalyRaw {
+		t.Fatal("without the scheduling delay the broadcasts should arrive in true order on a uniform network")
+	}
+}
+
+func TestEventLogRendersFigure(t *testing.T) {
+	r := Run(DefaultConfig())
+	out := r.Log.Render("Figure 2")
+	for _, want := range []string{"Start request", "Stop request", `"stopped" broadcast`, "received by B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Delivery order at B shows the anomaly: stop before start.
+	order := r.Log.DeliveryOrder("ClientB")
+	if len(order) != 2 || order[0] != `"stopped"` || order[1] != `"started"` {
+		t.Fatalf("B's delivery order = %v", order)
+	}
+}
+
+func TestTrialsVersionedAlwaysCorrect(t *testing.T) {
+	raw, versioned := Trials(50, 100, multicast.Causal)
+	if versioned != 0 {
+		t.Fatalf("versioned observer misled in %d/50 trials", versioned)
+	}
+	if raw == 0 {
+		t.Fatal("no raw anomalies in 50 randomized trials; scenario lost its teeth")
+	}
+	if raw == 50 {
+		t.Fatal("raw anomaly in every trial; randomization is not randomizing")
+	}
+}

@@ -1,0 +1,221 @@
+package detect
+
+import (
+	"time"
+
+	"catocs/internal/transport"
+)
+
+// Termination detection — the §4.2 claim that "most of the important
+// stable predicate detection problems occurring in real systems fall
+// into subclasses that can be solved with general purpose detection
+// protocols that do not use CATOCS". Termination of a diffusing
+// computation is the canonical locally stable predicate: once every
+// process is passive and no work message is in flight, that stays
+// true.
+//
+// The detector is a counting double wave (after Mattern's four-counter
+// method): a probe wave visits every process and collects its total
+// sent/received work-message counts and its activity flag. Termination
+// is announced when two consecutive waves both find every process
+// passive and report identical, balanced counters (sent == received,
+// unchanged between waves) — if a work message had been in flight
+// during the first wave, its receipt would bump a counter by the
+// second. No ordering support is required from the transport: the
+// waves are plain request/response messages, and the counters are
+// state-level clocks.
+
+// WorkMsg carries one unit of work between processes.
+type WorkMsg struct{}
+
+// ApproxSize implements transport.Sizer.
+func (WorkMsg) ApproxSize() int { return 16 }
+
+// ProbeMsg asks a process for its counters.
+type ProbeMsg struct {
+	Wave int
+}
+
+// ApproxSize implements transport.Sizer.
+func (ProbeMsg) ApproxSize() int { return 20 }
+
+// ReportMsg answers a probe.
+type ReportMsg struct {
+	Wave    int
+	From    transport.NodeID
+	Sent    uint64
+	Recvd   uint64
+	Passive bool
+}
+
+// ApproxSize implements transport.Sizer.
+func (ReportMsg) ApproxSize() int { return 40 }
+
+// TermProcess is one worker in a diffusing computation. On receiving
+// work it becomes active for WorkTime, may spawn more work via the
+// Spawn policy, then goes passive.
+type TermProcess struct {
+	net   transport.Network
+	node  transport.NodeID
+	peers []transport.NodeID
+
+	// WorkTime is how long a unit of work keeps the process active.
+	WorkTime time.Duration
+	// Spawn decides, per completed unit, which peers receive new work.
+	// nil spawns nothing.
+	Spawn func() []transport.NodeID
+
+	active  int // units currently being processed
+	sent    uint64
+	recvd   uint64
+	stopped bool
+}
+
+// NewTermProcess registers a worker.
+func NewTermProcess(net transport.Network, node transport.NodeID, peers []transport.NodeID) *TermProcess {
+	p := &TermProcess{net: net, node: node, peers: peers, WorkTime: 5 * time.Millisecond}
+	net.Register(node, p.handle)
+	return p
+}
+
+// Inject seeds the computation with one local unit of work.
+func (p *TermProcess) Inject() { p.beginWork() }
+
+// Active reports whether the process is currently processing work.
+func (p *TermProcess) Active() bool { return p.active > 0 }
+
+// Counters returns the lifetime sent/received work counts.
+func (p *TermProcess) Counters() (sent, recvd uint64) { return p.sent, p.recvd }
+
+// Stop silences the process (end of experiment).
+func (p *TermProcess) Stop() { p.stopped = true }
+
+func (p *TermProcess) handle(from transport.NodeID, payload any) {
+	if p.stopped {
+		return
+	}
+	switch msg := payload.(type) {
+	case WorkMsg:
+		p.recvd++
+		p.beginWork()
+	case ProbeMsg:
+		p.net.Send(p.node, from, ReportMsg{
+			Wave: msg.Wave, From: p.node,
+			Sent: p.sent, Recvd: p.recvd, Passive: p.active == 0,
+		})
+	}
+}
+
+func (p *TermProcess) beginWork() {
+	p.active++
+	p.net.After(p.WorkTime, func() {
+		if p.stopped {
+			return
+		}
+		if p.Spawn != nil {
+			for _, peer := range p.Spawn() {
+				p.sent++
+				p.net.Send(p.node, peer, WorkMsg{})
+			}
+		}
+		p.active--
+	})
+}
+
+// waveSummary is the aggregate of one completed wave.
+type waveSummary struct {
+	sent, recvd uint64
+	allPassive  bool
+}
+
+// TermDetector runs counting waves from a monitor node and announces
+// termination via OnTerminated.
+type TermDetector struct {
+	net     transport.Network
+	node    transport.NodeID
+	workers []transport.NodeID
+
+	// Interval between waves (default 10ms).
+	Interval time.Duration
+	// OnTerminated fires once, when detection succeeds.
+	OnTerminated func()
+
+	wave     int
+	reports  map[transport.NodeID]ReportMsg
+	prev     *waveSummary
+	detected bool
+	stopped  bool
+
+	// Msgs counts detector traffic (probes + reports).
+	Msgs uint64
+	// Waves counts completed waves.
+	Waves uint64
+}
+
+// NewTermDetector registers a detector probing the given workers.
+func NewTermDetector(net transport.Network, node transport.NodeID, workers []transport.NodeID) *TermDetector {
+	d := &TermDetector{net: net, node: node, workers: workers, Interval: 10 * time.Millisecond}
+	net.Register(node, d.handle)
+	return d
+}
+
+// Start begins the wave schedule.
+func (d *TermDetector) Start() { d.startWave() }
+
+// Stop halts probing.
+func (d *TermDetector) Stop() { d.stopped = true }
+
+// Detected reports whether termination was announced.
+func (d *TermDetector) Detected() bool { return d.detected }
+
+func (d *TermDetector) startWave() {
+	if d.stopped || d.detected {
+		return
+	}
+	d.wave++
+	d.reports = make(map[transport.NodeID]ReportMsg)
+	for _, w := range d.workers {
+		d.Msgs++
+		d.net.Send(d.node, w, ProbeMsg{Wave: d.wave})
+	}
+	// Re-arm: if reports are lost, the next wave supersedes this one.
+	d.net.After(d.Interval, d.startWave)
+}
+
+func (d *TermDetector) handle(_ transport.NodeID, payload any) {
+	if d.stopped || d.detected {
+		return
+	}
+	r, ok := payload.(ReportMsg)
+	if !ok || r.Wave != d.wave {
+		return
+	}
+	d.Msgs++
+	d.reports[r.From] = r
+	if len(d.reports) != len(d.workers) {
+		return
+	}
+	d.Waves++
+	cur := waveSummary{allPassive: true}
+	for _, rep := range d.reports {
+		cur.sent += rep.Sent
+		cur.recvd += rep.Recvd
+		if !rep.Passive {
+			cur.allPassive = false
+		}
+	}
+	// Double-wave rule: two consecutive complete waves, both fully
+	// passive, identical balanced counters.
+	if d.prev != nil &&
+		cur.allPassive && d.prev.allPassive &&
+		cur.sent == cur.recvd &&
+		cur.sent == d.prev.sent && cur.recvd == d.prev.recvd {
+		d.detected = true
+		if d.OnTerminated != nil {
+			d.OnTerminated()
+		}
+		return
+	}
+	c := cur
+	d.prev = &c
+}

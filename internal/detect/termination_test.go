@@ -1,0 +1,155 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+)
+
+// termWorld builds n workers plus a detector on a lossless jittery
+// network, with a budget-limited random spawn policy so the diffusing
+// computation always terminates.
+func termWorld(n int, seed int64, budget int) (*sim.Kernel, []*TermProcess, *TermDetector) {
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond, Jitter: 2 * time.Millisecond})
+	workers := make([]transport.NodeID, n)
+	for i := range workers {
+		workers[i] = transport.NodeID(i)
+	}
+	procs := make([]*TermProcess, n)
+	remaining := budget
+	for i := 0; i < n; i++ {
+		i := i
+		var peers []transport.NodeID
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, transport.NodeID(j))
+			}
+		}
+		procs[i] = NewTermProcess(net, workers[i], peers)
+		procs[i].Spawn = func() []transport.NodeID {
+			if remaining <= 0 {
+				return nil
+			}
+			var out []transport.NodeID
+			for s := 0; s < k.Rand().Intn(3) && remaining > 0; s++ {
+				remaining--
+				out = append(out, peers[k.Rand().Intn(len(peers))])
+			}
+			return out
+		}
+	}
+	det := NewTermDetector(net, transport.NodeID(n), workers)
+	return k, procs, det
+}
+
+func TestTerminationDetectedAndSound(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		k, procs, det := termWorld(4, seed, 30)
+		var detectedAt time.Duration
+		soundAtDetection := false
+		det.OnTerminated = func() {
+			detectedAt = k.Now()
+			// Ground truth at the detection instant: all passive, no
+			// work in flight (sent == received globally).
+			var sent, recvd uint64
+			allPassive := true
+			for _, p := range procs {
+				s, r := p.Counters()
+				sent += s
+				recvd += r
+				if p.Active() {
+					allPassive = false
+				}
+			}
+			soundAtDetection = allPassive && sent == recvd
+		}
+		procs[0].Inject()
+		det.Start()
+		k.RunUntil(5 * time.Second)
+		det.Stop()
+		for _, p := range procs {
+			p.Stop()
+		}
+		if detectedAt == 0 {
+			t.Fatalf("seed %d: termination never detected", seed)
+		}
+		if !soundAtDetection {
+			t.Fatalf("seed %d: detection fired while the computation was live", seed)
+		}
+	}
+}
+
+func TestTerminationNotDetectedWhileRunning(t *testing.T) {
+	// A computation kept artificially alive (self-respawning ring) must
+	// never be declared terminated.
+	k := sim.NewKernel(3)
+	k.SetEventLimit(5_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	workers := []transport.NodeID{0, 1}
+	p0 := NewTermProcess(net, 0, []transport.NodeID{1})
+	p1 := NewTermProcess(net, 1, []transport.NodeID{0})
+	p0.Spawn = func() []transport.NodeID { return []transport.NodeID{1} }
+	p1.Spawn = func() []transport.NodeID { return []transport.NodeID{0} }
+	det := NewTermDetector(net, 2, workers)
+	det.OnTerminated = func() { t.Fatal("false termination of a live ring") }
+	p0.Inject()
+	det.Start()
+	k.RunUntil(500 * time.Millisecond)
+	det.Stop()
+	p0.Stop()
+	p1.Stop()
+	if det.Detected() {
+		t.Fatal("detected flag set on a live computation")
+	}
+}
+
+func TestTerminationImmediateForIdleSystem(t *testing.T) {
+	k, procs, det := termWorld(3, 5, 0)
+	detected := false
+	det.OnTerminated = func() { detected = true }
+	// No injection at all: two waves should suffice.
+	det.Start()
+	k.RunUntil(200 * time.Millisecond)
+	det.Stop()
+	for _, p := range procs {
+		p.Stop()
+	}
+	if !detected {
+		t.Fatal("idle system not declared terminated")
+	}
+	if det.Waves < 2 {
+		t.Fatalf("detected with %d waves; double-wave rule requires 2", det.Waves)
+	}
+}
+
+func TestTerminationDetectorTrafficBounded(t *testing.T) {
+	k, procs, det := termWorld(4, 7, 20)
+	var at time.Duration
+	det.OnTerminated = func() { at = k.Now() }
+	procs[0].Inject()
+	det.Start()
+	k.RunUntil(5 * time.Second)
+	det.Stop()
+	for _, p := range procs {
+		p.Stop()
+	}
+	if at == 0 {
+		t.Fatal("not detected")
+	}
+	// Detector traffic: 2 messages per worker per wave; waves every
+	// 10ms until detection. Generous bound: 3x the ideal.
+	ideal := uint64(at/(10*time.Millisecond)+2) * uint64(2*4)
+	if det.Msgs > 3*ideal {
+		t.Fatalf("detector sent %d messages, ideal ~%d", det.Msgs, ideal)
+	}
+}
+
+func TestTerminationSizes(t *testing.T) {
+	if (WorkMsg{}).ApproxSize() <= 0 || (ProbeMsg{}).ApproxSize() <= 0 || (ReportMsg{}).ApproxSize() <= 0 {
+		t.Fatal("sizes")
+	}
+}

@@ -1,0 +1,305 @@
+// Package detect implements the global-predicate-evaluation machinery
+// of §4.2 and Appendix 9.2:
+//
+//   - WaitGraph: an instance-granular wait-for graph with cycle
+//     detection. Instances (process, invocation-id pairs) rather than
+//     bare processes make the detector correct for multi-threaded
+//     servers, the generality the paper's Appendix 9.2 solution claims
+//     over van Renesse's.
+//   - RPCEvent / EventMonitor: the van Renesse detector's state
+//     machine — every RPC invocation and return is (causally)
+//     multicast to a monitor group, which maintains the wait-for graph
+//     from the event stream.
+//   - Report / StateMonitor: the paper's alternative — each process
+//     periodically reports its current local wait-for edges with a
+//     plain per-process sequence number; the monitor replaces that
+//     process's edge set on each in-order report. No causal multicast
+//     anywhere.
+//   - Snapshot (snapshot.go): a Chandy-Lamport consistent cut for the
+//     detection problems that genuinely need one.
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Instance names one RPC invocation (or transaction) within a process:
+// the paper's "A15 → B37" notation.
+type Instance struct {
+	Proc string
+	ID   int
+}
+
+// String renders the instance as "A15".
+func (i Instance) String() string { return fmt.Sprintf("%s%d", i.Proc, i.ID) }
+
+// Edge is one wait-for relationship between instances.
+type Edge struct {
+	From, To Instance
+}
+
+// WaitGraph is a directed graph over instances with cycle detection.
+type WaitGraph struct {
+	out map[Instance]map[Instance]bool
+	// procEdges tracks which edges each process's latest report
+	// contributed, for replace-on-report semantics.
+	procEdges map[string][]Edge
+}
+
+// NewWaitGraph returns an empty graph.
+func NewWaitGraph() *WaitGraph {
+	return &WaitGraph{
+		out:       make(map[Instance]map[Instance]bool),
+		procEdges: make(map[string][]Edge),
+	}
+}
+
+// AddEdge inserts from → to.
+func (g *WaitGraph) AddEdge(from, to Instance) {
+	m, ok := g.out[from]
+	if !ok {
+		m = make(map[Instance]bool)
+		g.out[from] = m
+	}
+	m[to] = true
+}
+
+// RemoveEdge deletes from → to if present.
+func (g *WaitGraph) RemoveEdge(from, to Instance) {
+	if m, ok := g.out[from]; ok {
+		delete(m, to)
+		if len(m) == 0 {
+			delete(g.out, from)
+		}
+	}
+}
+
+// SetProcessEdges replaces every edge previously reported by proc with
+// the new set — the semantics of a periodic local wait-for report.
+func (g *WaitGraph) SetProcessEdges(proc string, edges []Edge) {
+	for _, e := range g.procEdges[proc] {
+		g.RemoveEdge(e.From, e.To)
+	}
+	g.procEdges[proc] = append([]Edge(nil), edges...)
+	for _, e := range edges {
+		g.AddEdge(e.From, e.To)
+	}
+}
+
+// Edges returns all current edges, sorted for determinism.
+func (g *WaitGraph) Edges() []Edge {
+	var out []Edge
+	for from, tos := range g.out {
+		for to := range tos {
+			out = append(out, Edge{From: from, To: to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From.Proc != b.From.Proc {
+			return a.From.Proc < b.From.Proc
+		}
+		if a.From.ID != b.From.ID {
+			return a.From.ID < b.From.ID
+		}
+		if a.To.Proc != b.To.Proc {
+			return a.To.Proc < b.To.Proc
+		}
+		return a.To.ID < b.To.ID
+	})
+	return out
+}
+
+// FindCycle returns one cycle of instances if any exists (the deadlock
+// set), or nil. The returned slice lists the cycle members in order,
+// starting from its smallest element for determinism.
+func (g *WaitGraph) FindCycle() []Instance {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Instance]int)
+	parent := make(map[Instance]Instance)
+	var cycle []Instance
+
+	var nodes []Instance
+	for n := range g.out {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Proc != nodes[j].Proc {
+			return nodes[i].Proc < nodes[j].Proc
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+
+	var dfs func(u Instance) bool
+	dfs = func(u Instance) bool {
+		color[u] = gray
+		var succ []Instance
+		for v := range g.out[u] {
+			succ = append(succ, v)
+		}
+		sort.Slice(succ, func(i, j int) bool {
+			if succ[i].Proc != succ[j].Proc {
+				return succ[i].Proc < succ[j].Proc
+			}
+			return succ[i].ID < succ[j].ID
+		})
+		for _, v := range succ {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge u -> v: extract the cycle.
+				cycle = []Instance{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// Reverse into forward order v -> ... -> u.
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			return rotateToMin(cycle)
+		}
+	}
+	return nil
+}
+
+// rotateToMin rotates the cycle so its smallest instance leads.
+func rotateToMin(c []Instance) []Instance {
+	if len(c) == 0 {
+		return c
+	}
+	min := 0
+	for i := 1; i < len(c); i++ {
+		a, b := c[i], c[min]
+		if a.Proc < b.Proc || (a.Proc == b.Proc && a.ID < b.ID) {
+			min = i
+		}
+	}
+	out := make([]Instance, 0, len(c))
+	out = append(out, c[min:]...)
+	out = append(out, c[:min]...)
+	return out
+}
+
+// EventKind classifies an RPC event in the van Renesse stream.
+type EventKind int
+
+const (
+	// Invoke marks an RPC call: caller instance waits for callee.
+	Invoke EventKind = iota
+	// Return marks RPC completion: the wait edge disappears.
+	Return
+)
+
+// RPCEvent is one multicast event in the van Renesse detector.
+type RPCEvent struct {
+	Kind   EventKind
+	Caller Instance
+	Callee Instance
+}
+
+// ApproxSize implements transport.Sizer: two instances plus a tag.
+func (RPCEvent) ApproxSize() int { return 56 }
+
+// EventMonitor consumes an (ordered) RPC event stream and maintains
+// the wait-for graph — the monitor process of van Renesse's algorithm.
+// It relies on its input being causally ordered: a Return arriving
+// before its Invoke would corrupt the graph, which is precisely why
+// the algorithm needs CATOCS on *every* RPC.
+type EventMonitor struct {
+	graph  *WaitGraph
+	events uint64
+}
+
+// NewEventMonitor returns a monitor with an empty graph.
+func NewEventMonitor() *EventMonitor {
+	return &EventMonitor{graph: NewWaitGraph()}
+}
+
+// Observe applies one event.
+func (m *EventMonitor) Observe(e RPCEvent) {
+	m.events++
+	switch e.Kind {
+	case Invoke:
+		m.graph.AddEdge(e.Caller, e.Callee)
+	case Return:
+		m.graph.RemoveEdge(e.Caller, e.Callee)
+	}
+}
+
+// Deadlock returns a current wait-for cycle, if any.
+func (m *EventMonitor) Deadlock() []Instance { return m.graph.FindCycle() }
+
+// Events returns the number of events observed.
+func (m *EventMonitor) Events() uint64 { return m.events }
+
+// Graph exposes the underlying graph (for tests and rendering).
+func (m *EventMonitor) Graph() *WaitGraph { return m.graph }
+
+// Report is one process's periodic wait-for report in the paper's
+// state-level detector. Seq is a plain per-process sequence number —
+// "a conventional sequence number or timestamp ensuring that multicasts
+// sent by each process are received in the order sent" — all the
+// ordering the algorithm needs.
+type Report struct {
+	Proc  string
+	Seq   uint64
+	Edges []Edge
+}
+
+// ApproxSize implements transport.Sizer.
+func (r Report) ApproxSize() int { return 32 + 56*len(r.Edges) }
+
+// StateMonitor consumes periodic Reports and maintains the graph with
+// replace-on-report semantics. Each report is a complete snapshot of
+// its process's current waits, so the monitor applies a report only if
+// its sequence number exceeds the last applied one (latest-wins
+// prescriptive ordering): stale and out-of-order reports are simply
+// dropped, and a lost report is healed by the next one — no multicast
+// ordering guarantees are required from the transport.
+type StateMonitor struct {
+	graph   *WaitGraph
+	lastSeq map[string]uint64
+	reports uint64
+}
+
+// NewStateMonitor returns an empty monitor.
+func NewStateMonitor() *StateMonitor {
+	return &StateMonitor{graph: NewWaitGraph(), lastSeq: make(map[string]uint64)}
+}
+
+// Observe applies a report if it is newer than the last applied report
+// from the same process.
+func (m *StateMonitor) Observe(r Report) {
+	m.reports++
+	if r.Seq <= m.lastSeq[r.Proc] {
+		return
+	}
+	m.lastSeq[r.Proc] = r.Seq
+	m.graph.SetProcessEdges(r.Proc, r.Edges)
+}
+
+// Deadlock returns a current wait-for cycle, if any.
+func (m *StateMonitor) Deadlock() []Instance { return m.graph.FindCycle() }
+
+// Reports returns the number of reports observed.
+func (m *StateMonitor) Reports() uint64 { return m.reports }
+
+// Graph exposes the underlying graph.
+func (m *StateMonitor) Graph() *WaitGraph { return m.graph }

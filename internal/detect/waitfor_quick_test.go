@@ -1,0 +1,103 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAcyclicGraphsNeverReportCycles: graphs whose edges always
+// point from lower to higher instance ids are DAGs by construction;
+// FindCycle must return nil for every one.
+func TestQuickAcyclicGraphsNeverReportCycles(t *testing.T) {
+	f := func(edges [][2]uint8) bool {
+		g := NewWaitGraph()
+		for _, e := range edges {
+			lo, hi := int(e[0]), int(e[1])
+			if lo == hi {
+				continue
+			}
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			g.AddEdge(Instance{Proc: "P", ID: lo}, Instance{Proc: "P", ID: hi})
+		}
+		return g.FindCycle() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPlantedCycleAlwaysFound: a random ring plus random extra
+// edges always contains a cycle, and the returned cycle must be a real
+// one (every consecutive pair an edge, closing back on itself).
+func TestQuickPlantedCycleAlwaysFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		g := NewWaitGraph()
+		ringLen := 2 + rng.Intn(6)
+		base := rng.Intn(50)
+		for i := 0; i < ringLen; i++ {
+			g.AddEdge(
+				Instance{Proc: "R", ID: base + i},
+				Instance{Proc: "R", ID: base + (i+1)%ringLen},
+			)
+		}
+		for extra := 0; extra < rng.Intn(10); extra++ {
+			g.AddEdge(
+				Instance{Proc: "X", ID: rng.Intn(20)},
+				Instance{Proc: "Y", ID: rng.Intn(20)},
+			)
+		}
+		cycle := g.FindCycle()
+		if cycle == nil {
+			t.Fatalf("trial %d: planted ring of %d not found", trial, ringLen)
+		}
+		for i := range cycle {
+			next := cycle[(i+1)%len(cycle)]
+			if !g.out[cycle[i]][next] {
+				t.Fatalf("trial %d: reported cycle %v has phantom edge %v -> %v",
+					trial, cycle, cycle[i], next)
+			}
+		}
+	}
+}
+
+// TestQuickSetProcessEdgesIdempotent: re-applying the same report
+// leaves the graph unchanged, and applying an empty report clears
+// exactly that process's edges.
+func TestQuickSetProcessEdgesIdempotent(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		g := NewWaitGraph()
+		mk := func(vals []uint8, proc string) []Edge {
+			var out []Edge
+			for i := 0; i+1 < len(vals); i += 2 {
+				out = append(out, Edge{
+					From: Instance{Proc: proc, ID: int(vals[i])},
+					To:   Instance{Proc: proc, ID: int(vals[i+1]) + 256},
+				})
+			}
+			return out
+		}
+		ea, eb := mk(a, "A"), mk(b, "B")
+		g.SetProcessEdges("A", ea)
+		g.SetProcessEdges("B", eb)
+		before := len(g.Edges())
+		g.SetProcessEdges("A", ea) // idempotent re-apply
+		if len(g.Edges()) != before {
+			return false
+		}
+		g.SetProcessEdges("A", nil) // clear A only
+		remaining := g.Edges()
+		// Deduplicate expectation for B's edge multiset.
+		uniq := map[Edge]bool{}
+		for _, e := range eb {
+			uniq[e] = true
+		}
+		return len(remaining) == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

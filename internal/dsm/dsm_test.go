@@ -1,0 +1,208 @@
+package dsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+func world(n int, seed int64, jitter time.Duration) (*sim.Kernel, []*Memory) {
+	k, _, mems := worldNet(n, seed, jitter)
+	return k, mems
+}
+
+func worldNet(n int, seed int64, jitter time.Duration) (*sim.Kernel, *transport.SimNet, []*Memory) {
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond, Jitter: jitter})
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	return k, net, NewGroup(net, nodes)
+}
+
+func TestLocalWriteReadBack(t *testing.T) {
+	_, mems := world(2, 1, 0)
+	mems[0].Write("x", 42)
+	if v, ok := mems[0].Read("x"); !ok || v != 42 {
+		t.Fatalf("read back = %v %v", v, ok)
+	}
+}
+
+func TestWritePropagates(t *testing.T) {
+	k, mems := world(3, 1, 0)
+	mems[0].Write("x", 1)
+	k.Run()
+	for i, m := range mems {
+		if v, ok := m.Read("x"); !ok || v != 1 {
+			t.Fatalf("replica %d: x = %v %v", i, v, ok)
+		}
+	}
+}
+
+// TestCausalMemoryLitmus is the classic chain: P0 writes x=1; P1 reads
+// it and writes y=2; whenever any replica can read y=2, a read of x
+// must return 1 — across jittered schedules that reorder raw arrivals.
+func TestCausalMemoryLitmus(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		k, net, mems := worldNet(3, seed, 10*time.Millisecond)
+		// P0's writes crawl to P2: raw arrival order favours the
+		// violation, so the clock discipline must prevent it.
+		net.SetLink(0, 2, transport.LinkConfig{BaseDelay: 50 * time.Millisecond})
+		k.At(0, func() { mems[0].Write("x", 1) })
+		var waitX func()
+		waitX = func() {
+			if v, ok := mems[1].Read("x"); ok && v == 1 {
+				mems[1].Write("y", 2)
+				return
+			}
+			k.After(time.Millisecond, waitX)
+		}
+		k.At(time.Millisecond, waitX)
+		// P2 polls continuously: at no instant may it see y=2 with x
+		// still unwritten or stale.
+		violations := 0
+		var poll func()
+		poll = func() {
+			if v, ok := mems[2].Read("y"); ok && v == 2 {
+				if x, okx := mems[2].Read("x"); !okx || x != 1 {
+					violations++
+				}
+			}
+			if k.Now() < 100*time.Millisecond {
+				k.After(time.Millisecond, poll)
+			}
+		}
+		k.At(0, poll)
+		k.RunUntil(200 * time.Millisecond)
+		if violations > 0 {
+			t.Fatalf("seed %d: %d causal-memory violations", seed, violations)
+		}
+	}
+}
+
+// TestNaiveMemoryViolatesLitmus shows the contrast: apply-on-arrival
+// (no clocks) lets y=2 become visible before x=1 on some seed.
+func TestNaiveMemoryViolatesLitmus(t *testing.T) {
+	violated := false
+	for seed := int64(1); seed <= 40 && !violated; seed++ {
+		k := sim.NewKernel(seed)
+		net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond, Jitter: 10 * time.Millisecond})
+		net.SetLink(0, 2, transport.LinkConfig{BaseDelay: 50 * time.Millisecond})
+		type naive struct{ vals map[string]any }
+		mems := make([]*naive, 3)
+		for i := range mems {
+			i := i
+			mems[i] = &naive{vals: map[string]any{}}
+			net.Register(transport.NodeID(i), func(_ transport.NodeID, p any) {
+				if w, ok := p.(writeMsg); ok {
+					mems[i].vals[w.Key] = w.Value // apply on arrival
+				}
+			})
+		}
+		write := func(from int, key string, v any) {
+			mems[from].vals[key] = v
+			for j := 0; j < 3; j++ {
+				if j != from {
+					net.Send(transport.NodeID(from), transport.NodeID(j), writeMsg{Writer: vclock.ProcessID(from), Key: key, Value: v, Stamp: vclock.New(3)})
+				}
+			}
+		}
+		k.At(0, func() { write(0, "x", 1) })
+		var waitX func()
+		waitX = func() {
+			if mems[1].vals["x"] == 1 {
+				write(1, "y", 2)
+				return
+			}
+			k.After(time.Millisecond, waitX)
+		}
+		k.At(time.Millisecond, waitX)
+		var poll func()
+		poll = func() {
+			if mems[2].vals["y"] == 2 && mems[2].vals["x"] != 1 {
+				violated = true
+				return
+			}
+			if k.Now() < 100*time.Millisecond {
+				k.After(time.Millisecond, poll)
+			}
+		}
+		k.At(0, poll)
+		k.RunUntil(200 * time.Millisecond)
+	}
+	if !violated {
+		t.Fatal("naive memory never violated the litmus in 40 seeds; the causal implementation may be vacuous")
+	}
+}
+
+func TestReplicasConvergeOnConcurrentWrites(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		k, mems := world(4, seed, 8*time.Millisecond)
+		// All four write the same key concurrently, repeatedly.
+		for round := 0; round < 5; round++ {
+			round := round
+			for w := 0; w < 4; w++ {
+				w := w
+				k.At(time.Duration(round)*10*time.Millisecond, func() {
+					mems[w].Write("k", fmt.Sprintf("r%d-w%d", round, w))
+				})
+			}
+		}
+		k.Run()
+		v0, _ := mems[0].Read("k")
+		for i := 1; i < 4; i++ {
+			if v, _ := mems[i].Read("k"); v != v0 {
+				t.Fatalf("seed %d: replica %d has %v, replica 0 has %v", seed, i, v, v0)
+			}
+		}
+		for i, m := range mems {
+			if m.Pending() != 0 {
+				t.Fatalf("seed %d: replica %d still holds %d writes", seed, i, m.Pending())
+			}
+		}
+	}
+}
+
+func TestReadWidensContext(t *testing.T) {
+	k, mems := world(2, 1, 0)
+	mems[0].Write("x", 1)
+	k.Run()
+	before := mems[1].Context()
+	mems[1].Read("x")
+	after := mems[1].Context()
+	if !before.HappensBefore(after) && before.Equal(after) {
+		t.Fatalf("read did not widen context: %v -> %v", before, after)
+	}
+	if mems[1].ReadMerge.Value() != 1 {
+		t.Fatalf("read merge count = %d", mems[1].ReadMerge.Value())
+	}
+}
+
+func TestDuplicateWritesIgnored(t *testing.T) {
+	k, mems := world(2, 2, 0)
+	mems[0].Write("x", 1)
+	k.Run()
+	applied := mems[1].Applied.Value()
+	// Re-deliver the same write by hand.
+	mems[1].handle(0, writeMsg{Writer: 0, Key: "x", Value: 1, Stamp: func() vclock.VC {
+		v := vclock.New(2)
+		v.Set(0, 1)
+		return v
+	}()})
+	if mems[1].Applied.Value() != applied {
+		t.Fatal("duplicate write re-applied")
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	_, mems := world(2, 3, 0)
+	if _, ok := mems[0].Read("ghost"); ok {
+		t.Fatal("missing key read ok")
+	}
+}

@@ -1,0 +1,72 @@
+package eventlog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeliveryOrder(t *testing.T) {
+	l := New("P", "Q")
+	l.Add(2*time.Millisecond, "P", Deliver, "m2", "")
+	l.Add(1*time.Millisecond, "P", Deliver, "m1", "")
+	l.Add(3*time.Millisecond, "P", Send, "m3", "")
+	l.Add(4*time.Millisecond, "Q", Deliver, "m3", "")
+	got := l.DeliveryOrder("P")
+	if len(got) != 2 || got[0] != "m1" || got[1] != "m2" {
+		t.Fatalf("delivery order = %v", got)
+	}
+	if q := l.DeliveryOrder("Q"); len(q) != 1 || q[0] != "m3" {
+		t.Fatalf("Q delivery order = %v", q)
+	}
+}
+
+func TestEventsSortedStable(t *testing.T) {
+	l := New("P")
+	l.Add(time.Millisecond, "P", Send, "a", "")
+	l.Add(time.Millisecond, "P", Send, "b", "")
+	ev := l.Events()
+	if ev[0].Msg != "a" || ev[1].Msg != "b" {
+		t.Fatalf("same-time events reordered: %v %v", ev[0].Msg, ev[1].Msg)
+	}
+}
+
+func TestUnknownProcessAddsColumn(t *testing.T) {
+	l := New("P")
+	l.Add(0, "R", Local, "", "appeared")
+	out := l.Render("")
+	if !strings.Contains(out, "R") {
+		t.Fatalf("render missing dynamic column:\n%s", out)
+	}
+}
+
+func TestRenderContainsEvents(t *testing.T) {
+	l := New("P", "Q", "R")
+	l.Add(0, "Q", Send, "m1", "m1 sent by Q")
+	l.Add(2*time.Millisecond, "P", Deliver, "m1", "m1 received by P")
+	l.Add(3*time.Millisecond, "P", Send, "m2", "")
+	l.Add(5*time.Millisecond, "R", Deliver, "m2", "m2 received by R")
+	out := l.Render("Figure 1")
+	for _, want := range []string{"Figure 1", "send m1", "dlvr m1", "send m2", "dlvr m2", "m1 sent by Q"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Send: "send", Recv: "recv", Deliver: "dlvr", Local: "local"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestCenterTruncates(t *testing.T) {
+	if got := center("abcdefgh", 4); got != "abcd" {
+		t.Fatalf("center truncation = %q", got)
+	}
+	if got := center("ab", 6); len(got) != 6 || !strings.Contains(got, "ab") {
+		t.Fatalf("center padding = %q", got)
+	}
+}

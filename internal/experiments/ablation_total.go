@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"time"
+
+	"catocs/internal/metrics"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// Ablation: fixed-sequencer vs Skeen-agreement total order. The
+// sequencer costs one extra hop through a central member (and loads
+// it); the agreement protocol spreads load but needs a propose/commit
+// round trip per message. DESIGN.md lists this as a design choice
+// worth quantifying.
+
+// AblationTotalPoint is one group size's comparison.
+type AblationTotalPoint struct {
+	N                int
+	SeqMeanMs        float64
+	AgreeMeanMs      float64
+	CausalTotalMs    float64
+	SeqCtrlMsgs      uint64
+	AgreeCtrlMsgs    uint64
+	SequencerLoadPct float64 // share of all ctrl traffic emitted by the sequencer
+}
+
+// RunAblationTotal measures one group size.
+func RunAblationTotal(n, msgsPerSender int, seed int64) AblationTotalPoint {
+	pt := AblationTotalPoint{N: n}
+	for _, ord := range []multicast.Ordering{multicast.TotalSeq, multicast.TotalAgree, multicast.TotalCausal} {
+		k := sim.NewKernel(seed)
+		k.SetEventLimit(50_000_000)
+		net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+		nodes := make([]transport.NodeID, n)
+		for i := range nodes {
+			nodes[i] = transport.NodeID(i)
+		}
+		var lat metrics.Histogram
+		members := multicast.NewGroup(net, nodes, multicast.Config{Group: "abl", Ordering: ord},
+			func(rank vclock.ProcessID) multicast.DeliverFunc {
+				return func(d multicast.Delivered) { lat.Observe(d.Latency.Seconds()) }
+			})
+		for s := 0; s < n; s++ {
+			for i := 0; i < msgsPerSender; i++ {
+				s, i := s, i
+				k.At(time.Duration(i)*5*time.Millisecond+time.Duration(s)*200*time.Microsecond, func() {
+					members[s].Multicast(i, 32)
+				})
+			}
+		}
+		k.Run()
+		var ctrl uint64
+		for _, m := range members {
+			ctrl += m.CtrlMsgs.Value()
+		}
+		switch ord {
+		case multicast.TotalSeq:
+			pt.SeqMeanMs = lat.Mean() * 1000
+			pt.SeqCtrlMsgs = ctrl
+			if ctrl > 0 {
+				pt.SequencerLoadPct = 100 * float64(members[0].CtrlMsgs.Value()) / float64(ctrl)
+			}
+		case multicast.TotalAgree:
+			pt.AgreeMeanMs = lat.Mean() * 1000
+			pt.AgreeCtrlMsgs = ctrl
+		case multicast.TotalCausal:
+			pt.CausalTotalMs = lat.Mean() * 1000
+		}
+	}
+	return pt
+}
+
+// TableAblationTotal sweeps group size.
+func TableAblationTotal(sizes []int, msgsPerSender int, seed int64) *Table {
+	t := &Table{
+		ID:      "A1",
+		Title:   "Ablation: total order via fixed sequencer vs Skeen agreement",
+		Claim:   "design-choice quantification (DESIGN.md): central-hop latency and sequencer load vs per-message agreement round",
+		Headers: []string{"N", "seq mean ms", "causal-total ms", "agree mean ms", "seq ctrl msgs", "agree ctrl msgs", "sequencer load %"},
+	}
+	for _, n := range sizes {
+		pt := RunAblationTotal(n, msgsPerSender, seed)
+		t.Rows = append(t.Rows, []string{
+			fmtI(pt.N), fmtF(pt.SeqMeanMs), fmtF(pt.CausalTotalMs), fmtF(pt.AgreeMeanMs),
+			fmtU(pt.SeqCtrlMsgs), fmtU(pt.AgreeCtrlMsgs), fmtF(pt.SequencerLoadPct),
+		})
+	}
+	return t
+}

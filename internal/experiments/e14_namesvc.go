@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"catocs/internal/multicast"
+	"catocs/internal/nameservice"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// E14 — replication in the large (§4.5). The same directory-update
+// workload runs through (a) the Lampson/Grapevine-style gossip
+// replica set — availability-first, last-writer-wins with counted
+// undos — and (b) a causal atomic multicast group applying updates in
+// delivery order. Measured per scale: convergence, whether replicas
+// even agree (causal order alone does not make concurrent updates to
+// one name converge), per-node communication state, and traffic.
+
+// E14Point is one mode × scale measurement.
+type E14Point struct {
+	N    int
+	Mode string
+	// ConvergedMs is when all replicas agreed (0 = never).
+	ConvergedMs float64
+	// Diverged counts replicas whose final directory differs from
+	// replica 0's.
+	Diverged int
+	// ConflictsResolved counts LWW undos (gossip mode).
+	ConflictsResolved uint64
+	// Msgs and KB are total network traffic.
+	Msgs uint64
+	KB   float64
+	// StateBytesPerNode is the peak communication/ordering state one
+	// node carries: Lamport clock for gossip; vector clock + unstable
+	// buffer + holdback for the group.
+	StateBytesPerNode int
+}
+
+// e14Workload issues W binds; every fourth bind is a genuine conflict:
+// two replicas bind the same name at the same instant with different
+// values — the duplicate-binding race §4.5 discusses.
+func e14Workload(n, updates int, bind func(replica int, name string, value any), k *sim.Kernel) {
+	for i := 0; i < updates; i++ {
+		i := i
+		rep := i % n
+		at := time.Duration(i) * 2 * time.Millisecond
+		if i%4 == 0 {
+			name := fmt.Sprintf("shared-%d", i)
+			other := (rep + n/2) % n
+			k.At(at, func() {
+				bind(rep, name, i)
+				bind(other, name, i+1000)
+			})
+			continue
+		}
+		k.At(at, func() {
+			bind(rep, fmt.Sprintf("name-%d", i), i)
+		})
+	}
+}
+
+// RunE14Gossip measures the anti-entropy directory.
+func RunE14Gossip(n, updates int, seed int64) E14Point {
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(100_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	reps := make([]*nameservice.Replica, n)
+	for i := 0; i < n; i++ {
+		var peers []transport.NodeID
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, nodes[j])
+			}
+		}
+		reps[i] = nameservice.NewReplica(net, nodes[i], peers)
+		reps[i].Start()
+	}
+	e14Workload(n, updates, func(r int, name string, v any) { reps[r].Bind(name, v) }, k)
+
+	var convergedAt time.Duration
+	horizon := 20 * time.Second
+	var poll func()
+	poll = func() {
+		if convergedAt == 0 && k.Now() > time.Duration(updates)*2*time.Millisecond {
+			if nameservice.Converged(reps) {
+				convergedAt = k.Now()
+				for _, r := range reps {
+					r.Stop()
+				}
+				return
+			}
+		}
+		if k.Now() < horizon {
+			k.After(10*time.Millisecond, poll)
+		}
+	}
+	k.At(10*time.Millisecond, poll)
+	k.RunUntil(horizon)
+	for _, r := range reps {
+		r.Stop()
+	}
+
+	pt := E14Point{N: n, Mode: "gossip"}
+	if convergedAt > 0 {
+		pt.ConvergedMs = float64(convergedAt.Microseconds()) / 1000.0
+	}
+	for _, r := range reps {
+		pt.ConflictsResolved += r.Conflicts.Value()
+	}
+	st := net.Stats()
+	pt.Msgs = st.Sent
+	pt.KB = float64(st.Bytes) / 1024
+	pt.StateBytesPerNode = 8 // one Lamport clock; the directory is the data itself
+	return pt
+}
+
+// RunE14Catocs measures the causal-group directory.
+func RunE14Catocs(n, updates int, seed int64) E14Point {
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(100_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	type bindMsg struct {
+		Name  string
+		Value any
+	}
+	dirs := make([]map[string]any, n)
+	for i := range dirs {
+		dirs[i] = make(map[string]any)
+	}
+	members := multicast.NewGroup(net, nodes,
+		multicast.Config{Group: "e14", Ordering: multicast.Causal, Atomic: true,
+			AckInterval: 15 * time.Millisecond, NackDelay: 15 * time.Millisecond},
+		func(rank vclock.ProcessID) multicast.DeliverFunc {
+			d := dirs[rank]
+			return func(del multicast.Delivered) {
+				if b, ok := del.Payload.(bindMsg); ok {
+					d[b.Name] = b.Value // delivery order is the only ordering
+				}
+			}
+		})
+	e14Workload(n, updates, func(r int, name string, v any) {
+		members[r].Multicast(bindMsg{Name: name, Value: v}, 48)
+	}, k)
+	horizon := time.Duration(updates)*2*time.Millisecond + 3*time.Second
+	k.RunUntil(horizon)
+	for _, m := range members {
+		m.Close()
+	}
+
+	pt := E14Point{N: n, Mode: "causal group"}
+	// Divergence: concurrent binds to a shared name apply in delivery
+	// order, which causal ordering does not make uniform.
+	for i := 1; i < n; i++ {
+		same := len(dirs[i]) == len(dirs[0])
+		if same {
+			for k2, v := range dirs[0] {
+				if dirs[i][k2] != v {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			pt.Diverged++
+		}
+	}
+	if pt.Diverged == 0 {
+		pt.ConvergedMs = float64(horizon.Microseconds()) / 1000.0
+	}
+	st := net.Stats()
+	pt.Msgs = st.Sent
+	pt.KB = float64(st.Bytes) / 1024
+	// Peak per-node ordering state: N-entry vector clock, plus the
+	// unstable buffer high-water (≈ message size each), plus holdback.
+	peakBuf := 0
+	peakHold := int64(0)
+	for _, m := range members {
+		if st := m.Stability(); st != nil && int(st.HighWater()) > peakBuf {
+			peakBuf = int(st.HighWater())
+		}
+		if m.HoldbackGauge.Max() > peakHold {
+			peakHold = m.HoldbackGauge.Max()
+		}
+	}
+	pt.StateBytesPerNode = 8*n + peakBuf*(88+8*n) + int(peakHold)*(88+8*n)
+	return pt
+}
+
+// TableE14 sweeps directory scale.
+func TableE14(sizes []int, updates int, seed int64) *Table {
+	t := &Table{
+		ID:    "E14",
+		Title: "Replication in the large: gossip directory vs causal group (§4.5)",
+		Claim: "application-specific resolution (undo a duplicate binding) beats ordering support at directory scale; per-node communication state for CATOCS 'seems impractical'",
+		Headers: []string{"N", "mode", "converged ms", "diverged replicas", "undos",
+			"msgs", "KB", "ordering state B/node"},
+	}
+	for _, n := range sizes {
+		g := RunE14Gossip(n, updates, seed)
+		c := RunE14Catocs(n, updates, seed)
+		for _, pt := range []E14Point{g, c} {
+			conv := "never"
+			if pt.ConvergedMs > 0 {
+				conv = fmtF(pt.ConvergedMs)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmtI(pt.N), pt.Mode, conv, fmtI(pt.Diverged), fmtU(pt.ConflictsResolved),
+				fmtU(pt.Msgs), fmtF(pt.KB), fmtI(pt.StateBytesPerNode),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"causal-group divergence: concurrent binds to one name arrive in different (legal) causal orders at different replicas; converging would need total order or exactly the LWW stamps that make the ordering layer redundant")
+	return t
+}

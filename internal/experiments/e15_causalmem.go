@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"catocs/internal/dsm"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// E15 — causal memory (§3 limitation 3). The paper: causal memory
+// "can be enforced using totally ordered multicast, [but] such
+// protocols are expensive and much cheaper protocols, which utilize
+// state-level logical clocks, can be used instead." The same
+// write/read workload runs through (a) the state-clock DSM
+// (internal/dsm: direct sends, per-write stamps, read-merged
+// dependency contexts) and (b) a totally ordered multicast group
+// applying writes in delivery order. Measured: messages, bytes, and
+// time to full propagation.
+
+// E15Point is one mode's measurement.
+type E15Point struct {
+	N          int
+	Mode       string
+	Msgs       uint64
+	KB         float64
+	CompleteMs float64
+}
+
+// RunE15 measures both modes at one replica count.
+func RunE15(n, writes int, seed int64) (stateClock, totalOrder E15Point) {
+	workload := func(write func(rep int, key string, v any), k *sim.Kernel) {
+		for i := 0; i < writes; i++ {
+			i := i
+			rep := i % n
+			k.At(time.Duration(i)*3*time.Millisecond, func() {
+				write(rep, fmt.Sprintf("k%d", i%6), i)
+			})
+		}
+	}
+
+	// (a) state-clock DSM.
+	{
+		k := sim.NewKernel(seed)
+		k.SetEventLimit(50_000_000)
+		net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+		nodes := make([]transport.NodeID, n)
+		for i := range nodes {
+			nodes[i] = transport.NodeID(i)
+		}
+		mems := dsm.NewGroup(net, nodes)
+		workload(func(rep int, key string, v any) { mems[rep].Write(key, v) }, k)
+		k.Run()
+		var applies uint64
+		for _, m := range mems {
+			applies += m.Applied.Value()
+		}
+		st := net.Stats()
+		stateClock = E15Point{
+			N: n, Mode: "state clocks (dsm)",
+			Msgs: st.Sent, KB: float64(st.Bytes) / 1024,
+			CompleteMs: float64(k.Now().Microseconds()) / 1000.0,
+		}
+	}
+
+	// (b) totally ordered multicast memory.
+	{
+		k := sim.NewKernel(seed)
+		k.SetEventLimit(50_000_000)
+		net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+		nodes := make([]transport.NodeID, n)
+		for i := range nodes {
+			nodes[i] = transport.NodeID(i)
+		}
+		type wr struct {
+			Key string
+			V   any
+		}
+		vals := make([]map[string]any, n)
+		for i := range vals {
+			vals[i] = map[string]any{}
+		}
+		members := multicast.NewGroup(net, nodes,
+			multicast.Config{Group: "e15", Ordering: multicast.TotalCausal},
+			func(rank vclock.ProcessID) multicast.DeliverFunc {
+				v := vals[rank]
+				return func(d multicast.Delivered) {
+					if w, ok := d.Payload.(wr); ok {
+						v[w.Key] = w.V
+					}
+				}
+			})
+		workload(func(rep int, key string, v any) {
+			members[rep].Multicast(wr{Key: key, V: v}, 40)
+		}, k)
+		k.Run()
+		for _, m := range members {
+			m.Close()
+		}
+		st := net.Stats()
+		totalOrder = E15Point{
+			N: n, Mode: "total order (sequencer)",
+			Msgs: st.Sent, KB: float64(st.Bytes) / 1024,
+			CompleteMs: float64(k.Now().Microseconds()) / 1000.0,
+		}
+	}
+	return stateClock, totalOrder
+}
+
+// TableE15 sweeps replica count.
+func TableE15(sizes []int, writes int, seed int64) *Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Causal memory: state-level clocks vs totally ordered multicast (§3 limitation 3)",
+		Claim:   "causal memory needs no total order: per-write stamps with read-merged dependency contexts give it over plain unordered sends",
+		Headers: []string{"N", "mode", "msgs", "KB", "complete ms"},
+	}
+	for _, n := range sizes {
+		sc, to := RunE15(n, writes, seed)
+		for _, pt := range []E15Point{sc, to} {
+			t.Rows = append(t.Rows, []string{
+				fmtI(pt.N), pt.Mode, fmtU(pt.Msgs), fmtF(pt.KB), fmtF(pt.CompleteMs),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"total order pays the sequencer indirection (order announcements to every member per write) and centralizes load; the state-clock DSM sends each write point-to-point once")
+	return t
+}

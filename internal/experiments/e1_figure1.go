@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"time"
+
+	"catocs/internal/eventlog"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// E1Result reproduces Figure 1: the basic happens-before event diagram
+// and causal multicast's guarantee over it.
+type E1Result struct {
+	Log *eventlog.Log
+	// CausalOrderHeld: every process delivered m1 before m2 (m1
+	// happens-before m2 through P's send-after-deliver).
+	CausalOrderHeld bool
+	// ConcurrentOrdersDiffer: m3 and m4 are concurrent; under causal
+	// order different processes may deliver them differently. Recorded
+	// for the note (not guaranteed on every seed).
+	ConcurrentOrdersDiffer bool
+}
+
+// RunE1 executes the Figure 1 schedule: Q sends m1; P, after receiving
+// m1, sends m2; then R and Q send concurrent m3, m4.
+func RunE1(seed int64) E1Result {
+	k := sim.NewKernel(seed)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 6 * time.Millisecond})
+	log := eventlog.New("P", "Q", "R")
+	names := []string{"P", "Q", "R"}
+
+	orders := make([][]string, 3)
+	var members []*multicast.Member
+	members = multicast.NewGroup(net, []transport.NodeID{0, 1, 2},
+		multicast.Config{Group: "fig1", Ordering: multicast.Causal},
+		func(rank vclock.ProcessID) multicast.DeliverFunc {
+			return func(d multicast.Delivered) {
+				name := d.Payload.(string)
+				log.Add(k.Now(), names[rank], eventlog.Deliver, name, name+" received by "+names[rank])
+				orders[rank] = append(orders[rank], name)
+				if rank == 0 && name == "m1" {
+					log.Add(k.Now(), "P", eventlog.Send, "m2", "m2 sent by P")
+					members[0].Multicast("m2", 8)
+				}
+			}
+		})
+
+	k.At(0, func() {
+		log.Add(k.Now(), "Q", eventlog.Send, "m1", "m1 sent by Q")
+		members[1].Multicast("m1", 8)
+	})
+	k.At(12*time.Millisecond, func() {
+		log.Add(k.Now(), "R", eventlog.Send, "m3", "m3 sent by R")
+		members[2].Multicast("m3", 8)
+	})
+	k.At(13*time.Millisecond, func() {
+		log.Add(k.Now(), "Q", eventlog.Send, "m4", "m4 sent by Q")
+		members[1].Multicast("m4", 8)
+	})
+	k.Run()
+
+	res := E1Result{Log: log, CausalOrderHeld: true}
+	pos := func(o []string, m string) int {
+		for i, v := range o {
+			if v == m {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, o := range orders {
+		if pos(o, "m1") > pos(o, "m2") || pos(o, "m1") < 0 || pos(o, "m2") < 0 {
+			res.CausalOrderHeld = false
+		}
+	}
+	rel34 := func(o []string) bool { return pos(o, "m3") < pos(o, "m4") }
+	base := rel34(orders[0])
+	for _, o := range orders[1:] {
+		if rel34(o) != base {
+			res.ConcurrentOrdersDiffer = true
+		}
+	}
+	return res
+}
+
+// TableE1 runs E1 across seeds and summarizes.
+func TableE1(seeds int) *Table {
+	held := 0
+	diverged := 0
+	for s := 0; s < seeds; s++ {
+		r := RunE1(int64(s + 1))
+		if r.CausalOrderHeld {
+			held++
+		}
+		if r.ConcurrentOrdersDiffer {
+			diverged++
+		}
+	}
+	return &Table{
+		ID:      "E1",
+		Title:   "Figure 1: happens-before and causal multicast",
+		Claim:   "m1 causally precedes m2: causal multicast delivers m1 first everywhere; m3 ∥ m4 are unconstrained",
+		Headers: []string{"seeds", "m1<m2 held", "m3/m4 divergent delivery"},
+		Rows: [][]string{{
+			fmtI(seeds), fmtI(held), fmtI(diverged),
+		}},
+		Notes: []string{"m1<m2 must hold on every seed; m3/m4 divergence is permitted (and observed on some seeds), demonstrating causal ≠ total"},
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"time"
+
+	"catocs/internal/group"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// E7 — membership-change cost (§5). A causal atomic group with
+// heartbeat monitors runs steady traffic; one member crashes. Measured
+// per group size: flush-protocol messages, send-suppression duration,
+// failure-detection delay, and end-to-end recovery time (crash to new
+// view installed everywhere).
+
+// E7Point is one sweep point.
+type E7Point struct {
+	N                int
+	FlushMsgs        uint64
+	HeartbeatsPerSec float64
+	MeanSuppressMs   float64
+	DetectMs         float64
+	RecoveryMs       float64
+}
+
+// RunE7 measures one group size.
+func RunE7(n int, seed int64) E7Point {
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(50_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	mux := transport.NewMux(net)
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	members := multicast.NewGroup(mux, nodes,
+		multicast.Config{Group: "e7", Ordering: multicast.Causal, Atomic: true},
+		func(rank vclock.ProcessID) multicast.DeliverFunc { return nil })
+	monitors := make([]*group.Monitor, n)
+	installed := make([]time.Duration, 0, n)
+	for i := range members {
+		monitors[i] = group.NewMonitor(mux, members[i], "e7", group.Config{})
+		monitors[i].OnView = func(uint64, []transport.NodeID) {
+			installed = append(installed, k.Now())
+		}
+	}
+	for _, m := range monitors {
+		m.Start()
+	}
+
+	// Steady background traffic so the flush has unstable state to deal
+	// with.
+	for s := 0; s < n; s++ {
+		for i := 0; i < 20; i++ {
+			s, i := s, i
+			k.At(time.Duration(i)*7*time.Millisecond, func() {
+				members[s].Multicast(i, 64)
+			})
+		}
+	}
+
+	crashAt := 80 * time.Millisecond
+	victim := n - 1
+	k.At(crashAt, func() {
+		net.Crash(nodes[victim])
+		monitors[victim].Stop()
+		members[victim].Close()
+	})
+	k.RunUntil(3 * time.Second)
+	for i := range monitors {
+		monitors[i].Stop()
+		members[i].Close()
+	}
+
+	pt := E7Point{N: n}
+	var supSum float64
+	var supN int
+	var hb uint64
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		st := &monitors[i].Stats
+		pt.FlushMsgs += st.FlushMsgs.Value()
+		hb += st.Heartbeats.Value()
+		if st.SuppressTime.Count() > 0 {
+			supSum += st.SuppressTime.Mean()
+			supN++
+		}
+		if st.DetectionTime.Count() > 0 && pt.DetectMs == 0 {
+			pt.DetectMs = st.DetectionTime.Mean() * 1000
+		}
+	}
+	if supN > 0 {
+		pt.MeanSuppressMs = 1000 * supSum / float64(supN)
+	}
+	pt.HeartbeatsPerSec = float64(hb) / 3.0
+	var last time.Duration
+	for _, at := range installed {
+		if at > last {
+			last = at
+		}
+	}
+	if last > crashAt {
+		pt.RecoveryMs = float64((last - crashAt).Microseconds()) / 1000.0
+	}
+	return pt
+}
+
+// E7JoinPoint measures admitting one joiner into a running group.
+type E7JoinPoint struct {
+	N           int // group size before the join
+	AdmissionMs float64
+	FlushMsgs   uint64
+}
+
+// RunE7Join measures one group size.
+func RunE7Join(n int, seed int64) E7JoinPoint {
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(50_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	mux := transport.NewMux(net)
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	cfg := multicast.Config{Group: "e7j", Ordering: multicast.Causal, Atomic: true}
+	members := multicast.NewGroup(mux, nodes, cfg,
+		func(vclock.ProcessID) multicast.DeliverFunc { return nil })
+	monitors := make([]*group.Monitor, n)
+	for i := range members {
+		monitors[i] = group.NewMonitor(mux, members[i], "e7j", group.Config{})
+		monitors[i].Start()
+	}
+	// Background traffic so the flush is non-trivial.
+	for s := 0; s < n; s++ {
+		for i := 0; i < 10; i++ {
+			s, i := s, i
+			k.At(time.Duration(i)*7*time.Millisecond, func() {
+				members[s].Multicast(i, 64)
+			})
+		}
+	}
+	askAt := 120 * time.Millisecond
+	var joinedAt time.Duration
+	var joinedMon *group.Monitor
+	j := group.NewJoiner(mux, transport.NodeID(n+10), nodes[0], "e7j", cfg, nil)
+	j.OnJoined = func(m *multicast.Member) {
+		joinedAt = k.Now()
+		joinedMon = group.NewMonitor(mux, m, "e7j", group.Config{})
+		joinedMon.Start()
+	}
+	k.At(askAt, func() { j.Start() })
+	k.RunUntil(3 * time.Second)
+	pt := E7JoinPoint{N: n}
+	if joinedAt > askAt {
+		pt.AdmissionMs = float64((joinedAt - askAt).Microseconds()) / 1000.0
+	}
+	for i := range monitors {
+		pt.FlushMsgs += monitors[i].Stats.FlushMsgs.Value()
+		monitors[i].Stop()
+		members[i].Close()
+	}
+	if joinedMon != nil {
+		joinedMon.Stop()
+	}
+	return pt
+}
+
+// TableE7Join sweeps group size for the join protocol.
+func TableE7Join(sizes []int, seed int64) *Table {
+	t := &Table{
+		ID:      "E7b",
+		Title:   "Join cost vs group size (membership change, the other direction)",
+		Claim:   "admission rides the same flush machinery as failure handling: O(group) messages and a group-wide suppression window per join",
+		Headers: []string{"N before join", "admission ms", "flush msgs"},
+	}
+	for _, n := range sizes {
+		pt := RunE7Join(n, seed)
+		t.Rows = append(t.Rows, []string{fmtI(pt.N), fmtF(pt.AdmissionMs), fmtU(pt.FlushMsgs)})
+	}
+	return t
+}
+
+// TableE7 sweeps group size.
+func TableE7(sizes []int, seed int64) *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "View-change cost vs group size (§5 membership protocols)",
+		Claim:   "each execution costs O(group) messages and suppresses sending for a significant window; failure rate grows with N",
+		Headers: []string{"N", "flush msgs", "suppress mean ms", "detect ms", "recovery ms", "heartbeats/s"},
+	}
+	for _, n := range sizes {
+		pt := RunE7(n, seed)
+		t.Rows = append(t.Rows, []string{
+			fmtI(pt.N), fmtU(pt.FlushMsgs), fmtF(pt.MeanSuppressMs),
+			fmtF(pt.DetectMs), fmtF(pt.RecoveryMs), fmtF(pt.HeartbeatsPerSec),
+		})
+	}
+	return t
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"catocs/internal/detect"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// E8 — RPC deadlock detection (§4.2, Appendix 9.2). The same RPC
+// workload, with a deadlock cycle injected at a known time, is run
+// under both detectors:
+//
+//   - van Renesse: every RPC invocation and return is causally
+//     multicast to a group of all workers plus the monitor — 2 causal
+//     multicasts per RPC, each fanning out to the whole group.
+//   - instance-id: each worker tracks its local augmented wait-for
+//     edges and periodically sends them (one plain message, sequence-
+//     numbered) to the monitor.
+//
+// Measured: detection-machinery messages, detection latency from cycle
+// formation, and false deadlocks (must be zero in both).
+
+// rpcOp is one scripted event.
+type rpcOp struct {
+	at     time.Duration
+	ret    bool
+	caller detect.Instance
+	callee detect.Instance
+}
+
+// e8Workload builds a background RPC script plus a deadlock cycle of
+// cycleLen workers formed at cycleAt.
+func e8Workload(procs, rpcs int, cycleLen int, cycleAt time.Duration, seed int64) (ops []rpcOp, formed time.Duration) {
+	rng := rand.New(rand.NewSource(seed))
+	nextInst := make([]int, procs)
+	name := func(p int) string { return string(rune('A' + p)) }
+	inst := func(p int) detect.Instance {
+		nextInst[p]++
+		return detect.Instance{Proc: name(p), ID: nextInst[p]}
+	}
+	for i := 0; i < rpcs; i++ {
+		caller := rng.Intn(procs)
+		callee := rng.Intn(procs)
+		if callee == caller {
+			callee = (callee + 1) % procs
+		}
+		at := time.Duration(rng.Intn(int(cycleAt/time.Millisecond))) * time.Millisecond
+		dur := time.Duration(10+rng.Intn(20)) * time.Millisecond
+		ci, ce := inst(caller), inst(callee)
+		ops = append(ops, rpcOp{at: at, caller: ci, callee: ce})
+		ops = append(ops, rpcOp{at: at + dur, ret: true, caller: ci, callee: ce})
+	}
+	// The cycle: worker p invokes worker p+1, none return.
+	var cycleInsts []detect.Instance
+	for p := 0; p < cycleLen; p++ {
+		cycleInsts = append(cycleInsts, inst(p))
+	}
+	for p := 0; p < cycleLen; p++ {
+		at := cycleAt + time.Duration(p)*2*time.Millisecond
+		ops = append(ops, rpcOp{at: at, caller: cycleInsts[p], callee: cycleInsts[(p+1)%cycleLen]})
+		if at > formed {
+			formed = at
+		}
+	}
+	return ops, formed
+}
+
+// E8Point is one run's comparison.
+type E8Point struct {
+	Procs, RPCs int
+	// Van Renesse detector.
+	VRMsgs     uint64
+	VRDetectMs float64
+	VRDetected bool
+	VRFalse    int
+	// Instance-id detector.
+	STMsgs     uint64
+	STDetectMs float64
+	STDetected bool
+	STFalse    int
+}
+
+// RunE8 runs both detectors on the same workload.
+func RunE8(procs, rpcs int, reportEvery time.Duration, seed int64) E8Point {
+	cycleAt := 150 * time.Millisecond
+	ops, formed := e8Workload(procs, rpcs, 3, cycleAt, seed)
+	horizon := cycleAt + 600*time.Millisecond
+	pt := E8Point{Procs: procs, RPCs: rpcs}
+
+	// --- van Renesse mode -------------------------------------------
+	{
+		k := sim.NewKernel(seed)
+		k.SetEventLimit(100_000_000)
+		net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+		nodes := make([]transport.NodeID, procs+1)
+		for i := range nodes {
+			nodes[i] = transport.NodeID(i)
+		}
+		mon := detect.NewEventMonitor()
+		var detectedAt time.Duration
+		var members []*multicast.Member
+		members = multicast.NewGroup(net, nodes,
+			multicast.Config{Group: "e8vr", Ordering: multicast.Causal},
+			func(rank vclock.ProcessID) multicast.DeliverFunc {
+				if int(rank) != procs {
+					return nil // workers consume nothing
+				}
+				return func(d multicast.Delivered) {
+					ev, ok := d.Payload.(detect.RPCEvent)
+					if !ok {
+						return
+					}
+					mon.Observe(ev)
+					if cyc := mon.Deadlock(); cyc != nil {
+						if k.Now() < formed {
+							pt.VRFalse++
+						} else if detectedAt == 0 {
+							detectedAt = k.Now()
+						}
+					}
+				}
+			})
+		procOf := func(in detect.Instance) int { return int(in.Proc[0] - 'A') }
+		for _, op := range ops {
+			op := op
+			k.At(op.at, func() {
+				ev := detect.RPCEvent{Caller: op.caller, Callee: op.callee}
+				sender := procOf(op.caller)
+				if op.ret {
+					ev.Kind = detect.Return
+					sender = procOf(op.callee)
+				} else {
+					ev.Kind = detect.Invoke
+				}
+				members[sender].Multicast(ev, 32)
+			})
+		}
+		k.RunUntil(horizon)
+		for _, m := range members {
+			m.Close()
+		}
+		pt.VRMsgs = net.Stats().Sent
+		if detectedAt > 0 {
+			pt.VRDetected = true
+			pt.VRDetectMs = float64((detectedAt - formed).Microseconds()) / 1000.0
+		}
+	}
+
+	// --- instance-id mode ---------------------------------------------
+	{
+		k := sim.NewKernel(seed)
+		k.SetEventLimit(100_000_000)
+		net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+		monNode := transport.NodeID(procs)
+		mon := detect.NewStateMonitor()
+		var detectedAt time.Duration
+		net.Register(monNode, func(_ transport.NodeID, payload any) {
+			r, ok := payload.(detect.Report)
+			if !ok {
+				return
+			}
+			mon.Observe(r)
+			if cyc := mon.Deadlock(); cyc != nil {
+				if k.Now() < formed {
+					pt.STFalse++
+				} else if detectedAt == 0 {
+					detectedAt = k.Now()
+				}
+			}
+		})
+		// Workers: local wait sets updated by the script; periodic
+		// reports to the monitor.
+		type worker struct {
+			waits map[detect.Edge]bool
+			seq   uint64
+		}
+		workers := make([]*worker, procs)
+		for i := range workers {
+			workers[i] = &worker{waits: make(map[detect.Edge]bool)}
+		}
+		procOf := func(in detect.Instance) int { return int(in.Proc[0] - 'A') }
+		for _, op := range ops {
+			op := op
+			k.At(op.at, func() {
+				w := workers[procOf(op.caller)]
+				e := detect.Edge{From: op.caller, To: op.callee}
+				if op.ret {
+					delete(w.waits, e)
+				} else {
+					w.waits[e] = true
+				}
+			})
+		}
+		var tick func(p int)
+		stopped := false
+		tick = func(p int) {
+			if stopped {
+				return
+			}
+			w := workers[p]
+			w.seq++
+			var edges []detect.Edge
+			for e := range w.waits {
+				edges = append(edges, e)
+			}
+			net.Send(transport.NodeID(p), monNode,
+				detect.Report{Proc: string(rune('A' + p)), Seq: w.seq, Edges: edges})
+			k.After(reportEvery, func() { tick(p) })
+		}
+		for p := 0; p < procs; p++ {
+			p := p
+			k.At(time.Duration(p)*time.Millisecond, func() { tick(p) })
+		}
+		k.At(horizon, func() { stopped = true })
+		k.RunUntil(horizon)
+		pt.STMsgs = net.Stats().Sent
+		if detectedAt > 0 {
+			pt.STDetected = true
+			pt.STDetectMs = float64((detectedAt - formed).Microseconds()) / 1000.0
+		}
+	}
+	return pt
+}
+
+// TableE8 sweeps worker count.
+func TableE8(procCounts []int, rpcs int, seed int64) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "RPC deadlock detection: causal multicast (van Renesse) vs instance-id reports (Appendix 9.2)",
+		Claim: "2 causal multicasts per RPC to everyone is prohibitive for detecting an infrequent event; periodic wait-for reports are as simple, cheaper, and handle multi-threaded processes",
+		Headers: []string{"workers", "RPCs", "vR msgs", "vR detect ms", "inst-id msgs", "inst-id detect ms",
+			"msg ratio", "false deadlocks"},
+	}
+	for _, p := range procCounts {
+		pt := RunE8(p, rpcs, 25*time.Millisecond, seed)
+		ratio := "n/a"
+		if pt.STMsgs > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(pt.VRMsgs)/float64(pt.STMsgs))
+		}
+		det := func(ok bool, ms float64) string {
+			if !ok {
+				return "MISSED"
+			}
+			return fmtF(ms)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtI(pt.Procs), fmtI(pt.RPCs),
+			fmtU(pt.VRMsgs), det(pt.VRDetected, pt.VRDetectMs),
+			fmtU(pt.STMsgs), det(pt.STDetected, pt.STDetectMs),
+			ratio, fmtI(pt.VRFalse + pt.STFalse),
+		})
+	}
+	return t
+}

@@ -1,0 +1,307 @@
+package group
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// harness assembles a group with monitors on a simulated network.
+type harness struct {
+	k        *sim.Kernel
+	net      *transport.SimNet
+	mux      *transport.Mux
+	members  []*multicast.Member
+	monitors []*Monitor
+	delivers [][]any
+}
+
+func newHarness(t *testing.T, n int, seed int64, link transport.LinkConfig, mcfg multicast.Config, gcfg Config) *harness {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(10_000_000)
+	net := transport.NewSimNet(k, link)
+	mux := transport.NewMux(net)
+	h := &harness{k: k, net: net, mux: mux, delivers: make([][]any, n)}
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	h.members = multicast.NewGroup(mux, nodes, mcfg, func(rank vclock.ProcessID) multicast.DeliverFunc {
+		return func(d multicast.Delivered) {
+			h.delivers[rank] = append(h.delivers[rank], d.Payload)
+		}
+	})
+	h.monitors = make([]*Monitor, n)
+	for i, m := range h.members {
+		h.monitors[i] = NewMonitor(mux, m, mcfg.Group, gcfg)
+	}
+	return h
+}
+
+func (h *harness) start() {
+	for _, m := range h.monitors {
+		m.Start()
+	}
+}
+
+func (h *harness) stopAll() {
+	for _, m := range h.monitors {
+		m.Stop()
+	}
+	for _, m := range h.members {
+		m.Close()
+	}
+}
+
+func TestStableGroupNoViewChange(t *testing.T) {
+	h := newHarness(t, 4, 1, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+	h.k.RunUntil(500 * time.Millisecond)
+	for i, m := range h.monitors {
+		if m.Stats.ViewChanges.Value() != 0 {
+			t.Fatalf("monitor %d ran a view change in a healthy group", i)
+		}
+		if len(m.Suspected()) != 0 {
+			t.Fatalf("monitor %d suspects %v in a healthy group", i, m.Suspected())
+		}
+	}
+	h.stopAll()
+}
+
+func TestCrashTriggersViewChange(t *testing.T) {
+	h := newHarness(t, 4, 2, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+	h.k.At(100*time.Millisecond, func() {
+		h.net.Crash(3)
+		h.monitors[3].Stop()
+		h.members[3].Close()
+	})
+	h.k.RunUntil(time.Second)
+	for i := 0; i < 3; i++ {
+		if h.members[i].Epoch() != 1 {
+			t.Fatalf("survivor %d epoch = %d, want 1", i, h.members[i].Epoch())
+		}
+		if h.members[i].GroupSize() != 3 {
+			t.Fatalf("survivor %d group size = %d, want 3", i, h.members[i].GroupSize())
+		}
+		if h.monitors[i].Stats.ViewChanges.Value() != 1 {
+			t.Fatalf("survivor %d view changes = %d", i, h.monitors[i].Stats.ViewChanges.Value())
+		}
+		if h.members[i].Suppressed() {
+			t.Fatalf("survivor %d still suppressed after view change", i)
+		}
+	}
+	h.stopAll()
+}
+
+func TestCoordinatorCrashHandledByNextRank(t *testing.T) {
+	// Crash rank 0 (the would-be coordinator): rank 1 must coordinate.
+	h := newHarness(t, 4, 3, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+	h.k.At(100*time.Millisecond, func() {
+		h.net.Crash(0)
+		h.monitors[0].Stop()
+		h.members[0].Close()
+	})
+	h.k.RunUntil(time.Second)
+	for i := 1; i < 4; i++ {
+		if h.members[i].Epoch() != 1 {
+			t.Fatalf("survivor %d epoch = %d, want 1", i, h.members[i].Epoch())
+		}
+	}
+	// Old rank 1 becomes new rank 0.
+	if h.members[1].Rank() != 0 {
+		t.Fatalf("member 1 new rank = %d, want 0", h.members[1].Rank())
+	}
+	h.stopAll()
+}
+
+func TestVirtualSynchronyFillsMissedMessages(t *testing.T) {
+	// A message reaches some survivors but not others before the sender
+	// crashes; the flush must equalize delivery before the new view.
+	h := newHarness(t, 4, 4, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true, AckInterval: time.Hour}, Config{})
+	h.start()
+	h.k.At(50*time.Millisecond, func() {
+		// Member 3 is unreachable from member 0 only: message delivered
+		// at 0,1,2 but not 3... we model it the other way: block link
+		// 0 -> 3 so member 3 misses the message.
+		h.net.SetLink(0, 3, transport.LinkConfig{LossProb: 1.0})
+		h.members[0].Multicast("must-survive", 1)
+	})
+	h.k.At(60*time.Millisecond, func() {
+		// Sender crashes; only members 1,2 hold the message unstably.
+		h.net.Crash(0)
+		h.monitors[0].Stop()
+		h.members[0].Close()
+	})
+	h.k.RunUntil(2 * time.Second)
+	for i := 1; i < 4; i++ {
+		found := false
+		for _, p := range h.delivers[i] {
+			if p == "must-survive" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("survivor %d missing the flushed message: %v", i, h.delivers[i])
+		}
+	}
+	h.stopAll()
+}
+
+func TestPostViewTrafficFlows(t *testing.T) {
+	h := newHarness(t, 3, 5, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+	h.k.At(50*time.Millisecond, func() {
+		h.net.Crash(2)
+		h.monitors[2].Stop()
+		h.members[2].Close()
+	})
+	sent := false
+	h.monitors[0].OnView = func(epoch uint64, _ []transport.NodeID) {
+		if !sent {
+			sent = true
+			h.members[0].Multicast("new-view-msg", 1)
+		}
+	}
+	h.k.RunUntil(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		found := false
+		for _, p := range h.delivers[i] {
+			if p == "new-view-msg" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("survivor %d missing post-view message: %v", i, h.delivers[i])
+		}
+	}
+	h.stopAll()
+}
+
+func TestSuppressionMeasured(t *testing.T) {
+	h := newHarness(t, 4, 6, transport.LinkConfig{BaseDelay: 2 * time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+	h.k.At(50*time.Millisecond, func() {
+		h.net.Crash(3)
+		h.monitors[3].Stop()
+		h.members[3].Close()
+	})
+	h.k.RunUntil(time.Second)
+	for i := 0; i < 3; i++ {
+		st := &h.monitors[i].Stats
+		if st.SuppressTime.Count() != 1 {
+			t.Fatalf("survivor %d suppression samples = %d", i, st.SuppressTime.Count())
+		}
+		if st.SuppressTime.Mean() <= 0 {
+			t.Fatalf("survivor %d suppression = %v, want > 0", i, st.SuppressTime.Mean())
+		}
+	}
+	h.stopAll()
+}
+
+func TestFlushMessageCountScalesWithGroup(t *testing.T) {
+	// E7's shape in miniature: total flush messages grow with N.
+	costs := map[int]uint64{}
+	for _, n := range []int{3, 6, 9} {
+		h := newHarness(t, n, 7, transport.LinkConfig{BaseDelay: time.Millisecond},
+			multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+		h.start()
+		h.k.At(50*time.Millisecond, func() {
+			last := n - 1
+			h.net.Crash(transport.NodeID(last))
+			h.monitors[last].Stop()
+			h.members[last].Close()
+		})
+		h.k.RunUntil(time.Second)
+		var total uint64
+		for i := 0; i < n-1; i++ {
+			if h.members[i].Epoch() != 1 {
+				t.Fatalf("n=%d survivor %d missed view change", n, i)
+			}
+			total += h.monitors[i].Stats.FlushMsgs.Value()
+		}
+		costs[n] = total
+		h.stopAll()
+	}
+	if !(costs[3] < costs[6] && costs[6] < costs[9]) {
+		t.Fatalf("flush cost not increasing with group size: %v", costs)
+	}
+}
+
+func TestTwoSimultaneousCrashes(t *testing.T) {
+	h := newHarness(t, 5, 8, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+	h.k.At(50*time.Millisecond, func() {
+		for _, victim := range []int{3, 4} {
+			h.net.Crash(transport.NodeID(victim))
+			h.monitors[victim].Stop()
+			h.members[victim].Close()
+		}
+	})
+	h.k.RunUntil(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		if h.members[i].GroupSize() != 3 {
+			t.Fatalf("survivor %d group size = %d, want 3 (got epoch %d)", i, h.members[i].GroupSize(), h.members[i].Epoch())
+		}
+	}
+	h.stopAll()
+}
+
+func TestHeartbeatTrafficCounted(t *testing.T) {
+	h := newHarness(t, 3, 9, transport.LinkConfig{}, multicast.Config{Group: "g", Ordering: multicast.FIFO}, Config{HeartbeatInterval: 10 * time.Millisecond})
+	h.start()
+	h.k.RunUntil(200 * time.Millisecond)
+	for i, m := range h.monitors {
+		if m.Stats.Heartbeats.Value() == 0 {
+			t.Fatalf("monitor %d sent no heartbeats", i)
+		}
+	}
+	h.stopAll()
+}
+
+func TestMonitorString(t *testing.T) {
+	h := newHarness(t, 2, 1, transport.LinkConfig{}, multicast.Config{Group: "g", Ordering: multicast.FIFO}, Config{})
+	s := h.monitors[0].String()
+	if s == "" {
+		t.Fatal("empty monitor string")
+	}
+	_ = fmt.Sprintf("%v", h.monitors[0])
+	h.stopAll()
+}
+
+func TestApproxSizesGroup(t *testing.T) {
+	if (Heartbeat{}).ApproxSize() <= 0 {
+		t.Fatal("heartbeat size")
+	}
+	if (FlushReq{Survivors: []vclock.ProcessID{0, 1}}).ApproxSize() != 40 {
+		t.Fatal("flushreq size")
+	}
+	fs := FlushState{Delivered: vclock.New(2), Unstable: []*multicast.DataMsg{{PayloadSize: 10}}}
+	if fs.ApproxSize() <= 40 {
+		t.Fatal("flushstate size should include unstable payloads")
+	}
+	if (NewView{Nodes: []transport.NodeID{1, 2, 3}}).ApproxSize() != 48 {
+		t.Fatal("newview size")
+	}
+	ff := FlushFill{Msgs: []*multicast.DataMsg{{PayloadSize: 4}}}
+	if ff.ApproxSize() <= 16 {
+		t.Fatal("flushfill size")
+	}
+	if (FlushDone{}).ApproxSize() <= 0 {
+		t.Fatal("flushdone size")
+	}
+}

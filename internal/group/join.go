@@ -1,0 +1,118 @@
+package group
+
+import (
+	"time"
+
+	"catocs/internal/multicast"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// Join protocol: a new process asks any current member to admit it.
+// The request is forwarded to the coordinator (lowest live rank),
+// which runs the same virtually synchronous flush used for failures —
+// survivors agree on the old view's delivery set — and then announces
+// a new view that includes the joiner. The joiner starts in the new
+// epoch with no old-view messages; transferring application state to
+// a joiner is an application-level concern (the paper's position,
+// §4.4: recovery and reconciliation dominate and sit outside the
+// CATOCS layer anyway).
+
+// JoinReq asks for admission to the group.
+type JoinReq struct {
+	Group string
+	Node  transport.NodeID
+}
+
+// ApproxSize implements transport.Sizer.
+func (JoinReq) ApproxSize() int { return 24 }
+
+// Joiner runs the joining side. Create it with NewJoiner, call Start,
+// and receive the ready member from OnJoined once the coordinator's
+// NewView arrives.
+type Joiner struct {
+	net       transport.Network
+	node      transport.NodeID
+	contact   transport.NodeID
+	groupName string
+	mcfg      multicast.Config
+	deliver   multicast.DeliverFunc
+
+	// OnJoined fires once with the new, view-installed member.
+	OnJoined func(*multicast.Member)
+	// RetryEvery re-sends the join request until admitted (default
+	// 50ms).
+	RetryEvery time.Duration
+
+	started bool
+	done    bool
+}
+
+// NewJoiner prepares a join via the given contact member's node. net
+// must be a Mux when the node will also host a Monitor afterwards.
+func NewJoiner(net transport.Network, node, contact transport.NodeID, groupName string, mcfg multicast.Config, deliver multicast.DeliverFunc) *Joiner {
+	j := &Joiner{
+		net:       net,
+		node:      node,
+		contact:   contact,
+		groupName: groupName,
+		mcfg:      mcfg,
+		deliver:   deliver,
+	}
+	net.Register(node, j.handle)
+	return j
+}
+
+func (j *Joiner) retryEvery() time.Duration {
+	if j.RetryEvery > 0 {
+		return j.RetryEvery
+	}
+	return 50 * time.Millisecond
+}
+
+// Start begins requesting admission.
+func (j *Joiner) Start() {
+	if j.started {
+		return
+	}
+	j.started = true
+	j.ask()
+}
+
+func (j *Joiner) ask() {
+	if j.done {
+		return
+	}
+	j.net.Send(j.node, j.contact, JoinReq{Group: j.groupName, Node: j.node})
+	j.net.After(j.retryEvery(), j.ask)
+}
+
+// Done reports whether the join completed.
+func (j *Joiner) Done() bool { return j.done }
+
+// handle waits for the admitting NewView.
+func (j *Joiner) handle(_ transport.NodeID, payload any) {
+	if j.done {
+		return
+	}
+	nv, ok := payload.(*NewView)
+	if !ok || nv.Group != j.groupName {
+		return
+	}
+	rank := -1
+	for i, n := range nv.Nodes {
+		if n == j.node {
+			rank = i
+			break
+		}
+	}
+	if rank < 0 {
+		return // a view change that did not admit us; keep retrying
+	}
+	j.done = true
+	m := multicast.NewMember(j.net, nv.Nodes, vclock.ProcessID(rank), j.mcfg, j.deliver)
+	m.InstallView(nv.Nodes, vclock.ProcessID(rank), nv.NewEpoch)
+	if j.OnJoined != nil {
+		j.OnJoined(m)
+	}
+}

@@ -1,0 +1,149 @@
+package group
+
+import (
+	"testing"
+	"time"
+
+	"catocs/internal/multicast"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+func TestJoinExpandsGroup(t *testing.T) {
+	h := newHarness(t, 3, 1, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+
+	mcfg := multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}
+	var joinedMember *multicast.Member
+	var joinedDeliveries []any
+	j := NewJoiner(h.mux, 10, 1 /* contact a non-coordinator */, "g", mcfg,
+		func(d multicast.Delivered) { joinedDeliveries = append(joinedDeliveries, d.Payload) })
+	var joinerMon *Monitor
+	j.OnJoined = func(m *multicast.Member) {
+		joinedMember = m
+		joinerMon = NewMonitor(h.mux, m, "g", Config{})
+		joinerMon.Start()
+	}
+	h.k.At(50*time.Millisecond, func() { j.Start() })
+	h.k.RunUntil(time.Second)
+
+	if joinedMember == nil {
+		t.Fatal("join never completed")
+	}
+	if joinedMember.GroupSize() != 4 || joinedMember.Rank() != 3 {
+		t.Fatalf("joiner view: size=%d rank=%d", joinedMember.GroupSize(), joinedMember.Rank())
+	}
+	for i := 0; i < 3; i++ {
+		if h.members[i].GroupSize() != 4 {
+			t.Fatalf("existing member %d view size = %d", i, h.members[i].GroupSize())
+		}
+		if h.members[i].Epoch() != joinedMember.Epoch() {
+			t.Fatalf("epoch mismatch: member %d at %d, joiner at %d", i, h.members[i].Epoch(), joinedMember.Epoch())
+		}
+	}
+
+	// Traffic flows to and from the joiner in the new view.
+	h.k.At(h.k.Now()+10*time.Millisecond, func() {
+		h.members[0].Multicast("welcome", 8)
+		joinedMember.Multicast("hello-from-joiner", 8)
+	})
+	h.k.RunUntil(h.k.Now() + time.Second)
+
+	found := map[string]bool{}
+	for _, p := range joinedDeliveries {
+		found[p.(string)] = true
+	}
+	if !found["welcome"] || !found["hello-from-joiner"] {
+		t.Fatalf("joiner deliveries incomplete: %v", joinedDeliveries)
+	}
+	for i := 0; i < 3; i++ {
+		got := false
+		for _, p := range h.delivers[i] {
+			if p == "hello-from-joiner" {
+				got = true
+			}
+		}
+		if !got {
+			t.Fatalf("member %d missed the joiner's multicast: %v", i, h.delivers[i])
+		}
+	}
+	if joinerMon != nil {
+		joinerMon.Stop()
+	}
+	if joinedMember != nil {
+		joinedMember.Close()
+	}
+	h.stopAll()
+}
+
+func TestJoinRetriesUntilAdmitted(t *testing.T) {
+	// The contact is briefly unreachable; retries must succeed later.
+	h := newHarness(t, 2, 2, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+	j := NewJoiner(h.mux, 10, 0, "g",
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true},
+		func(multicast.Delivered) {})
+	joined := false
+	j.OnJoined = func(m *multicast.Member) {
+		joined = true
+		m.Close()
+	}
+	h.net.Crash(10) // joiner's own node unreachable: requests dropped
+	h.k.At(20*time.Millisecond, func() { j.Start() })
+	h.k.At(200*time.Millisecond, func() { h.net.Recover(10) })
+	h.k.RunUntil(time.Second)
+	if !joined {
+		t.Fatal("join did not complete after recovery")
+	}
+	h.stopAll()
+}
+
+func TestJoinDuringCrashBothHandled(t *testing.T) {
+	// A member crashes and a joiner arrives around the same time; the
+	// membership layer must converge on a view with the survivor set
+	// plus the joiner.
+	h := newHarness(t, 3, 3, transport.LinkConfig{BaseDelay: time.Millisecond},
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}, Config{})
+	h.start()
+	var joinedMember *multicast.Member
+	var joinedMon *Monitor
+	j := NewJoiner(h.mux, 10, 0, "g",
+		multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true},
+		func(multicast.Delivered) {})
+	j.OnJoined = func(m *multicast.Member) {
+		joinedMember = m
+		joinedMon = NewMonitor(h.mux, m, "g", Config{})
+		joinedMon.Start()
+	}
+	h.k.At(30*time.Millisecond, func() {
+		h.net.Crash(2)
+		h.monitors[2].Stop()
+		h.members[2].Close()
+	})
+	h.k.At(35*time.Millisecond, func() { j.Start() })
+	h.k.RunUntil(2 * time.Second)
+	if joinedMember == nil {
+		t.Fatal("join never completed")
+	}
+	// Final view: members 0, 1 plus the joiner = 3.
+	if got := h.members[0].GroupSize(); got != 3 {
+		t.Fatalf("final view size = %d, want 3", got)
+	}
+	if h.members[0].Epoch() != joinedMember.Epoch() || h.members[1].Epoch() != joinedMember.Epoch() {
+		t.Fatalf("epochs diverged: %d %d %d", h.members[0].Epoch(), h.members[1].Epoch(), joinedMember.Epoch())
+	}
+	if joinedMon != nil {
+		joinedMon.Stop()
+	}
+	joinedMember.Close()
+	h.stopAll()
+}
+
+func TestJoinReqSize(t *testing.T) {
+	if (JoinReq{}).ApproxSize() <= 0 {
+		t.Fatal("join req size")
+	}
+	_ = vclock.ProcessID(0)
+}

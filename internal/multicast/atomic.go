@@ -1,0 +1,313 @@
+package multicast
+
+import (
+	"sort"
+
+	"catocs/internal/stability"
+	"catocs/internal/vclock"
+)
+
+// This file implements atomic delivery: buffer every message until it
+// is stable (known delivered everywhere), acknowledge delivered clocks
+// so the stability frontier advances, and recover lost messages by
+// negative acknowledgement and retransmission from any member's
+// unstable buffer.
+//
+// The paper's §2 observes that without atomicity, the loss of one
+// message can transitively suppress delivery of unboundedly many
+// causal successors; with it, every member pays the buffering cost §5
+// analyses. Both behaviours are measurable here: run a lossy causal
+// group with Atomic=false and delivery stalls; with Atomic=true it
+// recovers, and the Stability tracker reports the buffer occupancy the
+// recovery capability costs.
+
+// observeStability merges a peer's delivered clock into the matrix and
+// evicts newly stable messages.
+func (m *Member) observeStability(p vclock.ProcessID, delivered vclock.VC) {
+	if m.stab == nil {
+		return
+	}
+	m.stab.ObserveAck(p, delivered)
+}
+
+// armAck schedules a delivered-clock broadcast if one is not already
+// scheduled. Acks are event-driven rather than free-running so that a
+// quiescent group schedules no events and the simulation terminates.
+func (m *Member) armAck() {
+	if m.ackArmed || m.closed || m.stab == nil {
+		return
+	}
+	m.ackArmed = true
+	m.net.After(m.cfg.ackInterval(), m.fireAck)
+}
+
+// fireAck broadcasts this member's delivered clock and re-arms while
+// unstable messages remain buffered.
+func (m *Member) fireAck() {
+	m.ackArmed = false
+	if m.closed || m.stab == nil {
+		return
+	}
+	// Merge our own row first: our stability clock is authoritative for
+	// ourselves.
+	m.stab.ObserveAck(m.rank, m.stabilityClock())
+	ack := &AckMsg{Group: m.cfg.Group, Epoch: m.epoch, From: m.rank, Delivered: m.stabilityClock().Clone()}
+	for r := range m.nodes {
+		if vclock.ProcessID(r) == m.rank {
+			continue
+		}
+		m.CtrlMsgs.Inc()
+		m.send(vclock.ProcessID(r), ack)
+	}
+	if m.stab.Occupancy() > 0 {
+		m.armAck()
+	}
+}
+
+// onAck merges a peer's delivered clock. An ack showing that the peer
+// has delivered messages we have neither delivered nor buffered is the
+// only evidence of a lost message with no causal successor, so it arms
+// the NACK path.
+func (m *Member) onAck(a *AckMsg) {
+	m.observeStability(a.From, a.Delivered)
+	if m.known != nil {
+		m.known.Merge(a.Delivered)
+		if len(m.missingSet()) > 0 {
+			m.armNack()
+		}
+	}
+}
+
+// armNack schedules a gap check if none is pending.
+func (m *Member) armNack() {
+	if m.nackArmed || m.closed || m.stab == nil {
+		return
+	}
+	m.nackArmed = true
+	m.net.After(m.cfg.nackDelay(), m.fireNack)
+}
+
+// fireNack computes the set of messages the holdback queue is waiting
+// on and requests retransmission. The first attempts go to each
+// missing message's original sender; persistent misses rotate through
+// other members, which works because atomic mode buffers unstable
+// messages everywhere (the property §5 charges the quadratic buffering
+// bill for).
+func (m *Member) fireNack() {
+	m.nackArmed = false
+	if m.closed || m.stab == nil {
+		return
+	}
+	m.fireOrderNack()
+	missing := m.missingSet()
+	if len(missing) == 0 {
+		if len(m.pending) == 0 && len(m.dataByID) == 0 {
+			m.nackRetries = make(map[MsgID]int)
+			return
+		}
+		// Undelivered backlog with nothing data-missing: either about
+		// to drain, or waiting on order assignments (handled by
+		// fireOrderNack); re-check later.
+		m.armNack()
+		return
+	}
+	want := make(map[vclock.ProcessID][]MsgID)
+	for _, id := range missing {
+		retries := m.nackRetries[id]
+		m.nackRetries[id] = retries + 1
+		target := id.Sender
+		if retries >= 2 {
+			// Rotate through other ranks, skipping ourselves.
+			target = vclock.ProcessID((int(id.Sender) + retries - 1) % len(m.nodes))
+			if target == m.rank {
+				target = vclock.ProcessID((int(target) + 1) % len(m.nodes))
+			}
+		}
+		want[target] = append(want[target], id)
+	}
+	targets := make([]vclock.ProcessID, 0, len(want))
+	for target := range want {
+		targets = append(targets, target)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, target := range targets {
+		ids := want[target]
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].Sender != ids[j].Sender {
+				return ids[i].Sender < ids[j].Sender
+			}
+			return ids[i].Seq < ids[j].Seq
+		})
+		m.CtrlMsgs.Inc()
+		m.send(target, &NackMsg{Group: m.cfg.Group, Epoch: m.epoch, From: m.rank, Want: ids})
+	}
+	m.armNack()
+}
+
+// missingSet returns the ids of messages known to exist that this
+// member has neither delivered nor buffered in its holdback queue,
+// deduplicated and sorted. Two sources of evidence feed it: the
+// dependency stamps of pending (undeliverable) messages, and the
+// per-sender "known sent" frontier learned from acks — the latter
+// catches a lost message with no successors.
+func (m *Member) missingSet() []MsgID {
+	seen := make(map[MsgID]bool)
+	var out []MsgID
+	add := func(id MsgID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	if m.known != nil {
+		switch m.cfg.Ordering {
+		case TotalSeq, TotalCausal:
+			// Total modes deliver across per-sender order, so the
+			// delivered clock is a max, not a count: check each known
+			// sequence individually against the delivered set and the
+			// arrival buffer.
+			for s := range m.known {
+				sender := vclock.ProcessID(s)
+				for seq := uint64(1); seq <= m.known.Get(sender); seq++ {
+					id := MsgID{Sender: sender, Seq: seq}
+					if m.deliveredIDs[id] {
+						continue
+					}
+					if _, arrived := m.dataByID[id]; arrived {
+						continue
+					}
+					add(id)
+				}
+			}
+		default:
+			for s := range m.known {
+				sender := vclock.ProcessID(s)
+				for seq := m.delivered.Get(sender) + 1; seq <= m.known.Get(sender); seq++ {
+					id := MsgID{Sender: sender, Seq: seq}
+					if _, held := m.pending[id]; held {
+						continue
+					}
+					add(id)
+				}
+			}
+		}
+	}
+	for _, msg := range m.pending {
+		switch m.cfg.Ordering {
+		case Causal:
+			for _, st := range m.delivered.Missing(msg.VC, msg.Sender) {
+				id := MsgID{Sender: st.Proc, Seq: st.Time}
+				if _, held := m.pending[id]; held {
+					continue // already arrived, just undeliverable itself
+				}
+				add(id)
+			}
+		case FIFO:
+			for s := m.delivered.Get(msg.Sender) + 1; s < msg.Seq; s++ {
+				id := MsgID{Sender: msg.Sender, Seq: s}
+				if _, held := m.pending[id]; held {
+					continue
+				}
+				add(id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sender != out[j].Sender {
+			return out[i].Sender < out[j].Sender
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// fireOrderNack (total modes) asks the sequencer to resend lost order
+// assignments: positions between the delivery frontier and the highest
+// seen, plus positions for arrived-but-unordered data.
+func (m *Member) fireOrderNack() {
+	if m.cfg.Ordering != TotalSeq && m.cfg.Ordering != TotalCausal {
+		return
+	}
+	if m.rank == m.cfg.SequencerRank {
+		return // the sequencer is the source of truth
+	}
+	var want []MsgID
+	for id := range m.dataByID {
+		if !m.orderKnown[id] {
+			want = append(want, id)
+		}
+	}
+	_, haveNext := m.orderOf[m.nextGlobal]
+	gap := m.nextGlobal <= m.maxGlobalSeen && !haveNext
+	if len(want) == 0 && !gap {
+		return
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].Sender != want[j].Sender {
+			return want[i].Sender < want[j].Sender
+		}
+		return want[i].Seq < want[j].Seq
+	})
+	m.CtrlMsgs.Inc()
+	m.send(m.cfg.SequencerRank, &OrderNack{
+		Group: m.cfg.Group, Epoch: m.epoch, From: m.rank,
+		FromGlobal: m.nextGlobal, Want: want,
+	})
+}
+
+// onOrderNack (sequencer) resends assignments from its log. A
+// requested id the sequencer has never assigned means the sequencer
+// itself missed that data (the requester evidently holds it, having
+// named it), so the sequencer asks the requester for a data
+// retransmission — closing the loop when the loss hit the
+// sequencer-bound copy.
+func (m *Member) onOrderNack(n *OrderNack) {
+	if m.assignedByID == nil {
+		return
+	}
+	resend := func(global uint64, id MsgID) {
+		m.CtrlMsgs.Inc()
+		m.send(n.From, &OrderMsg{Group: m.cfg.Group, Epoch: m.epoch, GlobalSeq: global, ID: id})
+	}
+	for g := n.FromGlobal; g <= m.seqCounter; g++ {
+		if id, ok := m.assignedAt[g]; ok {
+			resend(g, id)
+		}
+	}
+	var unknown []MsgID
+	for _, id := range n.Want {
+		g, ok := m.assignedByID[id]
+		switch {
+		case ok && g < n.FromGlobal:
+			resend(g, id)
+		case !ok:
+			if _, arrived := m.dataByID[id]; !arrived {
+				unknown = append(unknown, id)
+			}
+		}
+	}
+	if len(unknown) > 0 {
+		m.CtrlMsgs.Inc()
+		m.send(n.From, &NackMsg{Group: m.cfg.Group, Epoch: m.epoch, From: m.rank, Want: unknown})
+	}
+}
+
+// onNack retransmits every requested message still in our unstable
+// buffer back to the requester.
+func (m *Member) onNack(n *NackMsg) {
+	if m.stab == nil {
+		return
+	}
+	for _, id := range n.Want {
+		buffered, ok := m.stab.Get(stability.Key{Sender: id.Sender, Seq: id.Seq})
+		if !ok {
+			continue
+		}
+		data, ok := buffered.(*DataMsg)
+		if !ok {
+			continue
+		}
+		m.CtrlMsgs.Inc()
+		m.send(n.From, &RetransMsg{Group: m.cfg.Group, Epoch: m.epoch, Data: data})
+	}
+}

@@ -1,0 +1,169 @@
+package multicast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// TestFuzzCausalAtomicInvariants drives randomized schedules — group
+// size, traffic pattern, loss rate, jitter all drawn from the seed —
+// and asserts the delivery invariants that define causal atomic
+// multicast:
+//
+//  1. no duplicates: each member delivers each message at most once;
+//  2. per-sender FIFO (implied by causal);
+//  3. causal safety: no member delivers m before a message that
+//     happens-before m;
+//  4. atomic completeness: with retransmission enabled and no crashes,
+//     every member eventually delivers every message.
+func TestFuzzCausalAtomicInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := sim.NewKernel(seed).Rand() // independent param draws
+		n := 2 + rng.Intn(5)
+		msgs := 5 + rng.Intn(20)
+		loss := rng.Float64() * 0.25
+		jitter := time.Duration(rng.Intn(8)) * time.Millisecond
+
+		k := sim.NewKernel(seed * 31)
+		k.SetEventLimit(20_000_000)
+		net := transport.NewSimNet(k, transport.LinkConfig{
+			BaseDelay: time.Millisecond, Jitter: jitter, LossProb: loss,
+		})
+		nodes := make([]transport.NodeID, n)
+		for i := range nodes {
+			nodes[i] = transport.NodeID(i)
+		}
+		type rec struct {
+			id MsgID
+			vc vclock.VC
+		}
+		deliveries := make([][]rec, n)
+		stamps := make(map[MsgID]vclock.VC)
+		var members []*Member
+		members = NewGroup(net, nodes,
+			Config{Group: "fuzz", Ordering: Causal, Atomic: true,
+				AckInterval: 8 * time.Millisecond, NackDelay: 8 * time.Millisecond},
+			func(rank vclock.ProcessID) DeliverFunc {
+				return func(d Delivered) {
+					deliveries[rank] = append(deliveries[rank], rec{id: d.ID, vc: d.VC})
+					// React to base messages only (reactions to
+					// reactions would cascade without bound), building
+					// single-hop causal chains.
+					if s, ok := d.Payload.(string); ok && len(s) > 0 && s[0] == 'm' &&
+						int(d.ID.Seq)%n == int(rank) {
+						id := members[rank].Multicast(fmt.Sprintf("react-%d-%v", rank, d.ID), 8)
+						if (id != MsgID{}) {
+							stamps[id] = members[rank].lastSentVC()
+						}
+					}
+				}
+			})
+		total := 0
+		for i := 0; i < msgs; i++ {
+			i := i
+			s := rng.Intn(n)
+			at := time.Duration(rng.Intn(msgs*4)) * time.Millisecond
+			k.At(at, func() {
+				id := members[s].Multicast(fmt.Sprintf("m%d", i), 8)
+				if (id != MsgID{}) {
+					stamps[id] = members[s].lastSentVC()
+				}
+			})
+			total++
+		}
+		k.RunUntil(time.Duration(msgs*4)*time.Millisecond + 5*time.Second)
+		for _, m := range members {
+			m.Close()
+		}
+
+		want := len(stamps) // base messages + reactions actually sent
+		for r := 0; r < n; r++ {
+			// (1) no duplicates.
+			seen := make(map[MsgID]bool)
+			for _, d := range deliveries[r] {
+				if seen[d.id] {
+					t.Fatalf("seed %d: member %d delivered %v twice", seed, r, d.id)
+				}
+				seen[d.id] = true
+			}
+			// (2) per-sender FIFO.
+			last := make(map[vclock.ProcessID]uint64)
+			for _, d := range deliveries[r] {
+				if d.id.Seq != last[d.id.Sender]+1 {
+					t.Fatalf("seed %d: member %d FIFO violation at %v", seed, r, d.id)
+				}
+				last[d.id.Sender] = d.id.Seq
+			}
+			// (3) causal safety.
+			for i := 0; i < len(deliveries[r]); i++ {
+				for j := i + 1; j < len(deliveries[r]); j++ {
+					a, b := deliveries[r][i], deliveries[r][j]
+					if b.vc.HappensBefore(a.vc) {
+						t.Fatalf("seed %d: member %d delivered %v before its causal predecessor %v",
+							seed, r, a.id, b.id)
+					}
+				}
+			}
+			// (4) completeness.
+			if len(deliveries[r]) != want {
+				t.Fatalf("seed %d (n=%d loss=%.2f): member %d delivered %d of %d",
+					seed, n, loss, r, len(deliveries[r]), want)
+			}
+		}
+	}
+}
+
+// TestFuzzTotalOrderInvariants does the same for the lossy sequencer
+// total orderings: agreement (identical sequences everywhere) and
+// completeness.
+func TestFuzzTotalOrderInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		for _, ord := range []Ordering{TotalSeq, TotalCausal} {
+			rng := sim.NewKernel(seed).Rand()
+			n := 2 + rng.Intn(4)
+			msgs := 5 + rng.Intn(15)
+			loss := rng.Float64() * 0.2
+
+			k := sim.NewKernel(seed * 17)
+			k.SetEventLimit(20_000_000)
+			net := transport.NewSimNet(k, transport.LinkConfig{
+				BaseDelay: time.Millisecond, Jitter: 3 * time.Millisecond, LossProb: loss,
+			})
+			nodes := make([]transport.NodeID, n)
+			for i := range nodes {
+				nodes[i] = transport.NodeID(i)
+			}
+			orders := make([][]MsgID, n)
+			members := NewGroup(net, nodes,
+				Config{Group: "fuzz", Ordering: ord, Atomic: true,
+					AckInterval: 8 * time.Millisecond, NackDelay: 8 * time.Millisecond},
+				func(rank vclock.ProcessID) DeliverFunc {
+					return func(d Delivered) { orders[rank] = append(orders[rank], d.ID) }
+				})
+			for i := 0; i < msgs; i++ {
+				s := rng.Intn(n)
+				at := time.Duration(rng.Intn(msgs*3)) * time.Millisecond
+				k.At(at, func() { members[s].Multicast(i, 8) })
+			}
+			k.RunUntil(time.Duration(msgs*3)*time.Millisecond + 8*time.Second)
+			for _, m := range members {
+				m.Close()
+			}
+			base := fmt.Sprint(orders[0])
+			for r := 0; r < n; r++ {
+				if len(orders[r]) != msgs {
+					t.Fatalf("%v seed %d (n=%d loss=%.2f): member %d delivered %d of %d",
+						ord, seed, n, loss, r, len(orders[r]), msgs)
+				}
+				if fmt.Sprint(orders[r]) != base {
+					t.Fatalf("%v seed %d: order disagreement", ord, seed)
+				}
+			}
+		}
+	}
+}

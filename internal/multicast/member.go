@@ -1,0 +1,731 @@
+package multicast
+
+import (
+	"fmt"
+	"time"
+
+	"catocs/internal/metrics"
+	"catocs/internal/stability"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// Ordering selects the delivery discipline of a group.
+type Ordering int
+
+const (
+	// Unordered delivers on arrival — the UDP-over-IP-multicast
+	// baseline the paper contrasts CATOCS against (§2).
+	Unordered Ordering = iota
+	// FIFO delivers each sender's messages in send order, with no
+	// cross-sender constraints.
+	FIFO
+	// Causal delivers in happens-before order (CBCAST): a message waits
+	// for all its potential causal predecessors.
+	Causal
+	// TotalSeq delivers all messages in one global order assigned by a
+	// fixed sequencer member.
+	TotalSeq
+	// TotalAgree delivers in a global order agreed by the Skeen/ISIS
+	// two-phase priority protocol (no fixed sequencer).
+	TotalAgree
+	// TotalCausal is sequencer-based total order that also respects
+	// happens-before: messages carry causal stamps and the sequencer
+	// assigns positions only in a causally consistent order. This is
+	// the "totally ordered multicast ... commonly in accordance with
+	// the happens-before relationship" the paper assumes (§2); plain
+	// TotalSeq can order m2 before m1 even when m1 happens-before m2,
+	// if m2 reaches the sequencer first.
+	TotalCausal
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Unordered:
+		return "unordered"
+	case FIFO:
+		return "fifo"
+	case Causal:
+		return "causal"
+	case TotalSeq:
+		return "total-seq"
+	case TotalAgree:
+		return "total-agree"
+	case TotalCausal:
+		return "total-causal"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Config parameterizes a group.
+type Config struct {
+	// Group names the group; members ignore traffic for other groups.
+	Group string
+	// Ordering is the delivery discipline.
+	Ordering Ordering
+	// Atomic enables unstable-message buffering, stability tracking via
+	// acks, and NACK-driven retransmission of both data and (for the
+	// sequencer-based total orderings) order assignments. Supported for
+	// FIFO, Causal, TotalSeq, and TotalCausal; TotalAgree assumes
+	// lossless links.
+	Atomic bool
+	// AckInterval is the delay before a member broadcasts its delivered
+	// clock after buffering activity (atomic mode). Zero defaults to
+	// 20ms of network time.
+	AckInterval time.Duration
+	// NackDelay is how long a detected gap may age before the member
+	// requests retransmission (atomic mode). Zero defaults to 25ms.
+	NackDelay time.Duration
+	// SequencerRank selects the sequencer in TotalSeq mode (default
+	// rank 0).
+	SequencerRank vclock.ProcessID
+}
+
+func (c Config) ackInterval() time.Duration {
+	if c.AckInterval > 0 {
+		return c.AckInterval
+	}
+	return 20 * time.Millisecond
+}
+
+func (c Config) nackDelay() time.Duration {
+	if c.NackDelay > 0 {
+		return c.NackDelay
+	}
+	return 25 * time.Millisecond
+}
+
+// Delivered describes one message handed to the application.
+type Delivered struct {
+	ID      MsgID
+	Payload any
+	SentAt  time.Duration
+	At      time.Duration
+	Latency time.Duration
+	// VC is the message's causal dependency stamp (causal ordering
+	// only; nil otherwise). Instrumentation such as the §5 causal-graph
+	// census reads it; applications should not.
+	VC vclock.VC
+}
+
+// DeliverFunc receives ordered deliveries.
+type DeliverFunc func(Delivered)
+
+// Member is one endpoint of a process group. All methods must be
+// called from the network's dispatch context (the simulation kernel or
+// a single driving goroutine); the member performs no locking itself.
+type Member struct {
+	cfg     Config
+	net     transport.Network
+	nodes   []transport.NodeID // rank -> node address
+	rank    vclock.ProcessID
+	epoch   uint64
+	deliver DeliverFunc
+
+	closed     bool
+	suppressed bool
+	outbox     []any // control sends queued while suppressed
+	// pendingMulticasts holds application multicasts issued during
+	// suppression; they are re-issued after Resume so they carry the
+	// new view's epoch rather than dying as stale traffic.
+	pendingMulticasts []pendingMulticast
+
+	// Send side.
+	sendSeq uint64
+
+	// Delivered state: per-sender delivered counts. In causal mode this
+	// is also the CBCAST delivered clock.
+	delivered vclock.VC
+
+	// Holdback for FIFO/causal: undeliverable messages by id.
+	pending map[MsgID]*DataMsg
+
+	// TotalSeq / TotalCausal state.
+	seqCounter uint64           // sequencer only: next global seq to assign
+	orderOf    map[uint64]MsgID // global seq -> message
+	orderKnown map[MsgID]bool   // messages with an assigned position
+	nextGlobal uint64           // next global seq to deliver (1-based)
+	dataByID   map[MsgID]*DataMsg
+	// TotalCausal sequencer state: the causal delay queue the sequencer
+	// runs so assigned positions extend happens-before.
+	seqPending   map[MsgID]*DataMsg
+	seqDelivered vclock.VC
+	// Sequencer's assignment log for order retransmission (atomic
+	// mode). Kept for the epoch; a production implementation would
+	// prune at the stability frontier.
+	assignedByID map[MsgID]uint64
+	assignedAt   map[uint64]MsgID
+	// maxGlobalSeen is the highest global position this member has
+	// learned of, for order-gap detection.
+	maxGlobalSeen uint64
+
+	// TotalAgree state.
+	lamport   vclock.Lamport
+	agree     *agreeQueue
+	proposals map[MsgID]*proposalSet
+
+	// deliveredIDs dedups for modes whose delivery can cross per-sender
+	// sequence order (unordered and the total orders); FIFO/causal
+	// dedup on the delivered clock instead.
+	deliveredIDs map[MsgID]bool
+
+	// Atomic mode.
+	stab        *stability.Tracker
+	ackArmed    bool
+	nackArmed   bool
+	nackRetries map[MsgID]int
+	// known tracks the highest sequence each sender is known to have
+	// multicast, learned from piggybacked delivered clocks and acks.
+	// Gaps between delivered and known with nothing pending identify
+	// messages lost with no causal successor to betray them — without
+	// this, a lost final message would never be re-requested.
+	known vclock.VC
+	// contig is the contiguous delivered prefix per sender, maintained
+	// only for the total orderings in atomic mode. Total delivery can
+	// cross per-sender sequence order, so the delivered clock is a max
+	// and MUST NOT feed stability acks: acknowledging seq 8 while seq 5
+	// is undelivered would evict seq 5 from every retransmission
+	// buffer, losing it forever.
+	contig vclock.VC
+
+	// Instrumentation.
+	Latency        metrics.Histogram // delivery latency (seconds)
+	HoldbackGauge  metrics.Gauge     // delay-queue occupancy over time
+	DeliveredCount metrics.Counter
+	SentCount      metrics.Counter
+	CtrlMsgs       metrics.Counter // protocol (non-data) messages sent
+	Duplicates     metrics.Counter // duplicate data copies discarded
+}
+
+// suppressedSend is an outbox entry.
+type suppressedSend struct {
+	to  transport.NodeID
+	msg any
+}
+
+// pendingMulticast is an application send deferred by suppression.
+type pendingMulticast struct {
+	payload any
+	size    int
+}
+
+// NewMember creates one group endpoint and registers its handler on
+// the network. nodes lists the group's transport addresses by rank;
+// rank is this member's index into it.
+func NewMember(net transport.Network, nodes []transport.NodeID, rank vclock.ProcessID, cfg Config, deliver DeliverFunc) *Member {
+	if int(rank) < 0 || int(rank) >= len(nodes) {
+		panic(fmt.Sprintf("multicast: rank %d out of range for %d nodes", rank, len(nodes)))
+	}
+	if cfg.Atomic && cfg.Ordering == TotalAgree {
+		// Agreement-mode recovery would need proposal/commit replay,
+		// which this implementation does not provide; failing loudly
+		// beats a group that silently stalls on the first lost packet.
+		panic("multicast: Atomic mode is not supported with TotalAgree (lossless links assumed)")
+	}
+	if int(cfg.SequencerRank) < 0 || int(cfg.SequencerRank) >= len(nodes) {
+		panic(fmt.Sprintf("multicast: sequencer rank %d out of range for %d nodes", cfg.SequencerRank, len(nodes)))
+	}
+	m := &Member{
+		cfg:          cfg,
+		net:          net,
+		nodes:        append([]transport.NodeID(nil), nodes...),
+		rank:         rank,
+		deliver:      deliver,
+		delivered:    vclock.New(len(nodes)),
+		pending:      make(map[MsgID]*DataMsg),
+		orderOf:      make(map[uint64]MsgID),
+		orderKnown:   make(map[MsgID]bool),
+		nextGlobal:   1,
+		dataByID:     make(map[MsgID]*DataMsg),
+		proposals:    make(map[MsgID]*proposalSet),
+		nackRetries:  make(map[MsgID]int),
+		deliveredIDs: make(map[MsgID]bool),
+	}
+	if cfg.Ordering == TotalAgree {
+		m.agree = newAgreeQueue()
+	}
+	if cfg.Ordering == TotalCausal && rank == cfg.SequencerRank {
+		m.seqPending = make(map[MsgID]*DataMsg)
+		m.seqDelivered = vclock.New(len(nodes))
+	}
+	if (cfg.Ordering == TotalSeq || cfg.Ordering == TotalCausal) && rank == cfg.SequencerRank {
+		m.assignedByID = make(map[MsgID]uint64)
+		m.assignedAt = make(map[uint64]MsgID)
+	}
+	if cfg.Atomic {
+		m.stab = stability.New(len(nodes))
+		m.known = vclock.New(len(nodes))
+		if cfg.Ordering != FIFO && cfg.Ordering != Causal {
+			m.contig = vclock.New(len(nodes))
+		}
+	}
+	net.Register(nodes[rank], m.Handle)
+	return m
+}
+
+// NewGroup builds a full group of len(nodes) members with the given
+// config. deliverFor supplies each rank's delivery callback (may return
+// nil for a sink).
+func NewGroup(net transport.Network, nodes []transport.NodeID, cfg Config, deliverFor func(rank vclock.ProcessID) DeliverFunc) []*Member {
+	members := make([]*Member, len(nodes))
+	for i := range nodes {
+		var d DeliverFunc
+		if deliverFor != nil {
+			d = deliverFor(vclock.ProcessID(i))
+		}
+		if d == nil {
+			d = func(Delivered) {}
+		}
+		members[i] = NewMember(net, nodes, vclock.ProcessID(i), cfg, d)
+	}
+	return members
+}
+
+// Rank returns this member's rank in the current view.
+func (m *Member) Rank() vclock.ProcessID { return m.rank }
+
+// Node returns this member's transport address.
+func (m *Member) Node() transport.NodeID { return m.nodes[m.rank] }
+
+// GroupSize returns the current view size.
+func (m *Member) GroupSize() int { return len(m.nodes) }
+
+// ViewNodes returns a copy of the current view's node list in rank
+// order. The membership layer uses it to address peers.
+func (m *Member) ViewNodes() []transport.NodeID {
+	return append([]transport.NodeID(nil), m.nodes...)
+}
+
+// Epoch returns the current view epoch.
+func (m *Member) Epoch() uint64 { return m.epoch }
+
+// DeliveredClock returns a copy of the per-sender delivered counts.
+func (m *Member) DeliveredClock() vclock.VC { return m.delivered.Clone() }
+
+// stabilityClock returns the clock safe to acknowledge for stability:
+// the delivered clock for prefix-ordered modes, the contiguous prefix
+// for the total orderings.
+func (m *Member) stabilityClock() vclock.VC {
+	if m.contig != nil {
+		return m.contig
+	}
+	return m.delivered
+}
+
+// PendingCount returns the current holdback/delay-queue occupancy.
+func (m *Member) PendingCount() int {
+	switch m.cfg.Ordering {
+	case TotalSeq, TotalCausal:
+		return len(m.dataByID)
+	case TotalAgree:
+		return m.agree.Len()
+	default:
+		return len(m.pending)
+	}
+}
+
+// Stability returns the atomic-mode stability tracker, or nil.
+func (m *Member) Stability() *stability.Tracker { return m.stab }
+
+// Close permanently silences the member: no further sends, deliveries,
+// or timer re-arms. Used at the end of experiments so the simulation
+// quiesces.
+func (m *Member) Close() { m.closed = true }
+
+// Suppress pauses transmission AND delivery (view-change flush
+// window). Multicasts issued while suppressed queue for re-issue;
+// arriving messages are buffered (atomic mode) but not delivered —
+// a delivery after the member reported its flush state would break
+// the all-survivors-delivered-the-same-set agreement. ForceDeliver
+// (the flush fill path) bypasses the freeze.
+func (m *Member) Suppress() { m.suppressed = true }
+
+// Resume ends suppression: queued control sends flush as-is (stale
+// epochs are harmlessly discarded by receivers), and application
+// multicasts deferred during the window are re-issued so they carry
+// the current epoch.
+func (m *Member) Resume() {
+	m.suppressed = false
+	out := m.outbox
+	m.outbox = nil
+	for _, e := range out {
+		s := e.(suppressedSend)
+		m.net.Send(m.Node(), s.to, s.msg)
+	}
+	pm := m.pendingMulticasts
+	m.pendingMulticasts = nil
+	for _, p := range pm {
+		m.Multicast(p.payload, p.size)
+	}
+	// Deliveries frozen during the window drain now (relevant when a
+	// suppression ends without a view change; a view change clears the
+	// queues instead).
+	m.drainHoldback()
+	m.drainTotal()
+}
+
+// Suppressed reports whether the member is in a suppression window.
+func (m *Member) Suppressed() bool { return m.suppressed }
+
+// send transmits a protocol message to one rank, honouring suppression
+// and close.
+func (m *Member) send(to vclock.ProcessID, msg any) {
+	if m.closed {
+		return
+	}
+	if m.suppressed {
+		m.outbox = append(m.outbox, suppressedSend{to: m.nodes[to], msg: msg})
+		return
+	}
+	m.net.Send(m.Node(), m.nodes[to], msg)
+}
+
+// sendAll transmits msg to every rank including self.
+func (m *Member) sendAll(msg any) {
+	for r := range m.nodes {
+		m.send(vclock.ProcessID(r), msg)
+	}
+}
+
+// Multicast sends payload (with an approximate encoded size in bytes)
+// to the whole group under the configured ordering. It returns the
+// message id. The sender's own copy is delivered through the network
+// like everyone else's, so latency and ordering are uniform.
+func (m *Member) Multicast(payload any, size int) MsgID {
+	if m.closed {
+		return MsgID{}
+	}
+	if m.suppressed {
+		// Defer rather than stamp now: a view change during the flush
+		// window would orphan an old-epoch message. The returned id is
+		// zero because the real send happens at Resume.
+		m.pendingMulticasts = append(m.pendingMulticasts, pendingMulticast{payload: payload, size: size})
+		return MsgID{}
+	}
+	m.sendSeq++
+	msg := &DataMsg{
+		Group:       m.cfg.Group,
+		Epoch:       m.epoch,
+		Sender:      m.rank,
+		Seq:         m.sendSeq,
+		SentAt:      m.net.Now(),
+		Payload:     payload,
+		PayloadSize: size,
+	}
+	if m.cfg.Ordering == Causal || m.cfg.Ordering == TotalCausal {
+		vc := m.delivered.Clone()
+		vc.Set(m.rank, m.sendSeq)
+		msg.VC = vc
+	}
+	if m.cfg.Atomic {
+		msg.DeliveredVC = m.stabilityClock().Clone()
+		m.stab.Buffer(stability.Key{Sender: msg.Sender, Seq: msg.Seq}, msg)
+		m.known.Set(m.rank, m.sendSeq)
+		m.armAck()
+	}
+	m.SentCount.Inc()
+	m.sendAll(msg)
+	return msg.ID()
+}
+
+// Handle is the member's network receive entry point.
+func (m *Member) Handle(from transport.NodeID, payload any) {
+	if m.closed {
+		return
+	}
+	switch msg := payload.(type) {
+	case *DataMsg:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onData(msg)
+	case *OrderMsg:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onOrder(msg)
+	case *ProposeMsg:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onPropose(msg)
+	case *CommitMsg:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onCommit(msg)
+	case *AckMsg:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onAck(msg)
+	case *NackMsg:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onNack(msg)
+	case *RetransMsg:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onData(msg.Data)
+	case *OrderNack:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onOrderNack(msg)
+	}
+}
+
+// isDuplicate reports whether msg was already delivered. FIFO and
+// causal deliver in per-sender sequence order, so the delivered clock
+// suffices; the other modes can deliver across sequence order and need
+// an explicit id set.
+func (m *Member) isDuplicate(msg *DataMsg) bool {
+	switch m.cfg.Ordering {
+	case FIFO, Causal:
+		return msg.Seq <= m.delivered.Get(msg.Sender)
+	default:
+		return m.deliveredIDs[msg.ID()]
+	}
+}
+
+// onData routes an arriving data message by ordering mode.
+func (m *Member) onData(msg *DataMsg) {
+	if m.isDuplicate(msg) {
+		m.Duplicates.Inc()
+		return
+	}
+	if m.cfg.Atomic {
+		if msg.DeliveredVC != nil {
+			m.observeStability(msg.Sender, msg.DeliveredVC)
+			m.known.Merge(msg.DeliveredVC)
+		}
+		if msg.Seq > m.known.Get(msg.Sender) {
+			m.known.Set(msg.Sender, msg.Seq)
+		}
+		m.stab.Buffer(stability.Key{Sender: msg.Sender, Seq: msg.Seq}, msg)
+		m.armAck()
+	}
+	switch m.cfg.Ordering {
+	case Unordered:
+		if m.suppressed {
+			return
+		}
+		m.doDeliver(msg)
+	case FIFO, Causal:
+		if _, dup := m.pending[msg.ID()]; dup {
+			m.Duplicates.Inc()
+			return
+		}
+		m.pending[msg.ID()] = msg
+		m.HoldbackGauge.Set(int64(len(m.pending)))
+		m.drainHoldback()
+		if len(m.pending) > 0 && m.cfg.Atomic {
+			m.armNack()
+		}
+	case TotalSeq:
+		if _, dup := m.dataByID[msg.ID()]; dup {
+			m.Duplicates.Inc()
+			return
+		}
+		m.dataByID[msg.ID()] = msg
+		if m.rank == m.cfg.SequencerRank && !m.orderKnown[msg.ID()] {
+			m.assignOrder(msg.ID())
+		}
+		m.drainTotal()
+		if m.cfg.Atomic && len(m.dataByID) > 0 {
+			m.armNack()
+		}
+	case TotalCausal:
+		if _, dup := m.dataByID[msg.ID()]; dup {
+			m.Duplicates.Inc()
+			return
+		}
+		m.dataByID[msg.ID()] = msg
+		if m.rank == m.cfg.SequencerRank {
+			m.seqPending[msg.ID()] = msg
+			m.drainSequencer()
+		}
+		m.drainTotal()
+		if m.cfg.Atomic && len(m.dataByID) > 0 {
+			m.armNack()
+		}
+	case TotalAgree:
+		m.onAgreeData(msg)
+	}
+}
+
+// assignOrder gives a message the next global position and announces
+// it.
+func (m *Member) assignOrder(id MsgID) {
+	m.seqCounter++
+	if m.assignedByID != nil {
+		m.assignedByID[id] = m.seqCounter
+		m.assignedAt[m.seqCounter] = id
+	}
+	// Apply locally first: the sequencer's own copy must not depend on
+	// the lossy network loopback (it cannot NACK itself).
+	m.orderKnown[id] = true
+	m.orderOf[m.seqCounter] = id
+	if m.seqCounter > m.maxGlobalSeen {
+		m.maxGlobalSeen = m.seqCounter
+	}
+	om := &OrderMsg{Group: m.cfg.Group, Epoch: m.epoch, GlobalSeq: m.seqCounter, ID: id}
+	for r := range m.nodes {
+		if vclock.ProcessID(r) == m.rank {
+			continue
+		}
+		m.CtrlMsgs.Inc()
+		m.send(vclock.ProcessID(r), om)
+	}
+}
+
+// drainSequencer (TotalCausal sequencer only) assigns global positions
+// to pending messages in a causally consistent order: a message is
+// sequenced only when all its causal predecessors have been sequenced,
+// exactly the CBCAST delivery rule applied to the sequencing decision.
+func (m *Member) drainSequencer() {
+	for {
+		var next *DataMsg
+		for _, msg := range m.seqPending {
+			if !m.seqDelivered.Deliverable(msg.VC, msg.Sender) {
+				continue
+			}
+			if next == nil ||
+				msg.Sender < next.Sender ||
+				(msg.Sender == next.Sender && msg.Seq < next.Seq) {
+				next = msg
+			}
+		}
+		if next == nil {
+			return
+		}
+		delete(m.seqPending, next.ID())
+		m.seqDelivered.Set(next.Sender, next.Seq)
+		if !m.orderKnown[next.ID()] {
+			m.assignOrder(next.ID())
+		}
+	}
+}
+
+// deliverable reports whether msg may be delivered now under FIFO or
+// causal rules.
+func (m *Member) deliverable(msg *DataMsg) bool {
+	switch m.cfg.Ordering {
+	case FIFO:
+		return msg.Seq == m.delivered.Get(msg.Sender)+1
+	case Causal:
+		return m.delivered.Deliverable(msg.VC, msg.Sender)
+	default:
+		return true
+	}
+}
+
+// drainHoldback repeatedly delivers every now-deliverable pending
+// message until a fixpoint.
+func (m *Member) drainHoldback() {
+	if m.suppressed {
+		return // delivery frozen during the flush window
+	}
+	for {
+		// Scan in (sender, seq) order: map iteration order would make
+		// concurrent-message delivery order vary run to run, breaking
+		// the simulator's reproducibility guarantee.
+		next := m.minDeliverablePending()
+		if next == nil {
+			return
+		}
+		delete(m.pending, next.ID())
+		m.HoldbackGauge.Set(int64(len(m.pending)))
+		m.doDeliver(next)
+	}
+}
+
+// minDeliverablePending returns the deliverable pending message with
+// the smallest (sender, seq) id, or nil.
+func (m *Member) minDeliverablePending() *DataMsg {
+	var best *DataMsg
+	for _, msg := range m.pending {
+		if !m.deliverable(msg) {
+			continue
+		}
+		if best == nil ||
+			msg.Sender < best.Sender ||
+			(msg.Sender == best.Sender && msg.Seq < best.Seq) {
+			best = msg
+		}
+	}
+	return best
+}
+
+// drainTotal delivers sequenced messages in global order as far as
+// both the order assignments and the data have arrived.
+func (m *Member) drainTotal() {
+	if m.suppressed {
+		return // delivery frozen during the flush window
+	}
+	for {
+		id, ok := m.orderOf[m.nextGlobal]
+		if !ok {
+			return
+		}
+		msg, ok := m.dataByID[id]
+		if !ok {
+			return
+		}
+		delete(m.dataByID, id)
+		delete(m.orderOf, m.nextGlobal)
+		m.nextGlobal++
+		m.doDeliver(msg)
+	}
+}
+
+// onOrder records a sequencer assignment.
+func (m *Member) onOrder(om *OrderMsg) {
+	if om.GlobalSeq > m.maxGlobalSeen {
+		m.maxGlobalSeen = om.GlobalSeq
+	}
+	if m.orderKnown[om.ID] {
+		return
+	}
+	m.orderKnown[om.ID] = true
+	m.orderOf[om.GlobalSeq] = om.ID
+	m.drainTotal()
+	if m.cfg.Atomic && (len(m.dataByID) > 0 || m.nextGlobal <= m.maxGlobalSeen) {
+		m.armNack()
+	}
+}
+
+// doDeliver finalizes delivery: advances the delivered clock, records
+// metrics, and invokes the application callback.
+func (m *Member) doDeliver(msg *DataMsg) {
+	switch m.cfg.Ordering {
+	case FIFO, Causal:
+		m.delivered.Set(msg.Sender, msg.Seq)
+	default:
+		m.deliveredIDs[msg.ID()] = true
+		// Per-sender counts still advance to the max seen, which keeps
+		// the delivered clock a useful progress measure.
+		if msg.Seq > m.delivered.Get(msg.Sender) {
+			m.delivered.Set(msg.Sender, msg.Seq)
+		}
+		// Advance the contiguous prefix used for stability acks.
+		if m.contig != nil {
+			for {
+				next := m.contig.Get(msg.Sender) + 1
+				if !m.deliveredIDs[MsgID{Sender: msg.Sender, Seq: next}] {
+					break
+				}
+				m.contig.Set(msg.Sender, next)
+			}
+		}
+	}
+	now := m.net.Now()
+	lat := now - msg.SentAt
+	m.Latency.Observe(lat.Seconds())
+	m.DeliveredCount.Inc()
+	m.deliver(Delivered{ID: msg.ID(), Payload: msg.Payload, SentAt: msg.SentAt, At: now, Latency: lat, VC: msg.VC})
+}

@@ -1,0 +1,184 @@
+package multicast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// racedSenderRun has one sender issue m1 then m2 back-to-back over a
+// jittered link to the sequencer, so m2 can overtake m1 on the way to
+// the sequencing decision. m1 happens-before m2 (same sender), so any
+// causally consistent total order must deliver m1 first. It returns
+// each member's delivery order.
+func racedSenderRun(t *testing.T, ord Ordering, seed int64) [][]any {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond})
+	net.SetLink(2, 0, transport.LinkConfig{Jitter: 20 * time.Millisecond})
+	nodes := []transport.NodeID{0, 1, 2}
+	orders := make([][]any, 3)
+	members := NewGroup(net, nodes, Config{Group: "tc", Ordering: ord},
+		func(rank vclock.ProcessID) DeliverFunc {
+			return func(d Delivered) { orders[rank] = append(orders[rank], d.Payload) }
+		})
+	members[2].Multicast("m1", 2)
+	members[2].Multicast("m2", 2)
+	k.Run()
+	return orders
+}
+
+func TestTotalSeqCanViolateCausality(t *testing.T) {
+	// The plain sequencer orders by arrival. On some seed, m2 overtakes
+	// m1 on the jittered link and every member delivers the later
+	// message first — a total order that is not happens-before
+	// consistent. This is why the paper's §2 assumption (total order
+	// commonly includes causal) needs TotalCausal.
+	violated := false
+	for seed := int64(0); seed < 40 && !violated; seed++ {
+		orders := racedSenderRun(t, TotalSeq, seed)
+		for r, o := range orders {
+			if len(o) != 2 {
+				t.Fatalf("seed %d member %d delivered %v", seed, r, o)
+			}
+		}
+		if orders[1][0] == "m2" {
+			violated = true
+			// Still a total order: everyone agrees on the wrong order.
+			base := fmt.Sprint(orders[0])
+			for r := 1; r < 3; r++ {
+				if fmt.Sprint(orders[r]) != base {
+					t.Fatalf("total order disagreement: %v vs %v", orders[0], orders[r])
+				}
+			}
+		}
+	}
+	if !violated {
+		t.Fatal("no seed produced the causality violation; TotalSeq may be accidentally causal and the TotalCausal mode redundant")
+	}
+}
+
+func TestTotalCausalRespectsCausality(t *testing.T) {
+	// The identical raced schedule under TotalCausal: m1 always first,
+	// on every seed.
+	for seed := int64(0); seed < 40; seed++ {
+		orders := racedSenderRun(t, TotalCausal, seed)
+		for r, o := range orders {
+			if len(o) != 2 || o[0] != "m1" || o[1] != "m2" {
+				t.Fatalf("seed %d member %d violated causal total order: %v", seed, r, o)
+			}
+		}
+	}
+}
+
+func TestTotalCausalAgreementManySeeds(t *testing.T) {
+	// TotalCausal must remain a total order (all members identical
+	// sequences) AND respect happens-before across random jitter.
+	for seed := int64(0); seed < 15; seed++ {
+		k := sim.NewKernel(seed)
+		net := transport.NewSimNet(k, transport.LinkConfig{Jitter: 20 * time.Millisecond})
+		nodes := []transport.NodeID{0, 1, 2, 3}
+		orders := make([][]any, 4)
+		var members []*Member
+		members = NewGroup(net, nodes, Config{Group: "tc", Ordering: TotalCausal},
+			func(rank vclock.ProcessID) DeliverFunc {
+				return func(d Delivered) {
+					orders[rank] = append(orders[rank], d.Payload)
+					// Reactive chain: rank 1 echoes every message from
+					// rank 0 once.
+					if rank == 1 {
+						if s, ok := d.Payload.(string); ok && len(s) > 4 && s[:4] == "base" {
+							members[1].Multicast("echo-"+s, 8)
+						}
+					}
+				}
+			})
+		for i := 0; i < 5; i++ {
+			members[0].Multicast(fmt.Sprintf("base-%d", i), 8)
+			members[2].Multicast(fmt.Sprintf("noise-%d", i), 8)
+		}
+		k.Run()
+		want := 15 // 5 base + 5 echo + 5 noise
+		base := fmt.Sprint(orders[0])
+		for r := 0; r < 4; r++ {
+			if len(orders[r]) != want {
+				t.Fatalf("seed %d member %d delivered %d of %d", seed, r, len(orders[r]), want)
+			}
+			if fmt.Sprint(orders[r]) != base {
+				t.Fatalf("seed %d: order disagreement", seed)
+			}
+			// Causality: echo-base-i after base-i.
+			pos := map[any]int{}
+			for i, v := range orders[r] {
+				pos[v] = i
+			}
+			for i := 0; i < 5; i++ {
+				b := fmt.Sprintf("base-%d", i)
+				e := "echo-" + b
+				if pos[e] < pos[b] {
+					t.Fatalf("seed %d member %d: %s before %s", seed, r, e, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTotalCausalSenderFIFO(t *testing.T) {
+	// A causal total order implies per-sender FIFO.
+	k := sim.NewKernel(3)
+	net := transport.NewSimNet(k, transport.LinkConfig{Jitter: 25 * time.Millisecond})
+	nodes := []transport.NodeID{0, 1, 2}
+	var got []MsgID
+	members := NewGroup(net, nodes, Config{Group: "tc", Ordering: TotalCausal},
+		func(rank vclock.ProcessID) DeliverFunc {
+			if rank != 1 {
+				return nil
+			}
+			return func(d Delivered) { got = append(got, d.ID) }
+		})
+	for i := 0; i < 10; i++ {
+		members[2].Multicast(i, 4)
+	}
+	k.Run()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, id := range got {
+		if id.Seq != uint64(i+1) {
+			t.Fatalf("per-sender order broken: %v", got)
+		}
+	}
+}
+
+func TestTotalCausalViewChangeResetsSequencer(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	nodes := []transport.NodeID{0, 1}
+	var got []any
+	members := NewGroup(net, nodes, Config{Group: "tc", Ordering: TotalCausal},
+		func(rank vclock.ProcessID) DeliverFunc {
+			if rank != 1 {
+				return nil
+			}
+			return func(d Delivered) { got = append(got, d.Payload) }
+		})
+	members[0].Multicast("epoch0", 8)
+	k.Run()
+	members[0].InstallView(nodes, 0, 1)
+	members[1].InstallView(nodes, 1, 1)
+	members[0].Multicast("epoch1", 8)
+	k.Run()
+	if len(got) != 2 || got[1] != "epoch1" {
+		t.Fatalf("post-view delivery failed: %v", got)
+	}
+}
+
+func TestOrderingStringTotalCausal(t *testing.T) {
+	if TotalCausal.String() != "total-causal" {
+		t.Fatal("string name")
+	}
+}

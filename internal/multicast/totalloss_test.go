@@ -1,0 +1,165 @@
+package multicast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// lossyTotalRun drives a lossy network under a total ordering with
+// atomic recovery and returns per-member delivery sequences.
+func lossyTotalRun(t *testing.T, ord Ordering, seed int64, loss float64, n, per int) [][]any {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{
+		BaseDelay: time.Millisecond, Jitter: 3 * time.Millisecond, LossProb: loss,
+	})
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	orders := make([][]any, n)
+	members := NewGroup(net, nodes,
+		Config{Group: "tl", Ordering: ord, Atomic: true,
+			AckInterval: 10 * time.Millisecond, NackDelay: 10 * time.Millisecond},
+		func(rank vclock.ProcessID) DeliverFunc {
+			return func(d Delivered) { orders[rank] = append(orders[rank], d.Payload) }
+		})
+	for s := 0; s < n; s++ {
+		for i := 0; i < per; i++ {
+			s, i := s, i
+			k.At(time.Duration(i)*5*time.Millisecond, func() {
+				members[s].Multicast(fmt.Sprintf("s%d-%d", s, i), 8)
+			})
+		}
+	}
+	k.RunUntil(10 * time.Second)
+	for _, m := range members {
+		m.Close()
+	}
+	return orders
+}
+
+func TestTotalSeqRecoversFromLoss(t *testing.T) {
+	orders := lossyTotalRun(t, TotalSeq, 21, 0.15, 4, 10)
+	want := 40
+	base := fmt.Sprint(orders[0])
+	for r, o := range orders {
+		if len(o) != want {
+			t.Fatalf("member %d delivered %d of %d under loss", r, len(o), want)
+		}
+		if fmt.Sprint(o) != base {
+			t.Fatalf("total order disagreement under loss at member %d", r)
+		}
+	}
+}
+
+func TestTotalCausalRecoversFromLoss(t *testing.T) {
+	orders := lossyTotalRun(t, TotalCausal, 22, 0.15, 4, 10)
+	want := 40
+	base := fmt.Sprint(orders[0])
+	for r, o := range orders {
+		if len(o) != want {
+			t.Fatalf("member %d delivered %d of %d under loss", r, len(o), want)
+		}
+		if fmt.Sprint(o) != base {
+			t.Fatalf("total order disagreement under loss at member %d", r)
+		}
+	}
+	// And per-sender FIFO (causal total order implies it).
+	for r, o := range orders {
+		lastSeq := map[byte]int{}
+		for _, p := range o {
+			s := p.(string)
+			var sender byte = s[1]
+			var idx int
+			fmt.Sscanf(s[3:], "%d", &idx)
+			if idx < lastSeq[sender] {
+				t.Fatalf("member %d: per-sender order broken: %v", r, o)
+			}
+			lastSeq[sender] = idx
+		}
+	}
+}
+
+func TestTotalLossManySeeds(t *testing.T) {
+	for seed := int64(30); seed < 36; seed++ {
+		for _, ord := range []Ordering{TotalSeq, TotalCausal} {
+			orders := lossyTotalRun(t, ord, seed, 0.1, 3, 8)
+			base := fmt.Sprint(orders[0])
+			for r, o := range orders {
+				if len(o) != 24 {
+					t.Fatalf("%v seed %d: member %d delivered %d of 24", ord, seed, r, len(o))
+				}
+				if fmt.Sprint(o) != base {
+					t.Fatalf("%v seed %d: disagreement", ord, seed)
+				}
+			}
+		}
+	}
+}
+
+func TestLostOrderMsgRecovered(t *testing.T) {
+	// Surgical strike: drop only the sequencer's announcements to one
+	// member for a while; the member must catch up via OrderNack.
+	k := sim.NewKernel(1)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	nodes := []transport.NodeID{0, 1, 2}
+	orders := make([][]any, 3)
+	members := NewGroup(net, nodes,
+		Config{Group: "tl", Ordering: TotalSeq, Atomic: true,
+			AckInterval: 10 * time.Millisecond, NackDelay: 10 * time.Millisecond},
+		func(rank vclock.ProcessID) DeliverFunc {
+			return func(d Delivered) { orders[rank] = append(orders[rank], d.Payload) }
+		})
+	net.SetLink(0, 2, transport.LinkConfig{LossProb: 1.0}) // sequencer -> member 2 black hole
+	members[1].Multicast("a", 2)
+	members[1].Multicast("b", 2)
+	k.RunUntil(50 * time.Millisecond)
+	if len(orders[2]) != 0 {
+		t.Fatalf("member 2 delivered %v while cut off from the sequencer", orders[2])
+	}
+	net.SetLink(0, 2, transport.LinkConfig{BaseDelay: time.Millisecond})
+	k.RunUntil(2 * time.Second)
+	for _, m := range members {
+		m.Close()
+	}
+	if len(orders[2]) != 2 || orders[2][0] != "a" || orders[2][1] != "b" {
+		t.Fatalf("member 2 did not recover order assignments: %v", orders[2])
+	}
+}
+
+func TestLostDataAtSequencerRecovered(t *testing.T) {
+	// The sequencer itself misses the data: nothing gets ordered until
+	// its data NACK fills the gap.
+	k := sim.NewKernel(2)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	nodes := []transport.NodeID{0, 1, 2}
+	orders := make([][]any, 3)
+	members := NewGroup(net, nodes,
+		Config{Group: "tl", Ordering: TotalCausal, Atomic: true,
+			AckInterval: 10 * time.Millisecond, NackDelay: 10 * time.Millisecond},
+		func(rank vclock.ProcessID) DeliverFunc {
+			return func(d Delivered) { orders[rank] = append(orders[rank], d.Payload) }
+		})
+	net.SetLink(1, 0, transport.LinkConfig{LossProb: 1.0}) // sender -> sequencer black hole
+	members[1].Multicast("x", 2)
+	k.RunUntil(30 * time.Millisecond)
+	net.SetLink(1, 0, transport.LinkConfig{BaseDelay: time.Millisecond})
+	k.RunUntil(3 * time.Second)
+	for _, m := range members {
+		m.Close()
+	}
+	for r, o := range orders {
+		if len(o) != 1 || o[0] != "x" {
+			t.Fatalf("member %d: %v", r, o)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package multicast
+
+import (
+	"sort"
+
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// This file exposes the hooks the group-membership layer
+// (internal/group) uses to run a virtually synchronous view change:
+// collecting each member's unstable messages, force-delivering fills so
+// all survivors agree on the old view's delivery set, and installing
+// the new view. The flush protocol itself lives in internal/group;
+// these hooks keep the member's invariants intact while it runs.
+
+// UnstableData returns copies of the data messages currently held in
+// the unstable buffer, sorted by (sender, seq). Empty in non-atomic
+// mode.
+func (m *Member) UnstableData() []*DataMsg {
+	if m.stab == nil {
+		return nil
+	}
+	var out []*DataMsg
+	for _, k := range m.stab.Keys() {
+		if buffered, ok := m.stab.Get(k); ok {
+			if d, ok := buffered.(*DataMsg); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sender != out[j].Sender {
+			return out[i].Sender < out[j].Sender
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// HasDelivered reports whether the message id was delivered at this
+// member.
+func (m *Member) HasDelivered(id MsgID) bool {
+	switch m.cfg.Ordering {
+	case FIFO, Causal:
+		return id.Seq <= m.delivered.Get(id.Sender)
+	default:
+		return m.deliveredIDs[id]
+	}
+}
+
+// ForceDeliver delivers msg immediately, bypassing the ordering
+// discipline. The flush coordinator calls it with the old view's
+// undelivered messages in (sender, seq) order, which preserves FIFO
+// and, for messages that survived anywhere, causal order — the
+// virtually synchronous guarantee that all survivors enter the new
+// view having delivered the same set.
+func (m *Member) ForceDeliver(msg *DataMsg) {
+	if m.closed || m.isDuplicate(msg) {
+		return
+	}
+	delete(m.pending, msg.ID())
+	m.HoldbackGauge.Set(int64(len(m.pending)))
+	m.doDeliver(msg)
+}
+
+// InstallView resets protocol state for a new membership epoch: new
+// member list, new rank for this member, all per-view ordering state
+// cleared. The member's transport address must be unchanged (it is the
+// node, not the rank, that addresses the network). The delivery
+// callback and accumulated metrics persist across views.
+func (m *Member) InstallView(nodes []transport.NodeID, rank vclock.ProcessID, epoch uint64) {
+	if nodes[rank] != m.Node() {
+		panic("multicast: InstallView must keep the member's transport address")
+	}
+	m.nodes = append([]transport.NodeID(nil), nodes...)
+	m.rank = rank
+	m.epoch = epoch
+	m.sendSeq = 0
+	m.delivered = vclock.New(len(nodes))
+	m.pending = make(map[MsgID]*DataMsg)
+	m.HoldbackGauge.Set(0)
+	m.seqCounter = 0
+	m.orderOf = make(map[uint64]MsgID)
+	m.orderKnown = make(map[MsgID]bool)
+	m.nextGlobal = 1
+	m.dataByID = make(map[MsgID]*DataMsg)
+	if m.cfg.Ordering == TotalCausal && rank == m.cfg.SequencerRank {
+		m.seqPending = make(map[MsgID]*DataMsg)
+		m.seqDelivered = vclock.New(len(nodes))
+	}
+	m.maxGlobalSeen = 0
+	if (m.cfg.Ordering == TotalSeq || m.cfg.Ordering == TotalCausal) && rank == m.cfg.SequencerRank {
+		m.assignedByID = make(map[MsgID]uint64)
+		m.assignedAt = make(map[uint64]MsgID)
+	} else {
+		m.assignedByID = nil
+		m.assignedAt = nil
+	}
+	m.proposals = make(map[MsgID]*proposalSet)
+	if m.cfg.Ordering == TotalAgree {
+		m.agree = newAgreeQueue()
+	}
+	m.deliveredIDs = make(map[MsgID]bool)
+	m.nackRetries = make(map[MsgID]int)
+	if m.stab != nil {
+		m.stab.Resize(len(nodes))
+		m.known = vclock.New(len(nodes))
+		if m.contig != nil {
+			m.contig = vclock.New(len(nodes))
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package nameservice implements §4.5's "replication in the large": a
+// Lampson-style replicated directory service that favours availability
+// over strict ordering. Updates are accepted at any replica, stamped
+// with a Lamport (time, node) pair, and spread by periodic anti-entropy
+// gossip; conflicting bindings are resolved deterministically by
+// last-writer-wins — Lampson's "duplicate name binding can be resolved
+// by undoing one of the name bindings" — and the undo is counted so the
+// experiment can report how rare it is.
+//
+// The §4.5 argument this makes measurable: at directory scale there is
+// no experience running causal/total ordering, and "the size of
+// communication state that would be required in each node seems
+// impractical". A gossip replica's ordering state is one Lamport clock
+// and one directory; a causal-group member's is an N-entry vector
+// clock, per-message stamps, and unstable buffers. Experiment E14 runs
+// the same update workload through both and compares state, traffic,
+// convergence, and behaviour across a partition (gossip keeps accepting
+// updates and heals; the group blocks the minority).
+package nameservice
+
+import (
+	"sort"
+	"time"
+
+	"catocs/internal/metrics"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// Binding is one name's current record.
+type Binding struct {
+	Name  string
+	Value any
+	Stamp vclock.Stamp
+	// Origin is the replica that created this version (for undo
+	// accounting).
+	Origin transport.NodeID
+	// Deleted marks a tombstone, retained so deletions also converge.
+	Deleted bool
+}
+
+// GossipMsg is an anti-entropy push: the sender's full directory. Real
+// deployments exchange digests and deltas; full-state push preserves
+// the convergence and conflict semantics the experiment measures and
+// keeps the protocol honest about per-round traffic (ApproxSize scales
+// with the directory).
+type GossipMsg struct {
+	From     transport.NodeID
+	Bindings []Binding
+}
+
+// ApproxSize implements transport.Sizer.
+func (g GossipMsg) ApproxSize() int { return 16 + 48*len(g.Bindings) }
+
+// Replica is one directory server.
+type Replica struct {
+	net   transport.Network
+	node  transport.NodeID
+	peers []transport.NodeID
+
+	// GossipEvery is the anti-entropy period (default 20ms).
+	GossipEvery time.Duration
+
+	dir     map[string]Binding
+	lamport vclock.Lamport
+	round   int
+	stopped bool
+
+	// Updates counts locally accepted writes.
+	Updates metrics.Counter
+	// Conflicts counts adoptions that overwrote a *different* value for
+	// the same name — the undone bindings of §4.5.
+	Conflicts metrics.Counter
+	// Gossips counts anti-entropy messages sent.
+	Gossips metrics.Counter
+}
+
+// NewReplica registers a directory replica.
+func NewReplica(net transport.Network, node transport.NodeID, peers []transport.NodeID) *Replica {
+	r := &Replica{
+		net:         net,
+		node:        node,
+		peers:       append([]transport.NodeID(nil), peers...),
+		GossipEvery: 20 * time.Millisecond,
+		dir:         make(map[string]Binding),
+	}
+	net.Register(node, r.handle)
+	return r
+}
+
+// Start begins the gossip schedule.
+func (r *Replica) Start() { r.tick() }
+
+// Stop halts gossiping.
+func (r *Replica) Stop() { r.stopped = true }
+
+// Bind writes name=value locally; the update is immediately visible
+// here (availability) and spreads by gossip. It never blocks and never
+// fails — the availability-over-consistency trade §4.5 endorses for
+// directories.
+func (r *Replica) Bind(name string, value any) vclock.Stamp {
+	stamp := vclock.Stamp{Time: r.lamport.Tick(), Proc: vclock.ProcessID(r.node)}
+	r.dir[name] = Binding{Name: name, Value: value, Stamp: stamp, Origin: r.node}
+	r.Updates.Inc()
+	return stamp
+}
+
+// Unbind deletes a name (tombstoned so the deletion propagates).
+func (r *Replica) Unbind(name string) {
+	stamp := vclock.Stamp{Time: r.lamport.Tick(), Proc: vclock.ProcessID(r.node)}
+	r.dir[name] = Binding{Name: name, Stamp: stamp, Origin: r.node, Deleted: true}
+	r.Updates.Inc()
+}
+
+// Lookup reads the local replica (possibly stale — the design point).
+func (r *Replica) Lookup(name string) (any, bool) {
+	b, ok := r.dir[name]
+	if !ok || b.Deleted {
+		return nil, false
+	}
+	return b.Value, true
+}
+
+// DirectorySize returns the number of records including tombstones.
+func (r *Replica) DirectorySize() int { return len(r.dir) }
+
+// Snapshot returns the directory sorted by name, for convergence
+// checks.
+func (r *Replica) Snapshot() []Binding {
+	out := make([]Binding, 0, len(r.dir))
+	for _, b := range r.dir {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// tick pushes the directory to the next peer round-robin. Round-robin
+// rather than random keeps runs deterministic without threading a
+// PRNG; convergence bounds are the same order.
+func (r *Replica) tick() {
+	if r.stopped {
+		return
+	}
+	if len(r.peers) > 0 && len(r.dir) > 0 {
+		peer := r.peers[r.round%len(r.peers)]
+		r.round++
+		r.Gossips.Inc()
+		r.net.Send(r.node, peer, GossipMsg{From: r.node, Bindings: r.Snapshot()})
+	}
+	r.net.After(r.GossipEvery, r.tick)
+}
+
+// handle merges an incoming gossip push.
+func (r *Replica) handle(_ transport.NodeID, payload any) {
+	if r.stopped {
+		return
+	}
+	g, ok := payload.(GossipMsg)
+	if !ok {
+		return
+	}
+	for _, b := range g.Bindings {
+		r.lamport.Observe(b.Stamp.Time)
+		cur, exists := r.dir[b.Name]
+		if !exists {
+			r.dir[b.Name] = b
+			continue
+		}
+		if cur.Stamp.Less(b.Stamp) {
+			// Adopting a newer version. If we are overwriting a live,
+			// different value, a binding is being undone (§4.5's
+			// conflict resolution).
+			if !cur.Deleted && !b.Deleted && cur.Value != b.Value {
+				r.Conflicts.Inc()
+			}
+			r.dir[b.Name] = b
+		}
+	}
+}
+
+// Converged reports whether all replicas hold identical directories.
+func Converged(replicas []*Replica) bool {
+	if len(replicas) == 0 {
+		return true
+	}
+	base := replicas[0].Snapshot()
+	for _, r := range replicas[1:] {
+		snap := r.Snapshot()
+		if len(snap) != len(base) {
+			return false
+		}
+		for i := range snap {
+			if snap[i] != base[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

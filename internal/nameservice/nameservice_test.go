@@ -1,0 +1,207 @@
+package nameservice
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+)
+
+func world(n int, seed int64) (*sim.Kernel, *transport.SimNet, []*Replica) {
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		var peers []transport.NodeID
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, nodes[j])
+			}
+		}
+		reps[i] = NewReplica(net, nodes[i], peers)
+	}
+	return k, net, reps
+}
+
+func startAll(reps []*Replica) {
+	for _, r := range reps {
+		r.Start()
+	}
+}
+
+func stopAll(reps []*Replica) {
+	for _, r := range reps {
+		r.Stop()
+	}
+}
+
+func TestLocalBindVisibleImmediately(t *testing.T) {
+	_, _, reps := world(3, 1)
+	reps[0].Bind("printer", "room-4")
+	if v, ok := reps[0].Lookup("printer"); !ok || v != "room-4" {
+		t.Fatal("local bind not visible")
+	}
+	if _, ok := reps[1].Lookup("printer"); ok {
+		t.Fatal("bind visible remotely before any gossip")
+	}
+}
+
+func TestGossipConvergence(t *testing.T) {
+	k, _, reps := world(5, 2)
+	startAll(reps)
+	reps[0].Bind("a", 1)
+	reps[2].Bind("b", 2)
+	reps[4].Bind("c", 3)
+	k.RunUntil(2 * time.Second)
+	stopAll(reps)
+	if !Converged(reps) {
+		t.Fatal("replicas did not converge")
+	}
+	for i, r := range reps {
+		for name, want := range map[string]any{"a": 1, "b": 2, "c": 3} {
+			if v, ok := r.Lookup(name); !ok || v != want {
+				t.Fatalf("replica %d: %s = %v %v", i, name, v, ok)
+			}
+		}
+	}
+}
+
+func TestLastWriterWins(t *testing.T) {
+	k, _, reps := world(3, 3)
+	startAll(reps)
+	reps[0].Bind("color", "red")
+	k.RunUntil(500 * time.Millisecond)
+	reps[1].Bind("color", "blue") // later Lamport time after gossip
+	k.RunUntil(time.Second + 500*time.Millisecond)
+	stopAll(reps)
+	for i, r := range reps {
+		if v, _ := r.Lookup("color"); v != "blue" {
+			t.Fatalf("replica %d kept stale value %v", i, v)
+		}
+	}
+}
+
+func TestUnbindPropagates(t *testing.T) {
+	k, _, reps := world(3, 4)
+	startAll(reps)
+	reps[0].Bind("gone", 1)
+	k.RunUntil(500 * time.Millisecond)
+	reps[2].Unbind("gone")
+	k.RunUntil(time.Second + 500*time.Millisecond)
+	stopAll(reps)
+	for i, r := range reps {
+		if _, ok := r.Lookup("gone"); ok {
+			t.Fatalf("replica %d still resolves an unbound name", i)
+		}
+	}
+	if !Converged(reps) {
+		t.Fatal("tombstones diverged")
+	}
+}
+
+func TestPartitionConflictResolvedByUndo(t *testing.T) {
+	// §4.5's scenario: both sides of a partition bind the same name;
+	// after healing, one binding is deterministically undone.
+	k, net, reps := world(4, 5)
+	startAll(reps)
+	net.Partition([]transport.NodeID{0, 1}, []transport.NodeID{2, 3})
+	reps[0].Bind("host", "left")
+	reps[2].Bind("host", "right")
+	k.RunUntil(300 * time.Millisecond)
+	// Each island has its own value.
+	if v, _ := reps[1].Lookup("host"); v != "left" {
+		t.Fatalf("left island sees %v", v)
+	}
+	if v, _ := reps[3].Lookup("host"); v != "right" {
+		t.Fatalf("right island sees %v", v)
+	}
+	net.Heal()
+	k.RunUntil(2 * time.Second)
+	stopAll(reps)
+	if !Converged(reps) {
+		t.Fatal("no convergence after heal")
+	}
+	v0, _ := reps[0].Lookup("host")
+	for i, r := range reps {
+		if v, _ := r.Lookup("host"); v != v0 {
+			t.Fatalf("replica %d disagrees: %v vs %v", i, v, v0)
+		}
+	}
+	var undone uint64
+	for _, r := range reps {
+		undone += r.Conflicts.Value()
+	}
+	if undone == 0 {
+		t.Fatal("conflict resolution (undo) not recorded")
+	}
+}
+
+func TestAvailabilityDuringPartition(t *testing.T) {
+	// Updates keep succeeding on both sides — the availability trade a
+	// causal group cannot make (its minority blocks).
+	k, net, reps := world(4, 6)
+	startAll(reps)
+	net.Partition([]transport.NodeID{0, 1}, []transport.NodeID{2, 3})
+	for i := 0; i < 10; i++ {
+		reps[i%4].Bind(fmt.Sprintf("n%d", i), i)
+	}
+	k.RunUntil(300 * time.Millisecond)
+	// Every update visible at its origin island.
+	for i := 0; i < 10; i++ {
+		origin := reps[i%4]
+		if _, ok := origin.Lookup(fmt.Sprintf("n%d", i)); !ok {
+			t.Fatalf("update n%d lost at its origin", i)
+		}
+	}
+	net.Heal()
+	k.RunUntil(3 * time.Second)
+	stopAll(reps)
+	if !Converged(reps) {
+		t.Fatal("no convergence after heal")
+	}
+	for i, r := range reps {
+		if r.DirectorySize() != 10 {
+			t.Fatalf("replica %d has %d records, want 10", i, r.DirectorySize())
+		}
+	}
+}
+
+func TestConvergedHelper(t *testing.T) {
+	if !Converged(nil) {
+		t.Fatal("empty set should be converged")
+	}
+	_, _, reps := world(2, 7)
+	reps[0].Bind("x", 1)
+	if Converged(reps) {
+		t.Fatal("diverged replicas reported converged")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, int) {
+		k, _, reps := world(4, 9)
+		startAll(reps)
+		for i := 0; i < 8; i++ {
+			reps[i%4].Bind(fmt.Sprintf("k%d", i), i)
+		}
+		k.RunUntil(time.Second)
+		stopAll(reps)
+		var gossips uint64
+		for _, r := range reps {
+			gossips += r.Gossips.Value()
+		}
+		return gossips, reps[0].DirectorySize()
+	}
+	g1, d1 := run()
+	g2, d2 := run()
+	if g1 != g2 || d1 != d2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", g1, d1, g2, d2)
+	}
+}

@@ -1,0 +1,250 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+)
+
+func busWorld(n int, seed int64, link transport.LinkConfig) (*sim.Kernel, []*Node) {
+	k := sim.NewKernel(seed)
+	net := transport.NewSimNet(k, link)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		var peers []transport.NodeID
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, transport.NodeID(j))
+			}
+		}
+		nodes[i] = NewNode(net, transport.NodeID(i), peers)
+	}
+	return k, nodes
+}
+
+func TestPublishReachesSubscribers(t *testing.T) {
+	k, nodes := busWorld(3, 1, transport.LinkConfig{BaseDelay: time.Millisecond})
+	var got []Event
+	nodes[1].Subscribe("prices.IBM", Ordered, func(e Event) { got = append(got, e) })
+	nodes[0].Publish("prices.IBM", 101.5)
+	k.Run()
+	if len(got) != 1 || got[0].Value != 101.5 || got[0].Seq != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLocalDeliveryImmediate(t *testing.T) {
+	_, nodes := busWorld(2, 1, transport.LinkConfig{BaseDelay: time.Hour})
+	seen := false
+	nodes[0].Subscribe("x", Ordered, func(Event) { seen = true })
+	nodes[0].Publish("x", 1)
+	if !seen {
+		t.Fatal("publisher's own subscription not delivered synchronously")
+	}
+}
+
+func TestSubjectWildcard(t *testing.T) {
+	k, nodes := busWorld(2, 1, transport.LinkConfig{})
+	var subjects []string
+	nodes[1].Subscribe("prices.>", Ordered, func(e Event) { subjects = append(subjects, e.Subject) })
+	nodes[0].Publish("prices.IBM", 1)
+	nodes[0].Publish("prices.DEC", 2)
+	nodes[0].Publish("news.IBM", 3)
+	k.Run()
+	if len(subjects) != 2 {
+		t.Fatalf("wildcard matched %v", subjects)
+	}
+}
+
+func TestOrderedModeReordersJitteredStream(t *testing.T) {
+	k, nodes := busWorld(2, 5, transport.LinkConfig{Jitter: 20 * time.Millisecond})
+	var got []uint64
+	nodes[1].Subscribe("feed", Ordered, func(e Event) { got = append(got, e.Seq) })
+	for i := 0; i < 20; i++ {
+		nodes[0].Publish("feed", i)
+	}
+	k.Run()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d of 20", len(got))
+	}
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestLatestModeDropsStale(t *testing.T) {
+	// Force reordering with a seed known to jitter, then check the
+	// latest-mode view never regresses.
+	for seed := int64(0); seed < 10; seed++ {
+		k, nodes := busWorld(2, seed, transport.LinkConfig{Jitter: 15 * time.Millisecond})
+		var seqs []uint64
+		nodes[1].Subscribe("sensor", Latest, func(e Event) { seqs = append(seqs, e.Seq) })
+		for i := 0; i < 15; i++ {
+			nodes[0].Publish("sensor", i)
+		}
+		k.Run()
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] <= seqs[i-1] {
+				t.Fatalf("seed %d: latest view regressed: %v", seed, seqs)
+			}
+		}
+		if seqs[len(seqs)-1] != 15 {
+			t.Fatalf("seed %d: final seq %d, want 15", seed, seqs[len(seqs)-1])
+		}
+	}
+}
+
+func TestIndependentPublishersIndependentStreams(t *testing.T) {
+	k, nodes := busWorld(3, 2, transport.LinkConfig{Jitter: 10 * time.Millisecond})
+	perPub := map[transport.NodeID][]uint64{}
+	nodes[2].Subscribe("multi", Ordered, func(e Event) {
+		perPub[e.Publisher] = append(perPub[e.Publisher], e.Seq)
+	})
+	for i := 0; i < 10; i++ {
+		nodes[0].Publish("multi", i)
+		nodes[1].Publish("multi", i)
+	}
+	k.Run()
+	for pub, seqs := range perPub {
+		if len(seqs) != 10 {
+			t.Fatalf("publisher %d delivered %d", pub, len(seqs))
+		}
+		for i, s := range seqs {
+			if s != uint64(i+1) {
+				t.Fatalf("publisher %d stream out of order: %v", pub, seqs)
+			}
+		}
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	k, nodes := busWorld(3, 3, transport.LinkConfig{BaseDelay: time.Millisecond})
+	nodes[1].Publish("quote.IBM", 105.25) // node 1 is the quote server
+	k.Run()
+	var answer any
+	nodes[2].Request("quote.IBM", nil, func(v any) { answer = v })
+	k.Run()
+	if answer != 105.25 {
+		t.Fatalf("reply = %v", answer)
+	}
+}
+
+func TestSyncBringsLateJoinerCurrent(t *testing.T) {
+	k, nodes := busWorld(3, 4, transport.LinkConfig{BaseDelay: time.Millisecond})
+	nodes[0].Publish("state.temp", 19)
+	nodes[0].Publish("state.temp", 21)
+	nodes[0].Publish("state.mode", "auto")
+	k.Run()
+	// Node 2 joins late: subscribes, then syncs.
+	got := map[string]any{}
+	nodes[2].Subscribe("state.>", Latest, func(e Event) { got[e.Subject] = e.Value })
+	nodes[2].Sync("state.>")
+	k.Run()
+	if got["state.temp"] != 21 || got["state.mode"] != "auto" {
+		t.Fatalf("late joiner view = %v", got)
+	}
+}
+
+func TestHeldGaugeTracksGaps(t *testing.T) {
+	k, nodes := busWorld(2, 1, transport.LinkConfig{})
+	nodes[1].Subscribe("s", Ordered, func(Event) {})
+	// Simulate a lost first message by publishing twice and dropping
+	// the first on the wire.
+	k.Run()
+	netPayload := pubMsg{Subject: "s", Publisher: 0, Seq: 2, Value: "second"}
+	nodes[1].handle(0, netPayload) // seq 2 before seq 1
+	if nodes[1].Held.Value() != 1 {
+		t.Fatalf("held = %d", nodes[1].Held.Value())
+	}
+	nodes[1].handle(0, pubMsg{Subject: "s", Publisher: 0, Seq: 1, Value: "first"})
+	if nodes[1].Held.Value() != 0 {
+		t.Fatalf("held after fill = %d", nodes[1].Held.Value())
+	}
+	if nodes[1].Delivered.Value() != 2 {
+		t.Fatalf("delivered = %d", nodes[1].Delivered.Value())
+	}
+}
+
+func TestMatchesHelper(t *testing.T) {
+	cases := []struct {
+		pattern, subject string
+		want             bool
+	}{
+		{"a.b", "a.b", true},
+		{"a.b", "a.c", false},
+		{"a.>", "a.b", true},
+		{"a.>", "a.b.c", true},
+		{"a.>", "b.x", false},
+		{">", "anything", true},
+	}
+	for _, c := range cases {
+		if got := matches(c.pattern, c.subject); got != c.want {
+			t.Errorf("matches(%q, %q) = %v", c.pattern, c.subject, got)
+		}
+	}
+}
+
+func TestTradingOverBus(t *testing.T) {
+	// The §4.1 production design on the bus: computed data carries
+	// dependency info in-band (here: the base seq), and the display
+	// checks currency — no ordered multicast anywhere.
+	k, nodes := busWorld(3, 6, transport.LinkConfig{Jitter: 8 * time.Millisecond})
+	type theo struct {
+		value   float64
+		baseSeq uint64
+	}
+	// Node 1: theoretical pricer.
+	nodes[1].Subscribe("opt", Latest, func(e Event) {
+		nodes[1].Publish("theo", theo{value: e.Value.(float64) + 0.25, baseSeq: e.Seq})
+	})
+	// Node 2: monitor with currency check.
+	var optSeq uint64
+	staleDisplays := 0
+	var displays int
+	nodes[2].Subscribe("opt", Latest, func(e Event) { optSeq = e.Seq })
+	nodes[2].Subscribe("theo", Latest, func(e Event) {
+		displays++
+		if th := e.Value.(theo); th.baseSeq < optSeq {
+			staleDisplays++ // would be filtered from the screen
+		}
+	})
+	price := 25.5
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Duration(i)*10*time.Millisecond, func() {
+			nodes[0].Publish("opt", price)
+			price += 0.5
+		})
+	}
+	k.Run()
+	if displays == 0 {
+		t.Fatal("no theo displays")
+	}
+	// The point: the dependency field makes staleness *detectable* at
+	// the state level; the monitor filters rather than mis-displays.
+	t.Logf("displays=%d detectably-stale=%d", displays, staleDisplays)
+}
+
+func TestDeterministicBus(t *testing.T) {
+	run := func() string {
+		k, nodes := busWorld(3, 9, transport.LinkConfig{Jitter: 5 * time.Millisecond})
+		var log []string
+		nodes[2].Subscribe(">", Ordered, func(e Event) {
+			log = append(log, fmt.Sprintf("%s:%d", e.Subject, e.Seq))
+		})
+		for i := 0; i < 5; i++ {
+			nodes[0].Publish("a", i)
+			nodes[1].Publish("b", i)
+		}
+		k.Run()
+		return fmt.Sprint(log)
+	}
+	if run() != run() {
+		t.Fatal("bus runs not reproducible")
+	}
+}

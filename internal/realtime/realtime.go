@@ -1,0 +1,146 @@
+// Package realtime implements the §4.6 monitoring framework: sensors
+// stamp readings with real (virtual-clock) timestamps, and a monitor
+// keeps "sufficient consistency" with the monitored environment by
+// latest-timestamp semantics — newer readings supersede older ones and
+// late-arriving stale readings are dropped, with no ordering support
+// from the communication system.
+//
+// The contrast the paper draws (and experiment E12 measures): a
+// CATOCS consumer applies readings in delivery order, so a reading
+// delayed behind a causal predecessor keeps the monitor's view stale;
+// a temporal-precedence consumer applies whatever is newest the moment
+// it arrives. Staleness (age of the view) and tracking error (distance
+// from the true signal) quantify the difference.
+package realtime
+
+import (
+	"math"
+	"time"
+
+	"catocs/internal/metrics"
+)
+
+// Reading is one sensor sample.
+type Reading struct {
+	Sensor string
+	Seq    uint64
+	// T is the real-time timestamp assigned at the sensor — the "key
+	// shared piece of state in a real-time system".
+	T     time.Duration
+	Value float64
+}
+
+// ApproxSize implements transport.Sizer.
+func (Reading) ApproxSize() int { return 48 }
+
+// Monitor tracks the latest reading per sensor. Two application
+// policies are provided: Temporal (apply only if newer — the paper's
+// recommendation) and DeliveryOrder (apply unconditionally in the
+// order handed up by the communication layer — the CATOCS consumer).
+type Monitor struct {
+	temporal bool
+	latest   map[string]Reading
+
+	Applied metrics.Counter
+	Dropped metrics.Counter // stale readings rejected (temporal mode)
+}
+
+// NewTemporalMonitor returns a monitor with temporal-precedence
+// semantics.
+func NewTemporalMonitor() *Monitor {
+	return &Monitor{temporal: true, latest: make(map[string]Reading)}
+}
+
+// NewDeliveryOrderMonitor returns a monitor that trusts the delivery
+// order of its input.
+func NewDeliveryOrderMonitor() *Monitor {
+	return &Monitor{latest: make(map[string]Reading)}
+}
+
+// Observe offers a reading; it reports whether the monitor's view
+// changed.
+func (m *Monitor) Observe(r Reading) bool {
+	if m.temporal {
+		if cur, ok := m.latest[r.Sensor]; ok && r.T <= cur.T {
+			m.Dropped.Inc()
+			return false
+		}
+	}
+	m.latest[r.Sensor] = r
+	m.Applied.Inc()
+	return true
+}
+
+// Value returns the current view of a sensor.
+func (m *Monitor) Value(sensor string) (Reading, bool) {
+	r, ok := m.latest[sensor]
+	return r, ok
+}
+
+// Staleness returns the age of the monitor's view of sensor at time
+// now, or the sentinel -1 if no reading has been applied.
+func (m *Monitor) Staleness(sensor string, now time.Duration) time.Duration {
+	r, ok := m.latest[sensor]
+	if !ok {
+		return -1
+	}
+	return now - r.T
+}
+
+// Signal is a deterministic environment model.
+type Signal interface {
+	At(t time.Duration) float64
+}
+
+// Ramp is a linearly increasing signal (an oven heating): value =
+// Slope per second.
+type Ramp struct {
+	Slope float64
+}
+
+// At implements Signal.
+func (r Ramp) At(t time.Duration) float64 { return r.Slope * t.Seconds() }
+
+// Sine is a periodic signal.
+type Sine struct {
+	Amplitude float64
+	Period    time.Duration
+}
+
+// At implements Signal.
+func (s Sine) At(t time.Duration) float64 {
+	if s.Period <= 0 {
+		return 0
+	}
+	return s.Amplitude * math.Sin(2*math.Pi*t.Seconds()/s.Period.Seconds())
+}
+
+// Tracker accumulates tracking-error samples between a monitor's view
+// and the true signal.
+type Tracker struct {
+	ErrAbs    metrics.Histogram // |view - truth| at probe times
+	StaleSecs metrics.Histogram // staleness seconds at probe times
+}
+
+// Probe samples the monitor against the truth at time now.
+func (tk *Tracker) Probe(m *Monitor, sensor string, truth Signal, now time.Duration) {
+	r, ok := m.Value(sensor)
+	if !ok {
+		return
+	}
+	tk.ErrAbs.Observe(math.Abs(r.Value - truth.At(now)))
+	tk.StaleSecs.Observe((now - r.T).Seconds())
+}
+
+// RMS returns the root-mean-square of the tracking error samples.
+func (tk *Tracker) RMS() float64 {
+	samples := tk.ErrAbs.Samples()
+	if len(samples) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range samples {
+		ss += v * v
+	}
+	return math.Sqrt(ss / float64(len(samples)))
+}

@@ -1,0 +1,117 @@
+package realtime
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTemporalMonitorDropsStale(t *testing.T) {
+	m := NewTemporalMonitor()
+	if !m.Observe(Reading{Sensor: "oven", T: 20 * time.Millisecond, Value: 200}) {
+		t.Fatal("first reading rejected")
+	}
+	// An older reading arriving late (the CATOCS-delay scenario) must
+	// not regress the view.
+	if m.Observe(Reading{Sensor: "oven", T: 10 * time.Millisecond, Value: 100}) {
+		t.Fatal("stale reading applied")
+	}
+	r, ok := m.Value("oven")
+	if !ok || r.Value != 200 {
+		t.Fatalf("view = %+v", r)
+	}
+	if m.Dropped.Value() != 1 {
+		t.Fatalf("dropped = %d", m.Dropped.Value())
+	}
+}
+
+func TestDeliveryOrderMonitorRegresses(t *testing.T) {
+	// The delivery-order consumer takes whatever order the transport
+	// gives: a late stale reading regresses the view.
+	m := NewDeliveryOrderMonitor()
+	m.Observe(Reading{Sensor: "oven", T: 20 * time.Millisecond, Value: 200})
+	m.Observe(Reading{Sensor: "oven", T: 10 * time.Millisecond, Value: 100})
+	r, _ := m.Value("oven")
+	if r.Value != 100 {
+		t.Fatalf("delivery-order monitor should have regressed; view = %+v", r)
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	m := NewTemporalMonitor()
+	if m.Staleness("oven", time.Second) != -1 {
+		t.Fatal("missing sensor should report -1")
+	}
+	m.Observe(Reading{Sensor: "oven", T: 100 * time.Millisecond, Value: 1})
+	if s := m.Staleness("oven", 150*time.Millisecond); s != 50*time.Millisecond {
+		t.Fatalf("staleness = %v", s)
+	}
+}
+
+func TestSensorsIndependent(t *testing.T) {
+	m := NewTemporalMonitor()
+	m.Observe(Reading{Sensor: "a", T: 1, Value: 1})
+	m.Observe(Reading{Sensor: "b", T: 2, Value: 2})
+	if _, ok := m.Value("a"); !ok {
+		t.Fatal("sensor a lost")
+	}
+	if _, ok := m.Value("b"); !ok {
+		t.Fatal("sensor b lost")
+	}
+}
+
+func TestRampSignal(t *testing.T) {
+	r := Ramp{Slope: 10}
+	if got := r.At(2 * time.Second); got != 20 {
+		t.Fatalf("ramp(2s) = %v", got)
+	}
+}
+
+func TestSineSignal(t *testing.T) {
+	s := Sine{Amplitude: 2, Period: time.Second}
+	if got := s.At(250 * time.Millisecond); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("sine quarter period = %v, want 2", got)
+	}
+	if (Sine{Amplitude: 1}).At(time.Second) != 0 {
+		t.Fatal("zero-period sine should be 0")
+	}
+}
+
+func TestTrackerProbeAndRMS(t *testing.T) {
+	m := NewTemporalMonitor()
+	truth := Ramp{Slope: 1}
+	var tk Tracker
+	// Perfect reading at t=1s, probed at t=1s: zero error.
+	m.Observe(Reading{Sensor: "s", T: time.Second, Value: 1})
+	tk.Probe(m, "s", truth, time.Second)
+	// Probe again at t=2s with the stale view: error 1, staleness 1s.
+	tk.Probe(m, "s", truth, 2*time.Second)
+	if tk.ErrAbs.Count() != 2 {
+		t.Fatalf("probes = %d", tk.ErrAbs.Count())
+	}
+	wantRMS := math.Sqrt((0*0 + 1*1) / 2.0)
+	if got := tk.RMS(); math.Abs(got-wantRMS) > 1e-9 {
+		t.Fatalf("rms = %v, want %v", got, wantRMS)
+	}
+	if tk.StaleSecs.Max() != 1 {
+		t.Fatalf("max staleness = %v", tk.StaleSecs.Max())
+	}
+}
+
+func TestTrackerEmpty(t *testing.T) {
+	var tk Tracker
+	if tk.RMS() != 0 {
+		t.Fatal("empty tracker RMS should be 0")
+	}
+	m := NewTemporalMonitor()
+	tk.Probe(m, "missing", Ramp{}, time.Second) // no reading: no sample
+	if tk.ErrAbs.Count() != 0 {
+		t.Fatal("probe of missing sensor recorded a sample")
+	}
+}
+
+func TestReadingSize(t *testing.T) {
+	if (Reading{}).ApproxSize() <= 0 {
+		t.Fatal("reading size")
+	}
+}

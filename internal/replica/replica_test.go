@@ -1,0 +1,247 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+)
+
+func catocsWorld(n int, seed int64, k int) (*sim.Kernel, *transport.SimNet, []*CatocsReplica) {
+	kern := sim.NewKernel(seed)
+	kern.SetEventLimit(5_000_000)
+	net := transport.NewSimNet(kern, transport.LinkConfig{BaseDelay: 2 * time.Millisecond})
+	mux := transport.NewMux(net)
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	return kern, net, NewCatocsGroup(mux, nodes, k)
+}
+
+func TestCatocsReplicationPropagates(t *testing.T) {
+	k, _, reps := catocsWorld(3, 1, 1)
+	done := false
+	reps[0].Write("x", 42, func() { done = true })
+	k.RunUntil(time.Second)
+	if !done {
+		t.Fatal("write never reached safety level")
+	}
+	for i, r := range reps {
+		if v, _, ok := r.Store().Get("x"); !ok || v != 42 {
+			t.Fatalf("replica %d: x = %v %v", i, v, ok)
+		}
+	}
+	for _, r := range reps {
+		r.Member().Close()
+	}
+}
+
+func TestCatocsWriteSafetyZeroIsImmediate(t *testing.T) {
+	k, _, reps := catocsWorld(3, 2, 0)
+	done := false
+	reps[0].Write("x", 1, func() { done = true })
+	if !done {
+		t.Fatal("k=0 write must complete immediately (asynchronously)")
+	}
+	k.RunUntil(time.Second)
+	for _, r := range reps {
+		r.Member().Close()
+	}
+}
+
+func TestCatocsWriteSafetyZeroLosesUpdateOnCrash(t *testing.T) {
+	// The §4.4 durability anomaly: with k=0 the primary's write
+	// "completes", the primary crashes before the multicast lands, and
+	// the update is lost at every survivor.
+	k, net, reps := catocsWorld(3, 3, 0)
+	completed := false
+	reps[0].Write("x", "doomed", func() { completed = true })
+	if !completed {
+		t.Fatal("asynchronous write should report completion")
+	}
+	net.Crash(0)
+	k.RunUntil(time.Second)
+	for i := 1; i < 3; i++ {
+		if _, _, ok := reps[i].Store().Get("x"); ok {
+			t.Fatalf("replica %d received the doomed write; crash injection failed", i)
+		}
+	}
+	for _, r := range reps {
+		r.Member().Close()
+	}
+}
+
+func TestCatocsWriteSafetyOneSurvivesCrash(t *testing.T) {
+	// With k>=1 the write completes only after a replica holds it, so a
+	// completed write survives the primary's crash (the replica can
+	// retransmit via atomic delivery).
+	k, net, reps := catocsWorld(3, 4, 1)
+	var completedAt time.Duration
+	reps[0].Write("x", "safe", func() { completedAt = k.Now() })
+	k.RunUntil(100 * time.Millisecond)
+	if completedAt == 0 {
+		t.Fatal("write did not complete")
+	}
+	net.Crash(0)
+	k.RunUntil(2 * time.Second)
+	// At least one survivor holds the value, and atomic retransmission
+	// spreads it to the rest.
+	holders := 0
+	for i := 1; i < 3; i++ {
+		if v, _, ok := reps[i].Store().Get("x"); ok && v == "safe" {
+			holders++
+		}
+	}
+	if holders == 0 {
+		t.Fatal("completed k=1 write lost after primary crash")
+	}
+	for _, r := range reps {
+		r.Member().Close()
+	}
+}
+
+func TestCatocsWriteLatencyGrowsWithK(t *testing.T) {
+	// k=1 completes after one replica ack; k=2 must wait for the
+	// slowest of two. With uniform delay both need a round trip, so
+	// compare k=1 against k=0 (immediate) and check k=2 >= k=1.
+	lat := func(kSafety int) float64 {
+		k, _, reps := catocsWorld(3, 5, kSafety)
+		reps[0].Write("x", 1, nil)
+		k.RunUntil(time.Second)
+		for _, r := range reps {
+			r.Member().Close()
+		}
+		return reps[0].WriteLatency.Mean()
+	}
+	l1, l2 := lat(1), lat(2)
+	if l1 <= 0 {
+		t.Fatalf("k=1 latency = %v, want positive (a full round trip)", l1)
+	}
+	if l2 < l1 {
+		t.Fatalf("k=2 latency %v < k=1 latency %v", l2, l1)
+	}
+}
+
+func TestCatocsSequentialWritesOrdered(t *testing.T) {
+	k, _, reps := catocsWorld(3, 6, 1)
+	for i := 0; i < 10; i++ {
+		reps[0].Write("x", i, nil)
+	}
+	k.RunUntil(time.Second)
+	for i, r := range reps {
+		v, ver, ok := r.Store().Get("x")
+		if !ok || v != 9 || ver.Seq != 10 {
+			t.Fatalf("replica %d: final x=%v ver=%v", i, v, ver)
+		}
+	}
+	for _, r := range reps {
+		r.Member().Close()
+	}
+}
+
+func txWorld(n int, seed int64) (*sim.Kernel, *transport.SimNet, *TxGroup) {
+	kern := sim.NewKernel(seed)
+	net := transport.NewSimNet(kern, transport.LinkConfig{BaseDelay: 2 * time.Millisecond})
+	mux := transport.NewMux(net)
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i + 1)
+	}
+	g := NewTxGroup(mux, 0, nodes)
+	g.Coordinator().PrepareTimeout = 50 * time.Millisecond
+	return kern, net, g
+}
+
+func TestTxReplicationCommits(t *testing.T) {
+	k, _, g := txWorld(3, 1)
+	ok := false
+	g.Write("x", 7, func(committed bool) { ok = committed })
+	k.Run()
+	if !ok {
+		t.Fatal("write did not commit")
+	}
+	for _, n := range g.Available() {
+		if v, _, okGet := g.StoreAt(n).Get("x"); !okGet || v != 7 {
+			t.Fatalf("replica %d missing committed write", n)
+		}
+	}
+	if v, okRead := g.Read("x"); !okRead || v != 7 {
+		t.Fatal("read-any failed")
+	}
+}
+
+func TestTxReplicationDropsCrashedReplica(t *testing.T) {
+	k, net, g := txWorld(3, 2)
+	net.Crash(2)
+	ok := false
+	g.Write("x", 7, func(committed bool) { ok = committed })
+	k.Run()
+	if !ok {
+		t.Fatal("write should commit after dropping the crashed replica")
+	}
+	if len(g.Available()) != 2 {
+		t.Fatalf("availability list = %v, want 2 entries", g.Available())
+	}
+	if g.Retries.Value() != 1 || g.Dropped.Value() != 1 {
+		t.Fatalf("retries=%d dropped=%d", g.Retries.Value(), g.Dropped.Value())
+	}
+	// Survivors hold the value.
+	for _, n := range g.Available() {
+		if v, _, okGet := g.StoreAt(n).Get("x"); !okGet || v != 7 {
+			t.Fatalf("survivor %d missing write", n)
+		}
+	}
+}
+
+func TestTxReplicationAllCrashedFails(t *testing.T) {
+	k, net, g := txWorld(2, 3)
+	net.Crash(1)
+	net.Crash(2)
+	result := true
+	done := false
+	g.Write("x", 1, func(committed bool) { result = committed; done = true })
+	k.Run()
+	if !done {
+		t.Fatal("onDone never fired")
+	}
+	if result {
+		t.Fatal("write committed with zero available replicas")
+	}
+}
+
+func TestTxConcurrentUpdaters(t *testing.T) {
+	// Multiple writes in flight simultaneously — the concurrency CATOCS
+	// primary-updater replication forgoes.
+	k, _, g := txWorld(3, 4)
+	committed := 0
+	for i := 0; i < 10; i++ {
+		key := string(rune('a' + i))
+		g.Write(key, i, func(ok bool) {
+			if ok {
+				committed++
+			}
+		})
+	}
+	k.Run()
+	if committed != 10 {
+		t.Fatalf("committed %d of 10 concurrent writes", committed)
+	}
+}
+
+func TestTxReadMissingKey(t *testing.T) {
+	_, _, g := txWorld(2, 5)
+	if _, ok := g.Read("ghost"); ok {
+		t.Fatal("read of missing key succeeded")
+	}
+	if g.StoreAt(99) != nil {
+		t.Fatal("store of unknown node should be nil")
+	}
+}
+
+func TestWriteAckSize(t *testing.T) {
+	if (WriteAck{}).ApproxSize() <= 0 {
+		t.Fatal("ack size")
+	}
+}

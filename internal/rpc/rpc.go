@@ -1,0 +1,193 @@
+// Package rpc implements a small asynchronous RPC layer over the
+// transport, with the instance-granular wait tracking Appendix 9.2's
+// deadlock detector needs: every invocation gets a unique instance
+// (process, id), servers may hold a request open while issuing nested
+// calls (the multi-threaded case van Renesse's process-level detector
+// cannot handle), and each endpoint exports its current wait-for edges
+// for periodic reporting — no causal multicast anywhere.
+package rpc
+
+import (
+	"fmt"
+	"sort"
+
+	"catocs/internal/detect"
+	"catocs/internal/metrics"
+	"catocs/internal/transport"
+)
+
+// reqMsg is an invocation on the wire.
+type reqMsg struct {
+	Method string
+	Args   any
+	// Caller names the invoking instance; Inst is the id the callee
+	// must use for the serving instance (assigned by the caller so both
+	// sides agree on the edge without an extra round trip).
+	Caller detect.Instance
+	Inst   detect.Instance
+}
+
+// ApproxSize implements transport.Sizer.
+func (r reqMsg) ApproxSize() int { return 64 + len(r.Method) }
+
+// respMsg is a reply.
+type respMsg struct {
+	Inst   detect.Instance // the serving instance that completed
+	Caller detect.Instance
+	Result any
+	Err    string
+}
+
+// ApproxSize implements transport.Sizer.
+func (r respMsg) ApproxSize() int { return 64 + len(r.Err) }
+
+// Ctx identifies the serving instance inside a handler; nested calls
+// made through it hang their wait edges off this instance.
+type Ctx struct {
+	// Inst is the serving instance.
+	Inst detect.Instance
+	// Respond completes the RPC. It must be called exactly once, now or
+	// later (servers that park requests while calling out are how RPC
+	// deadlocks happen).
+	Respond func(result any, err error)
+}
+
+// Handler serves one method. It may call Respond synchronously or
+// hold it.
+type Handler func(ctx Ctx, args any)
+
+// Endpoint is one process's RPC port: client and server in one.
+type Endpoint struct {
+	net  transport.Network
+	node transport.NodeID
+	// Name is the process name used in instance ids ("A", "B", ...).
+	Name string
+
+	handlers map[string]Handler
+	nextInst int
+	// waits maps an outstanding caller instance to the callee instance
+	// it is blocked on.
+	waits map[detect.Instance]detect.Instance
+	// continuations for outstanding calls, keyed by caller instance.
+	conts map[detect.Instance]func(any, error)
+
+	Calls   metrics.Counter
+	Serves  metrics.Counter
+	Replies metrics.Counter
+}
+
+// NewEndpoint registers an RPC endpoint at node with the given process
+// name.
+func NewEndpoint(net transport.Network, node transport.NodeID, name string) *Endpoint {
+	e := &Endpoint{
+		net:      net,
+		node:     node,
+		Name:     name,
+		handlers: make(map[string]Handler),
+		waits:    make(map[detect.Instance]detect.Instance),
+		conts:    make(map[detect.Instance]func(any, error)),
+	}
+	net.Register(node, e.handle)
+	return e
+}
+
+// Handle registers a method handler.
+func (e *Endpoint) Handle(method string, h Handler) { e.handlers[method] = h }
+
+// newInst mints a fresh local instance.
+func (e *Endpoint) newInst() detect.Instance {
+	e.nextInst++
+	return detect.Instance{Proc: e.Name, ID: e.nextInst}
+}
+
+// Call invokes method at target from a fresh top-level instance and
+// returns that instance (the caller's identity in wait-for edges).
+// onDone receives the result or error. A single instance supports one
+// outstanding call at a time — blocking-RPC semantics; concurrency
+// comes from multiple instances, not from one instance multiplexing.
+func (e *Endpoint) Call(target transport.NodeID, method string, args any, onDone func(any, error)) detect.Instance {
+	caller := e.newInst()
+	e.callFrom(caller, target, method, args, onDone)
+	return caller
+}
+
+// CallFrom invokes method at target from within a handler: the serving
+// instance in ctx is recorded as waiting on the callee. It returns the
+// waiting instance (ctx's).
+func (e *Endpoint) CallFrom(ctx Ctx, target transport.NodeID, method string, args any, onDone func(any, error)) detect.Instance {
+	e.callFrom(ctx.Inst, target, method, args, onDone)
+	return ctx.Inst
+}
+
+func (e *Endpoint) callFrom(caller detect.Instance, target transport.NodeID, method string, args any, onDone func(any, error)) {
+	// The callee instance id is minted by the caller so both sides
+	// agree on the wait edge without a handshake. Uniqueness comes from
+	// the caller instance, which is itself unique.
+	calleeInst := detect.Instance{Proc: fmt.Sprintf("@%d", target), ID: caller.ID<<16 | int(e.node)}
+	e.waits[caller] = calleeInst
+	e.conts[caller] = onDone
+	e.Calls.Inc()
+	e.net.Send(e.node, target, reqMsg{Method: method, Args: args, Caller: caller, Inst: calleeInst})
+}
+
+// WaitEdges exports the endpoint's current wait-for edges, sorted.
+func (e *Endpoint) WaitEdges() []detect.Edge {
+	out := make([]detect.Edge, 0, len(e.waits))
+	for from, to := range e.waits {
+		out = append(out, detect.Edge{From: from, To: to})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].From, out[j].From
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// Outstanding returns the number of open outbound calls.
+func (e *Endpoint) Outstanding() int { return len(e.waits) }
+
+// handle is the endpoint's receive path.
+func (e *Endpoint) handle(from transport.NodeID, payload any) {
+	switch msg := payload.(type) {
+	case reqMsg:
+		h, ok := e.handlers[msg.Method]
+		if !ok {
+			e.net.Send(e.node, from, respMsg{
+				Inst: msg.Inst, Caller: msg.Caller,
+				Err: fmt.Sprintf("rpc: no handler for %q", msg.Method),
+			})
+			return
+		}
+		e.Serves.Inc()
+		responded := false
+		ctx := Ctx{Inst: msg.Inst}
+		ctx.Respond = func(result any, err error) {
+			if responded {
+				panic("rpc: Respond called twice for " + msg.Inst.String())
+			}
+			responded = true
+			resp := respMsg{Inst: msg.Inst, Caller: msg.Caller, Result: result}
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			e.Replies.Inc()
+			e.net.Send(e.node, from, resp)
+		}
+		h(ctx, msg.Args)
+	case respMsg:
+		cont, ok := e.conts[msg.Caller]
+		if !ok {
+			return // duplicate or cancelled
+		}
+		delete(e.conts, msg.Caller)
+		delete(e.waits, msg.Caller)
+		var err error
+		if msg.Err != "" {
+			err = fmt.Errorf("%s", msg.Err)
+		}
+		cont(msg.Result, err)
+	}
+}

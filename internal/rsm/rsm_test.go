@@ -1,0 +1,152 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/wal"
+)
+
+func world(n int, seed int64, loss float64) (*sim.Kernel, []*Replica, []*wal.Device) {
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{
+		BaseDelay: time.Millisecond, Jitter: 3 * time.Millisecond, LossProb: loss,
+	})
+	nodes := make([]transport.NodeID, n)
+	devices := make([]*wal.Device, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+		devices[i] = wal.NewDevice()
+	}
+	reps, err := NewGroup(net, nodes, devices)
+	if err != nil {
+		panic(err)
+	}
+	return k, reps, devices
+}
+
+func closeAll(reps []*Replica) {
+	for _, r := range reps {
+		r.Member().Close()
+	}
+}
+
+func TestReplicasConverge(t *testing.T) {
+	k, reps, _ := world(3, 1, 0)
+	reps[0].Submit(Command{Op: "set", Key: "a", Value: 1})
+	reps[1].Submit(Command{Op: "set", Key: "b", Value: 2})
+	reps[2].Submit(Command{Op: "set", Key: "a", Value: 3})
+	k.RunUntil(time.Second)
+	closeAll(reps)
+	if !Converged(reps) {
+		t.Fatal("replicas diverged")
+	}
+	if reps[0].Applied() != 3 {
+		t.Fatalf("applied = %d", reps[0].Applied())
+	}
+	// Total order: everyone has the SAME final value for "a", whichever
+	// write the sequencer ordered last.
+	v0, _ := reps[0].Get("a")
+	for i, r := range reps {
+		if v, _ := r.Get("a"); v != v0 {
+			t.Fatalf("replica %d: a=%v vs %v", i, v, v0)
+		}
+	}
+}
+
+func TestConvergenceUnderLoss(t *testing.T) {
+	k, reps, _ := world(4, 2, 0.15)
+	for i := 0; i < 20; i++ {
+		reps[i%4].Submit(Command{Op: "set", Key: fmt.Sprintf("k%d", i%5), Value: i})
+	}
+	k.RunUntil(10 * time.Second)
+	closeAll(reps)
+	if !Converged(reps) {
+		t.Fatal("replicas diverged under loss")
+	}
+	if reps[0].Applied() != 20 {
+		t.Fatalf("applied = %d, want 20", reps[0].Applied())
+	}
+}
+
+func TestLogsIdenticalAcrossReplicas(t *testing.T) {
+	k, reps, devs := world(3, 3, 0.1)
+	for i := 0; i < 10; i++ {
+		reps[i%3].Submit(Command{Op: "set", Key: "x", Value: i})
+	}
+	k.RunUntil(5 * time.Second)
+	closeAll(reps)
+	base := devs[0].Records()
+	for d := 1; d < 3; d++ {
+		recs := devs[d].Records()
+		if len(recs) != len(base) {
+			t.Fatalf("log lengths differ: %d vs %d", len(base), len(recs))
+		}
+		for i := range recs {
+			if recs[i].Seq != base[i].Seq || recs[i].Value != base[i].Value {
+				t.Fatalf("logs diverge at %d: %+v vs %+v", i, base[i], recs[i])
+			}
+		}
+	}
+}
+
+func TestRecoveryFromLog(t *testing.T) {
+	k, reps, devs := world(3, 4, 0)
+	reps[0].Submit(Command{Op: "set", Key: "a", Value: 1})
+	reps[0].Submit(Command{Op: "set", Key: "b", Value: 2})
+	reps[0].Submit(Command{Op: "del", Key: "a"})
+	k.RunUntil(time.Second)
+	closeAll(reps)
+
+	// "Restart": a fresh replica recovers from replica 1's log alone.
+	recovered := &Replica{dev: devs[1], kv: make(map[string]any)}
+	if err := recovered.recover(); err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Applied() != 3 {
+		t.Fatalf("recovered applied = %d", recovered.Applied())
+	}
+	if _, ok := recovered.Get("a"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if v, _ := recovered.Get("b"); v != 2 {
+		t.Fatalf("recovered b = %v", v)
+	}
+}
+
+func TestRecoveryDetectsCorruptLog(t *testing.T) {
+	dev := wal.NewDevice()
+	dev.Append(wal.Record{Object: "log", Seq: 2, Value: Command{Op: "set", Key: "x"}})
+	r := &Replica{dev: dev, kv: make(map[string]any)}
+	if err := r.recover(); err == nil {
+		t.Fatal("gap in log not detected")
+	}
+}
+
+func TestDeviceCountMismatch(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := transport.NewSimNet(k, transport.LinkConfig{})
+	_, err := NewGroup(net, []transport.NodeID{0, 1}, []*wal.Device{wal.NewDevice()})
+	if err == nil {
+		t.Fatal("mismatched device count accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() string {
+		k, reps, devs := world(3, 9, 0.1)
+		for i := 0; i < 8; i++ {
+			reps[i%3].Submit(Command{Op: "set", Key: fmt.Sprintf("k%d", i), Value: i})
+		}
+		k.RunUntil(5 * time.Second)
+		closeAll(reps)
+		return fmt.Sprint(devs[0].Records())
+	}
+	if run() != run() {
+		t.Fatal("rsm runs not reproducible")
+	}
+}

@@ -1,0 +1,142 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every experiment in this repository runs on virtual time: protocol
+// stacks schedule events on a Kernel, and the kernel executes them in
+// timestamp order with a deterministic tiebreak. Given the same seed,
+// a run is bit-for-bit reproducible, which is what lets us reproduce
+// the paper's ordering anomalies (Figures 2-4) on demand rather than
+// waiting for an unlucky scheduling on a real network.
+//
+// The kernel is intentionally tiny: a binary heap of (time, seq,
+// thunk) entries, a virtual clock, and a seeded PRNG. Everything
+// else — links, nodes, protocols — lives in higher layers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled thunk. seq breaks timestamp ties so execution
+// order is deterministic and FIFO among same-time events.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fire func()
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use: all protocol code runs inside kernel events, so
+// the whole simulated world is single-threaded by construction —
+// exactly the "processes interleave arbitrarily" model the paper's
+// event diagrams assume, without data races.
+type Kernel struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	fired  uint64
+	limit  uint64 // safety valve against runaway simulations; 0 = none
+}
+
+// NewKernel returns a kernel with virtual time 0 and a PRNG seeded with
+// seed. Two kernels with the same seed and the same scheduled workload
+// execute identically.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic PRNG. All randomness in a
+// simulation (link jitter, loss, workload arrivals) must come from
+// here to preserve reproducibility.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// SetEventLimit installs a safety limit on the number of events a Run
+// may fire; exceeding it panics. Useful in tests of protocols that
+// could livelock.
+func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// At schedules f to run at absolute virtual time t. Scheduling in the
+// past is a programming error and panics: silent reordering of the
+// past would invalidate every causality experiment built on top.
+func (k *Kernel) At(t time.Duration, f func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fire: f})
+}
+
+// After schedules f to run d after the current virtual time.
+func (k *Kernel) After(d time.Duration, f func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, f)
+}
+
+// Pending returns the number of scheduled, unfired events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Fired returns the total number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Step fires the single earliest event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.at
+	k.fired++
+	if k.limit != 0 && k.fired > k.limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
+	}
+	e.fire()
+	return true
+}
+
+// Run fires events until none remain.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, advancing the
+// clock to the deadline afterwards even if the queue drained early.
+// Events scheduled beyond the deadline remain queued.
+func (k *Kernel) RunUntil(deadline time.Duration) {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}

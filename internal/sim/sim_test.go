@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(30*time.Millisecond, func() { got = append(got, 3) })
+	k.At(10*time.Millisecond, func() { got = append(got, 1) })
+	k.At(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v", got)
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("final time = %v", k.Now())
+	}
+}
+
+func TestFIFOTiebreak(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	k := NewKernel(1)
+	var fireTime time.Duration
+	k.At(5*time.Millisecond, func() {
+		k.After(7*time.Millisecond, func() { fireTime = k.Now() })
+	})
+	k.Run()
+	if fireTime != 12*time.Millisecond {
+		t.Fatalf("After fired at %v, want 12ms", fireTime)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(5*time.Millisecond, func() {})
+	})
+	k.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.At(10*time.Millisecond, func() { fired++ })
+	k.At(20*time.Millisecond, func() { fired++ })
+	k.RunUntil(15 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != 15*time.Millisecond {
+		t.Fatalf("now = %v, want 15ms", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if fired != 2 {
+		t.Fatalf("after Run fired = %d, want 2", fired)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		k := NewKernel(42)
+		var trace []time.Duration
+		var tick func()
+		n := 0
+		tick = func() {
+			trace = append(trace, k.Now())
+			n++
+			if n < 50 {
+				k.After(time.Duration(k.Rand().Intn(1000))*time.Microsecond, tick)
+			}
+		}
+		k.At(0, tick)
+		k.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := NewKernel(1)
+	k.SetEventLimit(10)
+	var loop func()
+	loop = func() { k.After(time.Millisecond, loop) }
+	k.At(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected event-limit panic")
+		}
+	}()
+	k.Run()
+}
+
+func TestFiredCount(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 5; i++ {
+		k.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	k.Run()
+	if k.Fired() != 5 {
+		t.Fatalf("fired = %d, want 5", k.Fired())
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	k.After(-time.Second, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("negative After should clamp to now and run")
+	}
+}

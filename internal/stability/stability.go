@@ -1,0 +1,126 @@
+// Package stability implements the unstable-message buffering and
+// matrix-clock stability tracking that atomic CATOCS delivery requires:
+// every member retains a copy of each message until it is known to have
+// been delivered at every other member, so that retransmission is
+// possible even after the original sender fails.
+//
+// This buffer is the object of the paper's Section 5 scalability
+// argument — its occupancy is expected to grow with group size — so the
+// tracker instruments occupancy, high-water mark, and eviction counts
+// directly.
+package stability
+
+import (
+	"catocs/internal/metrics"
+	"catocs/internal/vclock"
+)
+
+// Key identifies a buffered message: the seq'th multicast from a
+// sender.
+type Key struct {
+	Sender vclock.ProcessID
+	Seq    uint64
+}
+
+// Tracker is one member's unstable-message buffer plus the matrix
+// clock that decides when entries may be discarded. Not safe for
+// concurrent use; the owning member serializes access.
+type Tracker struct {
+	n         int
+	matrix    *vclock.Matrix
+	buf       map[Key]any
+	occupancy metrics.Gauge
+	evicted   metrics.Counter
+	buffered  metrics.Counter
+}
+
+// New returns a tracker for a group of n members.
+func New(n int) *Tracker {
+	return &Tracker{
+		n:      n,
+		matrix: vclock.NewMatrix(n),
+		buf:    make(map[Key]any),
+	}
+}
+
+// Buffer retains msg under k until stability. Re-buffering an existing
+// key (a retransmitted copy) is a no-op.
+func (t *Tracker) Buffer(k Key, msg any) {
+	if _, ok := t.buf[k]; ok {
+		return
+	}
+	// A message already known stable must not re-enter the buffer (a
+	// late duplicate would otherwise linger forever).
+	if t.matrix.Stable(k.Sender, k.Seq) {
+		return
+	}
+	t.buf[k] = msg
+	t.buffered.Inc()
+	t.occupancy.Set(int64(len(t.buf)))
+}
+
+// Get returns the buffered message for k, if still held.
+func (t *Tracker) Get(k Key) (any, bool) {
+	m, ok := t.buf[k]
+	return m, ok
+}
+
+// ObserveAck merges process p's delivered clock into the matrix and
+// evicts every buffered message that became stable. It returns the
+// number of evictions.
+func (t *Tracker) ObserveAck(p vclock.ProcessID, delivered vclock.VC) int {
+	t.matrix.Update(p, delivered)
+	min := t.matrix.MinClock()
+	evicted := 0
+	for k := range t.buf {
+		if k.Seq <= min[k.Sender] {
+			delete(t.buf, k)
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		t.evicted.Add(uint64(evicted))
+		t.occupancy.Set(int64(len(t.buf)))
+	}
+	return evicted
+}
+
+// Stable reports whether message k is known delivered everywhere.
+func (t *Tracker) Stable(k Key) bool { return t.matrix.Stable(k.Sender, k.Seq) }
+
+// MinClock returns the current stability frontier.
+func (t *Tracker) MinClock() vclock.VC { return t.matrix.MinClock() }
+
+// Occupancy returns the current number of buffered messages.
+func (t *Tracker) Occupancy() int { return len(t.buf) }
+
+// HighWater returns the maximum occupancy ever observed.
+func (t *Tracker) HighWater() int64 { return t.occupancy.Max() }
+
+// Evicted returns the total number of messages evicted as stable.
+func (t *Tracker) Evicted() uint64 { return t.evicted.Value() }
+
+// Buffered returns the total number of messages ever buffered.
+func (t *Tracker) Buffered() uint64 { return t.buffered.Value() }
+
+// Keys returns the identities of all currently buffered messages, in
+// unspecified order. Used by the view-change flush, which must
+// redistribute unstable messages before installing a new view.
+func (t *Tracker) Keys() []Key {
+	out := make([]Key, 0, len(t.buf))
+	for k := range t.buf {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Resize rebuilds the tracker for a new group size at a view change,
+// preserving buffered messages (their keys keep old-epoch ranks only if
+// the caller re-buffers; the group layer handles re-mapping). The
+// matrix restarts from zero because delivered counts reset per epoch.
+func (t *Tracker) Resize(n int) {
+	t.n = n
+	t.matrix = vclock.NewMatrix(n)
+	t.buf = make(map[Key]any)
+	t.occupancy.Set(0)
+}

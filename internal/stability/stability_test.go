@@ -1,0 +1,146 @@
+package stability
+
+import (
+	"math/rand"
+	"testing"
+
+	"catocs/internal/vclock"
+)
+
+func TestBufferAndEvict(t *testing.T) {
+	tr := New(3)
+	k := Key{Sender: 0, Seq: 1}
+	tr.Buffer(k, "msg")
+	if got, ok := tr.Get(k); !ok || got != "msg" {
+		t.Fatal("buffered message not retrievable")
+	}
+	if tr.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d", tr.Occupancy())
+	}
+	// Two of three rows: not stable.
+	tr.ObserveAck(0, vclock.VC{1, 0, 0})
+	tr.ObserveAck(1, vclock.VC{1, 0, 0})
+	if tr.Occupancy() != 1 {
+		t.Fatal("evicted before stability")
+	}
+	if ev := tr.ObserveAck(2, vclock.VC{1, 0, 0}); ev != 1 {
+		t.Fatalf("evicted = %d, want 1", ev)
+	}
+	if tr.Occupancy() != 0 {
+		t.Fatal("stable message not evicted")
+	}
+	if tr.Evicted() != 1 || tr.Buffered() != 1 {
+		t.Fatalf("counters: evicted=%d buffered=%d", tr.Evicted(), tr.Buffered())
+	}
+}
+
+func TestRebufferIsNoOp(t *testing.T) {
+	tr := New(2)
+	k := Key{Sender: 0, Seq: 1}
+	tr.Buffer(k, "first")
+	tr.Buffer(k, "second")
+	if got, _ := tr.Get(k); got != "first" {
+		t.Fatal("re-buffer replaced original")
+	}
+	if tr.Buffered() != 1 {
+		t.Fatalf("buffered count = %d", tr.Buffered())
+	}
+}
+
+func TestLateDuplicateOfStableMessageRejected(t *testing.T) {
+	tr := New(2)
+	k := Key{Sender: 0, Seq: 1}
+	tr.ObserveAck(0, vclock.VC{1, 0})
+	tr.ObserveAck(1, vclock.VC{1, 0})
+	// Message is already stable; buffering a late duplicate must not
+	// leave a zombie entry.
+	tr.Buffer(k, "late dup")
+	if tr.Occupancy() != 0 {
+		t.Fatal("stable message re-entered the buffer")
+	}
+}
+
+func TestStableQuery(t *testing.T) {
+	tr := New(2)
+	if tr.Stable(Key{Sender: 0, Seq: 1}) {
+		t.Fatal("nothing should be stable initially")
+	}
+	tr.ObserveAck(0, vclock.VC{2, 0})
+	tr.ObserveAck(1, vclock.VC{1, 0})
+	if !tr.Stable(Key{Sender: 0, Seq: 1}) {
+		t.Fatal("seq 1 should be stable (min row = 1)")
+	}
+	if tr.Stable(Key{Sender: 0, Seq: 2}) {
+		t.Fatal("seq 2 not yet stable")
+	}
+}
+
+func TestHighWater(t *testing.T) {
+	tr := New(2)
+	for i := uint64(1); i <= 5; i++ {
+		tr.Buffer(Key{Sender: 0, Seq: i}, i)
+	}
+	tr.ObserveAck(0, vclock.VC{5, 0})
+	tr.ObserveAck(1, vclock.VC{5, 0})
+	if tr.Occupancy() != 0 {
+		t.Fatal("not drained")
+	}
+	if tr.HighWater() != 5 {
+		t.Fatalf("high water = %d, want 5", tr.HighWater())
+	}
+}
+
+func TestKeys(t *testing.T) {
+	tr := New(2)
+	tr.Buffer(Key{0, 1}, "a")
+	tr.Buffer(Key{1, 3}, "b")
+	keys := tr.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestResize(t *testing.T) {
+	tr := New(2)
+	tr.Buffer(Key{0, 1}, "a")
+	tr.Resize(4)
+	if tr.Occupancy() != 0 {
+		t.Fatal("resize must clear the buffer")
+	}
+	if tr.MinClock().Len() != 4 {
+		t.Fatalf("min clock length = %d", tr.MinClock().Len())
+	}
+}
+
+func TestEvictionNeverLosesUnstable(t *testing.T) {
+	// Property: after random ack sequences, every buffered message whose
+	// seq exceeds the min-row for its sender is still present.
+	r := rand.New(rand.NewSource(1))
+	tr := New(4)
+	live := make(map[Key]bool)
+	for i := 0; i < 300; i++ {
+		if r.Intn(2) == 0 {
+			k := Key{Sender: vclock.ProcessID(r.Intn(4)), Seq: uint64(1 + r.Intn(20))}
+			if !tr.Stable(k) {
+				tr.Buffer(k, i)
+				live[k] = true
+			}
+		} else {
+			v := vclock.New(4)
+			for j := range v {
+				v[j] = uint64(r.Intn(20))
+			}
+			tr.ObserveAck(vclock.ProcessID(r.Intn(4)), v)
+		}
+		min := tr.MinClock()
+		for k := range live {
+			if k.Seq <= min[k.Sender] {
+				delete(live, k) // legitimately evicted
+				continue
+			}
+			if _, ok := tr.Get(k); !ok {
+				t.Fatalf("unstable message %v evicted (min=%v)", k, min)
+			}
+		}
+	}
+}

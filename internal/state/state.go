@@ -1,0 +1,296 @@
+// Package state implements the paper's state-level alternative to
+// CATOCS: logical clocks on application state rather than on
+// communication.
+//
+// Three tools cover the paper's examples:
+//
+//   - Store: a versioned object store. Every Put advances the object's
+//     version — a "state clock tick" (§6). The SFC scenario (Figure 2)
+//     uses a Store as the shared database whose version numbers make
+//     hidden-channel orderings explicit; the trading scenario (§4.1)
+//     uses versions as the base-object identities in dependency fields.
+//   - Reorderer: receiver-side prescriptive ordering. Messages carry
+//     the version (sequence number) their sender assigned from state,
+//     and the receiver releases them in version order regardless of
+//     arrival order — no communication-level support needed.
+//   - Cache: the order-preserving data cache generalized from the
+//     Netnews and trading solutions (§4.1): entries carry dependency
+//     fields (id + version of base data), the cache installs an update
+//     only at a newer version, holds updates whose dependencies have
+//     not arrived, and can report whether a derived entry is current
+//     with respect to its bases — the check that eliminates the
+//     Figure 4 false crossing.
+//
+// Store is safe for concurrent use (it plays the role of a shared
+// database accessed by concurrent clients); Reorderer and Cache are
+// single-owner like the protocol stacks.
+package state
+
+import (
+	"sort"
+	"sync"
+
+	"catocs/internal/vclock"
+)
+
+// Store is a versioned key-value store: the paper's shared database
+// with state-level logical clocks.
+type Store struct {
+	mu      sync.Mutex
+	objects map[string]*record
+	puts    uint64
+}
+
+type record struct {
+	value any
+	seq   uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string]*record)}
+}
+
+// Put writes value under object, advancing its version, and returns
+// the new version — the prescriptive-ordering stamp the writer attaches
+// to any message announcing the update.
+func (s *Store) Put(object string, value any) vclock.Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objects[object]
+	if !ok {
+		r = &record{}
+		s.objects[object] = r
+	}
+	r.value = value
+	r.seq++
+	s.puts++
+	return vclock.Version{Object: object, Seq: r.seq}
+}
+
+// Get returns the current value and version of object.
+func (s *Store) Get(object string) (any, vclock.Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objects[object]
+	if !ok {
+		return nil, vclock.Version{Object: object}, false
+	}
+	return r.value, vclock.Version{Object: object, Seq: r.seq}, true
+}
+
+// Version returns object's current version number (0 if absent).
+func (s *Store) Version(object string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.objects[object]; ok {
+		return r.seq
+	}
+	return 0
+}
+
+// Puts returns the lifetime number of writes — the "state clock" rate
+// §6 contrasts with the (much higher) communication clock rate.
+func (s *Store) Puts() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts
+}
+
+// Reorderer releases values in prescriptive (version) order for one
+// object stream: submit values with their versions in any order, get
+// back the maximal in-order prefix that became releasable.
+type Reorderer struct {
+	next uint64 // next version to release, 1-based
+	held map[uint64]any
+}
+
+// NewReorderer returns a reorderer expecting versions 1, 2, 3, ...
+func NewReorderer() *Reorderer {
+	return &Reorderer{next: 1, held: make(map[uint64]any)}
+}
+
+// Submit offers a value with its prescriptive version. It returns the
+// values that became releasable, in version order (possibly empty).
+// Stale or duplicate versions are dropped.
+func (r *Reorderer) Submit(version uint64, value any) []any {
+	if version < r.next {
+		return nil // stale duplicate
+	}
+	if _, dup := r.held[version]; dup {
+		return nil
+	}
+	r.held[version] = value
+	var out []any
+	for {
+		v, ok := r.held[r.next]
+		if !ok {
+			return out
+		}
+		delete(r.held, r.next)
+		r.next++
+		out = append(out, v)
+	}
+}
+
+// Held returns the number of out-of-order values currently buffered —
+// the state-level analogue of the CATOCS delay queue, except it exists
+// only for streams the application actually declared ordered.
+func (r *Reorderer) Held() int { return len(r.held) }
+
+// Next returns the next version the reorderer will release.
+func (r *Reorderer) Next() uint64 { return r.next }
+
+// Update is one entry offered to the order-preserving Cache.
+type Update struct {
+	// Object and Version identify the datum and its state clock.
+	Object  string
+	Version uint64
+	Value   any
+	// Deps are dependency fields: the base-object versions this datum
+	// was computed from (§4.1's "designated dependency field").
+	Deps []vclock.Version
+}
+
+// Cache is the order-preserving data cache. It installs updates in
+// version order per object, holds updates whose dependencies have not
+// yet arrived, and answers consistency queries against dependency
+// fields.
+type Cache struct {
+	entries map[string]*entry
+	waiting []Update
+	// Stats.
+	installed  uint64
+	staleDrops uint64
+	maxWaiting int
+}
+
+type entry struct {
+	value   any
+	version uint64
+	deps    []vclock.Version
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// depsSatisfied reports whether every dependency is present at an
+// equal-or-later version.
+func (c *Cache) depsSatisfied(u Update) bool {
+	for _, d := range u.Deps {
+		e, ok := c.entries[d.Object]
+		if !ok || e.version < d.Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply offers an update. Stale updates (version not newer than the
+// installed one) are dropped; updates with unmet dependencies are held;
+// otherwise the update installs and any now-satisfiable held updates
+// install after it. It returns the number of updates installed.
+func (c *Cache) Apply(u Update) int {
+	if e, ok := c.entries[u.Object]; ok && u.Version <= e.version {
+		c.staleDrops++
+		return 0
+	}
+	if !c.depsSatisfied(u) {
+		c.waiting = append(c.waiting, u)
+		if len(c.waiting) > c.maxWaiting {
+			c.maxWaiting = len(c.waiting)
+		}
+		return 0
+	}
+	c.install(u)
+	return 1 + c.drain()
+}
+
+func (c *Cache) install(u Update) {
+	c.entries[u.Object] = &entry{value: u.Value, version: u.Version, deps: u.Deps}
+	c.installed++
+}
+
+// drain installs held updates until a fixpoint, oldest versions first
+// for determinism.
+func (c *Cache) drain() int {
+	n := 0
+	for {
+		progress := false
+		sort.SliceStable(c.waiting, func(i, j int) bool { return c.waiting[i].Version < c.waiting[j].Version })
+		rest := c.waiting[:0]
+		for _, u := range c.waiting {
+			if e, ok := c.entries[u.Object]; ok && u.Version <= e.version {
+				c.staleDrops++
+				progress = true
+				continue
+			}
+			if c.depsSatisfied(u) {
+				c.install(u)
+				n++
+				progress = true
+				continue
+			}
+			rest = append(rest, u)
+		}
+		c.waiting = rest
+		if !progress {
+			return n
+		}
+	}
+}
+
+// Get returns the installed value and version for object.
+func (c *Cache) Get(object string) (any, uint64, bool) {
+	e, ok := c.entries[object]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.value, e.version, true
+}
+
+// Current reports whether object's entry is current with respect to
+// its dependency fields: no base object has advanced past the version
+// this entry was computed from. A monitor that displays only Current
+// derived data never exhibits the Figure 4 false crossing.
+func (c *Cache) Current(object string) bool {
+	e, ok := c.entries[object]
+	if !ok {
+		return false
+	}
+	for _, d := range e.deps {
+		base, ok := c.entries[d.Object]
+		if !ok {
+			return false
+		}
+		if base.version > d.Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// Deps returns the dependency fields of an installed entry.
+func (c *Cache) Deps(object string) []vclock.Version {
+	if e, ok := c.entries[object]; ok {
+		return e.deps
+	}
+	return nil
+}
+
+// Waiting returns the number of held (dependency-blocked) updates.
+func (c *Cache) Waiting() int { return len(c.waiting) }
+
+// MaxWaiting returns the held-queue high-water mark — the state-level
+// buffering cost to compare against the CATOCS unstable buffers of §5.
+func (c *Cache) MaxWaiting() int { return c.maxWaiting }
+
+// Installed returns the number of installed updates.
+func (c *Cache) Installed() uint64 { return c.installed }
+
+// StaleDrops returns the number of updates dropped as stale — the
+// "communication is ephemeral, state is what matters" effect: an old
+// update superseded by a newer version needs no ordering at all.
+func (c *Cache) StaleDrops() uint64 { return c.staleDrops }

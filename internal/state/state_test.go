@@ -1,0 +1,284 @@
+package state
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"catocs/internal/vclock"
+)
+
+func TestStoreVersionsAdvance(t *testing.T) {
+	s := NewStore()
+	v1 := s.Put("lotA", "start")
+	v2 := s.Put("lotA", "stop")
+	if v1.Seq != 1 || v2.Seq != 2 {
+		t.Fatalf("versions = %v, %v", v1, v2)
+	}
+	val, ver, ok := s.Get("lotA")
+	if !ok || val != "stop" || ver.Seq != 2 {
+		t.Fatalf("get = %v %v %v", val, ver, ok)
+	}
+	if s.Version("lotA") != 2 || s.Version("nope") != 0 {
+		t.Fatal("version lookup wrong")
+	}
+	if s.Puts() != 2 {
+		t.Fatalf("puts = %d", s.Puts())
+	}
+}
+
+func TestStoreMissing(t *testing.T) {
+	s := NewStore()
+	if _, _, ok := s.Get("absent"); ok {
+		t.Fatal("absent object reported present")
+	}
+}
+
+func TestStoreConcurrentClients(t *testing.T) {
+	// The store is the hidden channel of Figure 2: concurrent clients
+	// hammer it and version numbers must stay strictly increasing.
+	s := NewStore()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Put("obj", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Version("obj") != 1600 {
+		t.Fatalf("final version = %d, want 1600", s.Version("obj"))
+	}
+}
+
+func TestReordererInOrder(t *testing.T) {
+	r := NewReorderer()
+	if out := r.Submit(1, "a"); len(out) != 1 || out[0] != "a" {
+		t.Fatalf("submit(1) = %v", out)
+	}
+	if out := r.Submit(2, "b"); len(out) != 1 || out[0] != "b" {
+		t.Fatalf("submit(2) = %v", out)
+	}
+}
+
+func TestReordererOutOfOrder(t *testing.T) {
+	r := NewReorderer()
+	if out := r.Submit(2, "b"); len(out) != 0 {
+		t.Fatalf("early submit released %v", out)
+	}
+	if r.Held() != 1 {
+		t.Fatalf("held = %d", r.Held())
+	}
+	out := r.Submit(1, "a")
+	if len(out) != 2 || out[0] != "a" || out[1] != "b" {
+		t.Fatalf("release = %v", out)
+	}
+	if r.Held() != 0 || r.Next() != 3 {
+		t.Fatalf("state after drain: held=%d next=%d", r.Held(), r.Next())
+	}
+}
+
+func TestReordererDropsStaleAndDuplicate(t *testing.T) {
+	r := NewReorderer()
+	r.Submit(1, "a")
+	if out := r.Submit(1, "dup"); out != nil {
+		t.Fatalf("stale resubmit released %v", out)
+	}
+	r.Submit(3, "c")
+	if out := r.Submit(3, "c-dup"); out != nil {
+		t.Fatalf("duplicate held version released %v", out)
+	}
+	out := r.Submit(2, "b")
+	if len(out) != 2 || out[0] != "b" || out[1] != "c" {
+		t.Fatalf("release = %v", out)
+	}
+}
+
+func TestReordererRandomPermutations(t *testing.T) {
+	// Property: any arrival permutation releases 1..n in order.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		perm := rng.Perm(n)
+		r := NewReorderer()
+		var got []any
+		for _, p := range perm {
+			got = append(got, r.Submit(uint64(p+1), p+1)...)
+		}
+		if len(got) != n {
+			t.Fatalf("released %d of %d", len(got), n)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("out of order at %d: %v", i, got)
+			}
+		}
+	}
+}
+
+func TestCacheInstallAndStale(t *testing.T) {
+	c := NewCache()
+	if n := c.Apply(Update{Object: "x", Version: 1, Value: "v1"}); n != 1 {
+		t.Fatalf("install = %d", n)
+	}
+	if n := c.Apply(Update{Object: "x", Version: 1, Value: "dup"}); n != 0 {
+		t.Fatal("stale update installed")
+	}
+	if c.StaleDrops() != 1 {
+		t.Fatalf("stale drops = %d", c.StaleDrops())
+	}
+	v, ver, ok := c.Get("x")
+	if !ok || v != "v1" || ver != 1 {
+		t.Fatalf("get = %v %v %v", v, ver, ok)
+	}
+}
+
+func TestCacheOldVersionAfterNewDropped(t *testing.T) {
+	c := NewCache()
+	c.Apply(Update{Object: "x", Version: 3, Value: "newest"})
+	c.Apply(Update{Object: "x", Version: 2, Value: "late"})
+	if v, _, _ := c.Get("x"); v != "newest" {
+		t.Fatalf("late update overwrote newer: %v", v)
+	}
+}
+
+func TestCacheHoldsOnDeps(t *testing.T) {
+	c := NewCache()
+	derived := Update{
+		Object: "theo", Version: 1, Value: 26.75,
+		Deps: []vclock.Version{{Object: "opt", Seq: 1}},
+	}
+	if n := c.Apply(derived); n != 0 {
+		t.Fatal("dependency-blocked update installed")
+	}
+	if c.Waiting() != 1 {
+		t.Fatalf("waiting = %d", c.Waiting())
+	}
+	n := c.Apply(Update{Object: "opt", Version: 1, Value: 25.5})
+	if n != 2 {
+		t.Fatalf("installed = %d, want base+derived", n)
+	}
+	if !c.Current("theo") {
+		t.Fatal("derived entry should be current")
+	}
+}
+
+func TestCacheCurrencyTracksBaseAdvance(t *testing.T) {
+	c := NewCache()
+	c.Apply(Update{Object: "opt", Version: 1, Value: 25.5})
+	c.Apply(Update{Object: "theo", Version: 1, Value: 26.75, Deps: []vclock.Version{{Object: "opt", Seq: 1}}})
+	if !c.Current("theo") {
+		t.Fatal("fresh derived should be current")
+	}
+	// Base advances; the derived value is now stale — this is exactly
+	// the Figure 4 false-crossing condition the cache exposes.
+	c.Apply(Update{Object: "opt", Version: 2, Value: 26.0})
+	if c.Current("theo") {
+		t.Fatal("derived must lose currency when its base advances")
+	}
+	// A recomputed theoretical price restores currency.
+	c.Apply(Update{Object: "theo", Version: 2, Value: 27.0, Deps: []vclock.Version{{Object: "opt", Seq: 2}}})
+	if !c.Current("theo") {
+		t.Fatal("recomputed derived should be current")
+	}
+}
+
+func TestCacheCurrentMissingEntities(t *testing.T) {
+	c := NewCache()
+	if c.Current("ghost") {
+		t.Fatal("missing object cannot be current")
+	}
+	c.Apply(Update{Object: "d", Version: 1, Value: 0,
+		Deps: []vclock.Version{{Object: "base", Seq: 1}}})
+	// Dep missing: update held, not installed.
+	if _, _, ok := c.Get("d"); ok {
+		t.Fatal("blocked update should not be visible")
+	}
+}
+
+func TestCacheChainedDeps(t *testing.T) {
+	// c depends on b depends on a; arrival order c, b, a.
+	c := NewCache()
+	c.Apply(Update{Object: "c", Version: 1, Value: "c", Deps: []vclock.Version{{Object: "b", Seq: 1}}})
+	c.Apply(Update{Object: "b", Version: 1, Value: "b", Deps: []vclock.Version{{Object: "a", Seq: 1}}})
+	if c.Waiting() != 2 {
+		t.Fatalf("waiting = %d", c.Waiting())
+	}
+	n := c.Apply(Update{Object: "a", Version: 1, Value: "a"})
+	if n != 3 {
+		t.Fatalf("chain install = %d, want 3", n)
+	}
+	if c.MaxWaiting() != 2 {
+		t.Fatalf("max waiting = %d", c.MaxWaiting())
+	}
+	if c.Installed() != 3 {
+		t.Fatalf("installed = %d", c.Installed())
+	}
+}
+
+func TestCacheDepsAccessor(t *testing.T) {
+	c := NewCache()
+	dep := vclock.Version{Object: "a", Seq: 1}
+	c.Apply(Update{Object: "a", Version: 1, Value: "a"})
+	c.Apply(Update{Object: "b", Version: 1, Value: "b", Deps: []vclock.Version{dep}})
+	deps := c.Deps("b")
+	if len(deps) != 1 || deps[0] != dep {
+		t.Fatalf("deps = %v", deps)
+	}
+	if c.Deps("missing") != nil {
+		t.Fatal("missing deps should be nil")
+	}
+}
+
+func TestCacheRandomArrivalConvergence(t *testing.T) {
+	// Property: base objects 1..k each at versions 1..m plus derived
+	// objects depending on each (base, version); any arrival order
+	// converges to all final versions installed and every derived entry
+	// for the final base version current.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		k, m := 1+rng.Intn(3), 1+rng.Intn(4)
+		var updates []Update
+		for b := 0; b < k; b++ {
+			base := string(rune('a' + b))
+			for v := 1; v <= m; v++ {
+				updates = append(updates, Update{Object: base, Version: uint64(v), Value: v})
+				updates = append(updates, Update{
+					Object: "d-" + base, Version: uint64(v), Value: v * 10,
+					Deps: []vclock.Version{{Object: base, Seq: uint64(v)}},
+				})
+			}
+		}
+		rng.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+		c := NewCache()
+		for _, u := range updates {
+			c.Apply(u)
+		}
+		for b := 0; b < k; b++ {
+			base := string(rune('a' + b))
+			if _, ver, ok := c.Get(base); !ok || ver != uint64(m) {
+				t.Fatalf("trial %d: base %s at %d, want %d", trial, base, ver, m)
+			}
+			dv, dver, ok := c.Get("d-" + base)
+			if !ok {
+				t.Fatalf("trial %d: derived d-%s missing", trial, base)
+			}
+			// The final derived version may be held if it arrived before
+			// its base and a stale-newer derived already installed; the
+			// invariant we need is: whatever is installed is consistent.
+			deps := c.Deps("d-" + base)
+			for _, d := range deps {
+				_, bver, _ := c.Get(d.Object)
+				if bver < d.Seq {
+					t.Fatalf("trial %d: derived %v installed before base %v", trial, dv, d)
+				}
+			}
+			if dver == uint64(m) && !c.Current("d-"+base) {
+				t.Fatalf("trial %d: final derived not current", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package transact
+
+import (
+	"catocs/internal/detect"
+)
+
+// Wait-for reporting glue for §4.2: "to construct the global wait-for
+// graph it is sufficient to have each node multicast its local
+// wait-for graph to all nodes running the detection algorithm. No
+// stronger ordering properties are required." A site wraps its
+// LockManager in a WaitForReporter and periodically ships Reports to a
+// detect.StateMonitor; a cycle in the merged graph is a genuine
+// deadlock (under 2PL, waits-for edges persist until lock release, so
+// no false deadlocks arise from stale reports either — the §4.2
+// "only-if" property).
+
+// WaitForReporter converts a site's lock-manager wait-for edges into
+// sequenced detection reports.
+type WaitForReporter struct {
+	Site string
+	LM   *LockManager
+	seq  uint64
+}
+
+// Next builds the site's next report from the manager's current
+// edges. Transactions are globally identified, so the instance id is
+// just the TxID; the owning process string is constant per reporter so
+// the monitor's replace-on-report semantics scope edges to the site
+// that observed them.
+func (r *WaitForReporter) Next() detect.Report {
+	r.seq++
+	edges := r.LM.WaitForEdges()
+	out := make([]detect.Edge, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, detect.Edge{
+			From: TxInstance(e[0]),
+			To:   TxInstance(e[1]),
+		})
+	}
+	return detect.Report{Proc: r.Site, Seq: r.seq, Edges: out}
+}
+
+// TxInstance names a transaction as a detection instance. All sites
+// use the same naming, so edges about the same transaction merge
+// correctly in the global graph.
+func TxInstance(tx TxID) detect.Instance {
+	return detect.Instance{Proc: "T", ID: int(tx)}
+}
+
+// VictimOf picks the abort victim from a detected cycle: the highest
+// transaction id (the youngest, under monotonic assignment).
+func VictimOf(cycle []detect.Instance) (TxID, bool) {
+	victim := -1
+	for _, in := range cycle {
+		if in.Proc == "T" && in.ID > victim {
+			victim = in.ID
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	return TxID(victim), true
+}

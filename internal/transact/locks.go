@@ -1,0 +1,276 @@
+// Package transact implements the transactional machinery the paper
+// holds up as the state-level alternative for replicated and grouped
+// updates (§4.3, §4.4): a strict two-phase-locking lock manager that
+// exports its wait-for graph (feeding the deadlock-detection
+// experiments), a two-phase-commit protocol over the transport layer
+// in which any participant may refuse — the "can't say together"
+// capability CATOCS lacks — and Kung-Robinson-style optimistic
+// validation in which transactions are ordered at commit time.
+package transact
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TxID identifies a transaction.
+type TxID int
+
+// LockMode is the requested access level.
+type LockMode int
+
+const (
+	// Shared permits concurrent readers.
+	Shared LockMode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+// String names the mode.
+func (m LockMode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// waiter is a queued lock request.
+type waiter struct {
+	tx      TxID
+	mode    LockMode
+	onGrant func()
+}
+
+// lockState tracks one key's holders and queue.
+type lockState struct {
+	holders map[TxID]LockMode
+	queue   []waiter
+}
+
+// LockManager is a strict 2PL lock manager. Grant callbacks run
+// synchronously on the Release path of the releasing caller, matching
+// the event-driven style of the rest of the repository. Safe for
+// concurrent use.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	// waits tracks which transactions each blocked transaction waits
+	// for, for wait-for-graph export.
+	waits map[TxID]map[TxID]bool
+	// held tracks keys per transaction for ReleaseAll.
+	held map[TxID]map[string]bool
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks: make(map[string]*lockState),
+		waits: make(map[TxID]map[TxID]bool),
+		held:  make(map[TxID]map[string]bool),
+	}
+}
+
+// compatible reports whether a request can be granted alongside the
+// current holders.
+func (ls *lockState) compatible(tx TxID, mode LockMode) bool {
+	for holder, hm := range ls.holders {
+		if holder == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire requests key in mode for tx. If the lock is free (or
+// compatible, or an upgrade is possible) it is granted immediately and
+// Acquire returns true; otherwise the request queues, the wait-for
+// edges are recorded, and onGrant fires when the lock is eventually
+// granted. onGrant may be nil for callers that poll.
+func (lm *LockManager) Acquire(tx TxID, key string, mode LockMode, onGrant func()) bool {
+	lm.mu.Lock()
+	ls, ok := lm.locks[key]
+	if !ok {
+		ls = &lockState{holders: make(map[TxID]LockMode)}
+		lm.locks[key] = ls
+	}
+	if cur, holds := ls.holders[tx]; holds {
+		if cur == Exclusive || mode == Shared {
+			lm.mu.Unlock()
+			return true // already sufficient
+		}
+		// Upgrade S -> X: possible only with no other holders.
+		if len(ls.holders) == 1 {
+			ls.holders[tx] = Exclusive
+			lm.mu.Unlock()
+			return true
+		}
+	} else if ls.compatible(tx, mode) && len(ls.queue) == 0 {
+		ls.holders[tx] = mode
+		lm.noteHeld(tx, key)
+		lm.mu.Unlock()
+		return true
+	}
+	// Queue and record wait-for edges against current holders.
+	ls.queue = append(ls.queue, waiter{tx: tx, mode: mode, onGrant: onGrant})
+	w, ok := lm.waits[tx]
+	if !ok {
+		w = make(map[TxID]bool)
+		lm.waits[tx] = w
+	}
+	for holder := range ls.holders {
+		if holder != tx {
+			w[holder] = true
+		}
+	}
+	lm.mu.Unlock()
+	return false
+}
+
+func (lm *LockManager) noteHeld(tx TxID, key string) {
+	h, ok := lm.held[tx]
+	if !ok {
+		h = make(map[string]bool)
+		lm.held[tx] = h
+	}
+	h[key] = true
+}
+
+// ReleaseAll releases every lock held by tx (the strict-2PL unlock at
+// commit or abort), removes its queued requests and wait-for edges,
+// and grants now-compatible waiters. Grant callbacks fire after the
+// manager's own state is consistent.
+func (lm *LockManager) ReleaseAll(tx TxID) {
+	lm.mu.Lock()
+	var grants []func()
+	delete(lm.waits, tx)
+	for key := range lm.held[tx] {
+		ls := lm.locks[key]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, tx)
+		grants = append(grants, lm.promote(key, ls)...)
+	}
+	delete(lm.held, tx)
+	// Remove tx's queued requests on locks it never held.
+	for key, ls := range lm.locks {
+		changed := false
+		q := ls.queue[:0]
+		for _, w := range ls.queue {
+			if w.tx == tx {
+				changed = true
+				continue
+			}
+			q = append(q, w)
+		}
+		ls.queue = q
+		if changed {
+			grants = append(grants, lm.promote(key, ls)...)
+		}
+	}
+	// Other waiters may have been waiting on tx; drop those edges.
+	for _, w := range lm.waits {
+		delete(w, tx)
+	}
+	lm.mu.Unlock()
+	for _, g := range grants {
+		if g != nil {
+			g()
+		}
+	}
+}
+
+// promote grants queued requests in FIFO order while compatible.
+// Caller holds lm.mu; returned callbacks are invoked after unlock.
+func (lm *LockManager) promote(key string, ls *lockState) []func() {
+	var grants []func()
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if !ls.compatible(w.tx, w.mode) {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		if cur, holds := ls.holders[w.tx]; holds && cur == Shared && w.mode == Exclusive {
+			if len(ls.holders) > 1 {
+				// Upgrade still blocked; requeue at front.
+				ls.queue = append([]waiter{w}, ls.queue...)
+				break
+			}
+		}
+		ls.holders[w.tx] = w.mode
+		lm.noteHeld(w.tx, key)
+		delete(lm.waits, w.tx)
+		grants = append(grants, w.onGrant)
+		// Re-record edges for remaining waiters against the new holder.
+		for _, rest := range ls.queue {
+			wset, ok := lm.waits[rest.tx]
+			if !ok {
+				wset = make(map[TxID]bool)
+				lm.waits[rest.tx] = wset
+			}
+			wset[w.tx] = true
+		}
+	}
+	return grants
+}
+
+// Holds reports whether tx currently holds key at least at mode.
+func (lm *LockManager) Holds(tx TxID, key string, mode LockMode) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	ls, ok := lm.locks[key]
+	if !ok {
+		return false
+	}
+	cur, holds := ls.holders[tx]
+	if !holds {
+		return false
+	}
+	return mode == Shared || cur == Exclusive
+}
+
+// WaitForEdges returns the current wait-for graph as sorted (waiter,
+// holder) pairs — the input to the paper's state-level deadlock
+// detector (§4.2): "it is sufficient to have each node multicast its
+// local wait-for graph".
+func (lm *LockManager) WaitForEdges() [][2]TxID {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	var out [][2]TxID
+	for from, tos := range lm.waits {
+		for to := range tos {
+			out = append(out, [2]TxID{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// String renders holders and queues for debugging.
+func (lm *LockManager) String() string {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	keys := make([]string, 0, len(lm.locks))
+	for k := range lm.locks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		ls := lm.locks[k]
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			continue
+		}
+		s += fmt.Sprintf("%s: holders=%v queued=%d\n", k, ls.holders, len(ls.queue))
+	}
+	return s
+}

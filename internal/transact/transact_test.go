@@ -1,0 +1,327 @@
+package transact
+
+import (
+	"testing"
+	"time"
+
+	"catocs/internal/sim"
+	"catocs/internal/state"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+func TestLockGrantAndConflict(t *testing.T) {
+	lm := NewLockManager()
+	if !lm.Acquire(1, "a", Exclusive, nil) {
+		t.Fatal("free lock not granted")
+	}
+	if lm.Acquire(2, "a", Exclusive, nil) {
+		t.Fatal("conflicting lock granted")
+	}
+	if !lm.Holds(1, "a", Exclusive) || lm.Holds(2, "a", Shared) {
+		t.Fatal("holder bookkeeping wrong")
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lm := NewLockManager()
+	if !lm.Acquire(1, "a", Shared, nil) || !lm.Acquire(2, "a", Shared, nil) {
+		t.Fatal("shared locks should coexist")
+	}
+	if lm.Acquire(3, "a", Exclusive, nil) {
+		t.Fatal("exclusive granted over shared holders")
+	}
+}
+
+func TestLockQueueFIFOGrant(t *testing.T) {
+	lm := NewLockManager()
+	lm.Acquire(1, "a", Exclusive, nil)
+	var order []TxID
+	lm.Acquire(2, "a", Exclusive, func() { order = append(order, 2) })
+	lm.Acquire(3, "a", Exclusive, func() { order = append(order, 3) })
+	lm.ReleaseAll(1)
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("grant order = %v", order)
+	}
+	lm.ReleaseAll(2)
+	if len(order) != 2 || order[1] != 3 {
+		t.Fatalf("grant order = %v", order)
+	}
+}
+
+func TestSharedWaitersGrantTogether(t *testing.T) {
+	lm := NewLockManager()
+	lm.Acquire(1, "a", Exclusive, nil)
+	granted := 0
+	lm.Acquire(2, "a", Shared, func() { granted++ })
+	lm.Acquire(3, "a", Shared, func() { granted++ })
+	lm.ReleaseAll(1)
+	if granted != 2 {
+		t.Fatalf("granted %d shared waiters, want 2", granted)
+	}
+}
+
+func TestUpgradeSharedToExclusive(t *testing.T) {
+	lm := NewLockManager()
+	lm.Acquire(1, "a", Shared, nil)
+	if !lm.Acquire(1, "a", Exclusive, nil) {
+		t.Fatal("sole-holder upgrade refused")
+	}
+	if !lm.Holds(1, "a", Exclusive) {
+		t.Fatal("upgrade not recorded")
+	}
+}
+
+func TestUpgradeBlockedByOtherReader(t *testing.T) {
+	lm := NewLockManager()
+	lm.Acquire(1, "a", Shared, nil)
+	lm.Acquire(2, "a", Shared, nil)
+	upgraded := false
+	if lm.Acquire(1, "a", Exclusive, func() { upgraded = true }) {
+		t.Fatal("upgrade granted with another reader present")
+	}
+	lm.ReleaseAll(2)
+	if !upgraded {
+		t.Fatal("upgrade not granted after reader left")
+	}
+}
+
+func TestWaitForEdges(t *testing.T) {
+	lm := NewLockManager()
+	lm.Acquire(1, "a", Exclusive, nil)
+	lm.Acquire(2, "b", Exclusive, nil)
+	lm.Acquire(2, "a", Exclusive, nil) // 2 waits for 1
+	lm.Acquire(1, "b", Exclusive, nil) // 1 waits for 2: deadlock
+	edges := lm.WaitForEdges()
+	want := [][2]TxID{{1, 2}, {2, 1}}
+	if len(edges) != 2 || edges[0] != want[0] || edges[1] != want[1] {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+}
+
+func TestReleaseClearsWaitEdges(t *testing.T) {
+	lm := NewLockManager()
+	lm.Acquire(1, "a", Exclusive, nil)
+	lm.Acquire(2, "a", Exclusive, nil)
+	lm.ReleaseAll(2) // waiter gives up (abort)
+	if edges := lm.WaitForEdges(); len(edges) != 0 {
+		t.Fatalf("edges after waiter abort = %v", edges)
+	}
+	lm.ReleaseAll(1)
+	// Tx 2's queued request was removed; nothing should be granted to it.
+	if lm.Holds(2, "a", Shared) {
+		t.Fatal("aborted waiter received lock")
+	}
+}
+
+func TestLockManagerString(t *testing.T) {
+	lm := NewLockManager()
+	lm.Acquire(1, "a", Exclusive, nil)
+	lm.Acquire(2, "a", Shared, nil)
+	if lm.String() == "" {
+		t.Fatal("expected non-empty debug string")
+	}
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+// twoPCHarness wires a coordinator and participants on a SimNet.
+func twoPCHarness(n int, seed int64) (*sim.Kernel, *transport.SimNet, *Coordinator, []*Participant) {
+	k := sim.NewKernel(seed)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	coord := NewCoordinator(net, 100)
+	parts := make([]*Participant, n)
+	for i := range parts {
+		parts[i] = NewParticipant(net, transport.NodeID(i), state.NewStore())
+	}
+	return k, net, coord, parts
+}
+
+func TestTwoPhaseCommitHappyPath(t *testing.T) {
+	k, _, coord, parts := twoPCHarness(3, 1)
+	var outcome *Outcome
+	coord.Run(map[transport.NodeID][]Write{
+		0: {{Key: "x", Value: 1}},
+		1: {{Key: "x", Value: 1}},
+		2: {{Key: "x", Value: 1}},
+	}, func(o Outcome) { outcome = &o })
+	k.Run()
+	if outcome == nil || !outcome.Committed {
+		t.Fatalf("outcome = %+v", outcome)
+	}
+	for i, p := range parts {
+		if v, _, ok := p.Store().Get("x"); !ok || v != 1 {
+			t.Fatalf("participant %d did not apply: %v %v", i, v, ok)
+		}
+		if p.Committed.Value() != 1 {
+			t.Fatalf("participant %d commit count = %d", i, p.Committed.Value())
+		}
+	}
+	if coord.Commits.Value() != 1 || coord.Aborts.Value() != 0 {
+		t.Fatal("coordinator counters wrong")
+	}
+}
+
+func TestTwoPhaseParticipantRefusal(t *testing.T) {
+	// One participant refuses (e.g. out of storage): the whole group
+	// must abort and nobody applies — the "together" property.
+	k, _, coord, parts := twoPCHarness(3, 2)
+	parts[1].Refuse = func(TxID, []Write) bool { return true }
+	var outcome *Outcome
+	coord.Run(map[transport.NodeID][]Write{
+		0: {{Key: "x", Value: 1}},
+		1: {{Key: "x", Value: 1}},
+		2: {{Key: "x", Value: 1}},
+	}, func(o Outcome) { outcome = &o })
+	k.Run()
+	if outcome == nil || outcome.Committed {
+		t.Fatalf("outcome = %+v, want abort", outcome)
+	}
+	if outcome.VotesNo != 1 {
+		t.Fatalf("votesNo = %d", outcome.VotesNo)
+	}
+	for i, p := range parts {
+		if _, _, ok := p.Store().Get("x"); ok {
+			t.Fatalf("participant %d applied an aborted transaction", i)
+		}
+	}
+}
+
+func TestTwoPhaseParticipantCrashAborts(t *testing.T) {
+	k, net, coord, parts := twoPCHarness(3, 3)
+	net.Crash(2)
+	var outcome *Outcome
+	coord.Run(map[transport.NodeID][]Write{
+		0: {{Key: "x", Value: 1}},
+		1: {{Key: "x", Value: 1}},
+		2: {{Key: "x", Value: 1}},
+	}, func(o Outcome) { outcome = &o })
+	k.Run()
+	if outcome == nil || outcome.Committed {
+		t.Fatalf("outcome = %+v, want timeout abort", outcome)
+	}
+	// Live participants must have discarded their staged writes.
+	for i := 0; i < 2; i++ {
+		if _, _, ok := parts[i].Store().Get("x"); ok {
+			t.Fatalf("participant %d applied despite abort", i)
+		}
+	}
+}
+
+func TestTwoPhaseSequentialTransactions(t *testing.T) {
+	k, _, coord, parts := twoPCHarness(2, 4)
+	committed := 0
+	var run func(i int)
+	run = func(i int) {
+		if i == 5 {
+			return
+		}
+		coord.Run(map[transport.NodeID][]Write{
+			0: {{Key: "k", Value: i}},
+			1: {{Key: "k", Value: i}},
+		}, func(o Outcome) {
+			if o.Committed {
+				committed++
+			}
+			run(i + 1)
+		})
+	}
+	run(0)
+	k.Run()
+	if committed != 5 {
+		t.Fatalf("committed %d of 5", committed)
+	}
+	// Versions must reflect all five writes in order.
+	if parts[0].Store().Version("k") != 5 {
+		t.Fatalf("store version = %d", parts[0].Store().Version("k"))
+	}
+}
+
+func TestOptimisticNonConflictingCommit(t *testing.T) {
+	v := NewValidator()
+	s1 := v.Begin()
+	s2 := v.Begin()
+	if _, ok := v.TryCommit(s1, 0, []string{"a"}, []string{"a"}); !ok {
+		t.Fatal("first commit refused")
+	}
+	// T2 read only "b"; T1's write to "a" does not conflict.
+	if _, ok := v.TryCommit(s2, 1, []string{"b"}, []string{"b"}); !ok {
+		t.Fatal("non-conflicting commit refused")
+	}
+	if v.Commits() != 2 || v.Aborts() != 0 {
+		t.Fatalf("commits=%d aborts=%d", v.Commits(), v.Aborts())
+	}
+}
+
+func TestOptimisticConflictAborts(t *testing.T) {
+	v := NewValidator()
+	s1 := v.Begin()
+	s2 := v.Begin()
+	v.TryCommit(s1, 0, nil, []string{"a"})
+	// T2 read "a" before T1's commit: backward validation must abort it.
+	if _, ok := v.TryCommit(s2, 1, []string{"a"}, []string{"b"}); ok {
+		t.Fatal("conflicting commit allowed")
+	}
+	if v.Aborts() != 1 {
+		t.Fatalf("aborts = %d", v.Aborts())
+	}
+}
+
+func TestOptimisticStampsTotallyOrdered(t *testing.T) {
+	v := NewValidator()
+	var stamps []vclock.Stamp
+	for i := 0; i < 10; i++ {
+		s := v.Begin()
+		st, ok := v.TryCommit(s, vclock.ProcessID(i%3), nil, []string{"k"})
+		if !ok {
+			t.Fatalf("blind write %d refused", i)
+		}
+		stamps = append(stamps, st)
+	}
+	for i := 1; i < len(stamps); i++ {
+		if !stamps[i-1].Less(stamps[i]) {
+			t.Fatalf("stamps not increasing: %v then %v", stamps[i-1], stamps[i])
+		}
+	}
+}
+
+func TestOptimisticSerializedAfterConflictRetry(t *testing.T) {
+	// An aborted transaction retried with a fresh Begin succeeds.
+	v := NewValidator()
+	s1 := v.Begin()
+	s2 := v.Begin()
+	v.TryCommit(s1, 0, nil, []string{"a"})
+	if _, ok := v.TryCommit(s2, 1, []string{"a"}, []string{"a"}); ok {
+		t.Fatal("stale read committed")
+	}
+	s3 := v.Begin()
+	if _, ok := v.TryCommit(s3, 1, []string{"a"}, []string{"a"}); !ok {
+		t.Fatal("retry with fresh snapshot refused")
+	}
+}
+
+func TestOptimisticTruncate(t *testing.T) {
+	v := NewValidator()
+	for i := 0; i < 10; i++ {
+		v.TryCommit(v.Begin(), 0, nil, []string{"k"})
+	}
+	if v.HistoryLen() != 10 {
+		t.Fatalf("history = %d", v.HistoryLen())
+	}
+	v.Truncate(7)
+	if v.HistoryLen() != 3 {
+		t.Fatalf("history after truncate = %d", v.HistoryLen())
+	}
+}
+
+func TestMsgSizes2PC(t *testing.T) {
+	if (PrepareMsg{Writes: []Write{{}}}).ApproxSize() != 72 {
+		t.Fatal("prepare size")
+	}
+	for _, s := range []int{VoteMsg{}.ApproxSize(), DecisionMsg{}.ApproxSize(), AckMsg{}.ApproxSize()} {
+		if s <= 0 {
+			t.Fatal("non-positive control size")
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package transact
+
+import (
+	"sort"
+	"time"
+
+	"catocs/internal/metrics"
+	"catocs/internal/state"
+	"catocs/internal/transport"
+)
+
+// This file implements two-phase commit over the transport layer. The
+// paper's point (§4.3): the prepare phase "necessarily requires
+// end-to-end acknowledgments because each participating node must be
+// allowed to abort the transaction" — an ability CATOCS ordering cannot
+// provide (limitation 2, "can't say together"). Participants here can
+// refuse a prepare for state-level reasons (a Refuse hook models
+// storage exhaustion or constraint violations), and the decision phase
+// is plain point-to-point traffic ordered by the coordinator alone.
+
+// Write is one key/value assignment within a transaction.
+type Write struct {
+	Key   string
+	Value any
+}
+
+// PrepareMsg asks a participant to stage writes for tx.
+type PrepareMsg struct {
+	Tx     TxID
+	Writes []Write
+}
+
+// ApproxSize implements transport.Sizer.
+func (p PrepareMsg) ApproxSize() int { return 24 + 48*len(p.Writes) }
+
+// VoteMsg is a participant's prepare vote.
+type VoteMsg struct {
+	Tx     TxID
+	From   transport.NodeID
+	Commit bool
+}
+
+// ApproxSize implements transport.Sizer.
+func (VoteMsg) ApproxSize() int { return 24 }
+
+// DecisionMsg carries the coordinator's global decision.
+type DecisionMsg struct {
+	Tx     TxID
+	Commit bool
+}
+
+// ApproxSize implements transport.Sizer.
+func (DecisionMsg) ApproxSize() int { return 24 }
+
+// AckMsg acknowledges decision application.
+type AckMsg struct {
+	Tx   TxID
+	From transport.NodeID
+}
+
+// ApproxSize implements transport.Sizer.
+func (AckMsg) ApproxSize() int { return 24 }
+
+// Participant is one resource manager in 2PC: it stages prepared
+// writes and applies them on commit.
+type Participant struct {
+	net    transport.Network
+	node   transport.NodeID
+	store  *state.Store
+	staged map[TxID][]Write
+	// Refuse, when non-nil, lets the participant vote No for
+	// application-level reasons. This is the state/application-level
+	// rejection CATOCS has no vocabulary for.
+	Refuse func(tx TxID, writes []Write) bool
+
+	Prepared  metrics.Counter
+	Committed metrics.Counter
+	Aborted   metrics.Counter
+}
+
+// NewParticipant registers a participant at node, applying committed
+// writes to store.
+func NewParticipant(net transport.Network, node transport.NodeID, store *state.Store) *Participant {
+	p := &Participant{net: net, node: node, store: store, staged: make(map[TxID][]Write)}
+	net.Register(node, p.handle)
+	return p
+}
+
+// Store returns the participant's backing store.
+func (p *Participant) Store() *state.Store { return p.store }
+
+func (p *Participant) handle(from transport.NodeID, payload any) {
+	switch msg := payload.(type) {
+	case PrepareMsg:
+		commit := true
+		if p.Refuse != nil && p.Refuse(msg.Tx, msg.Writes) {
+			commit = false
+		} else {
+			p.staged[msg.Tx] = msg.Writes
+			p.Prepared.Inc()
+		}
+		p.net.Send(p.node, from, VoteMsg{Tx: msg.Tx, From: p.node, Commit: commit})
+	case DecisionMsg:
+		writes, ok := p.staged[msg.Tx]
+		if ok {
+			delete(p.staged, msg.Tx)
+			if msg.Commit {
+				for _, w := range writes {
+					p.store.Put(w.Key, w.Value)
+				}
+				p.Committed.Inc()
+			} else {
+				p.Aborted.Inc()
+			}
+		}
+		p.net.Send(p.node, from, AckMsg{Tx: msg.Tx, From: p.node})
+	}
+}
+
+// Outcome reports a finished transaction.
+type Outcome struct {
+	Tx        TxID
+	Committed bool
+	// VotesNo counts participants that refused.
+	VotesNo int
+	Latency time.Duration
+}
+
+// Coordinator drives 2PC for one site. It is event-driven like the
+// rest of the stack: Run returns immediately and onDone fires when the
+// protocol completes (or the prepare phase times out and aborts).
+type Coordinator struct {
+	net     transport.Network
+	node    transport.NodeID
+	nextTx  TxID
+	pending map[TxID]*pendingTx
+
+	// PrepareTimeout aborts transactions whose votes do not all arrive
+	// in time (participant crash). Zero defaults to 500ms.
+	PrepareTimeout time.Duration
+
+	Msgs      metrics.Counter
+	Commits   metrics.Counter
+	Aborts    metrics.Counter
+	LatencyMs metrics.Histogram
+}
+
+type pendingTx struct {
+	tx           TxID
+	participants []transport.NodeID
+	votes        map[transport.NodeID]bool
+	acks         map[transport.NodeID]bool
+	decided      bool
+	committed    bool
+	votesNo      int
+	started      time.Duration
+	onDone       func(Outcome)
+}
+
+// NewCoordinator registers a 2PC coordinator at node.
+func NewCoordinator(net transport.Network, node transport.NodeID) *Coordinator {
+	c := &Coordinator{net: net, node: node, pending: make(map[TxID]*pendingTx)}
+	net.Register(node, c.handle)
+	return c
+}
+
+func (c *Coordinator) prepareTimeout() time.Duration {
+	if c.PrepareTimeout > 0 {
+		return c.PrepareTimeout
+	}
+	return 500 * time.Millisecond
+}
+
+// Run executes a distributed transaction writing writesPer[node] at
+// each participant node. onDone fires exactly once with the outcome.
+func (c *Coordinator) Run(writesPer map[transport.NodeID][]Write, onDone func(Outcome)) TxID {
+	c.nextTx++
+	tx := c.nextTx
+	pt := &pendingTx{
+		tx:      tx,
+		votes:   make(map[transport.NodeID]bool),
+		acks:    make(map[transport.NodeID]bool),
+		started: c.net.Now(),
+		onDone:  onDone,
+	}
+	// Sorted send order keeps simulation runs reproducible (map
+	// iteration order is randomized in Go).
+	for node := range writesPer {
+		pt.participants = append(pt.participants, node)
+	}
+	sort.Slice(pt.participants, func(i, j int) bool { return pt.participants[i] < pt.participants[j] })
+	for _, node := range pt.participants {
+		c.Msgs.Inc()
+		c.net.Send(c.node, node, PrepareMsg{Tx: tx, Writes: writesPer[node]})
+	}
+	c.pending[tx] = pt
+	c.net.After(c.prepareTimeout(), func() {
+		if p, ok := c.pending[tx]; ok && !p.decided {
+			c.decide(p, false) // timeout: abort
+		}
+	})
+	return tx
+}
+
+func (c *Coordinator) handle(from transport.NodeID, payload any) {
+	switch msg := payload.(type) {
+	case VoteMsg:
+		pt, ok := c.pending[msg.Tx]
+		if !ok || pt.decided {
+			return
+		}
+		if _, dup := pt.votes[msg.From]; dup {
+			return
+		}
+		pt.votes[msg.From] = msg.Commit
+		if !msg.Commit {
+			pt.votesNo++
+		}
+		if len(pt.votes) == len(pt.participants) {
+			commit := pt.votesNo == 0
+			c.decide(pt, commit)
+		}
+	case AckMsg:
+		pt, ok := c.pending[msg.Tx]
+		if !ok || !pt.decided {
+			return
+		}
+		pt.acks[msg.From] = true
+		if len(pt.acks) == len(pt.participants) {
+			delete(c.pending, msg.Tx)
+			c.finish(pt)
+		}
+	}
+}
+
+// decide broadcasts the global decision.
+func (c *Coordinator) decide(pt *pendingTx, commit bool) {
+	pt.decided = true
+	pt.committed = commit
+	for _, node := range pt.participants {
+		c.Msgs.Inc()
+		c.net.Send(c.node, node, DecisionMsg{Tx: pt.tx, Commit: commit})
+	}
+	// If participants crashed, acks may never come; time the ack phase
+	// out as well so onDone always fires.
+	c.net.After(c.prepareTimeout(), func() {
+		if _, ok := c.pending[pt.tx]; ok {
+			delete(c.pending, pt.tx)
+			c.finish(pt)
+		}
+	})
+}
+
+func (c *Coordinator) finish(pt *pendingTx) {
+	lat := c.net.Now() - pt.started
+	c.LatencyMs.Observe(float64(lat.Milliseconds()))
+	if pt.committed {
+		c.Commits.Inc()
+	} else {
+		c.Aborts.Inc()
+	}
+	if pt.onDone != nil {
+		pt.onDone(Outcome{Tx: pt.tx, Committed: pt.committed, VotesNo: pt.votesNo, Latency: lat})
+	}
+}

@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LiveNet is a Network over real goroutines: each registered node gets
+// a mailbox channel drained by a dedicated dispatcher goroutine, and
+// Send schedules delivery with time.AfterFunc. It exists to show the
+// protocol stacks are a real library, not simulator-only code; the
+// quantitative experiments all use SimNet for determinism.
+type LiveNet struct {
+	mu       sync.Mutex
+	def      LinkConfig
+	handlers map[NodeID]Handler
+	boxes    map[NodeID]chan packet
+	crashed  map[NodeID]bool
+	rng      *rand.Rand
+	start    time.Time
+	stats    Stats
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+type packet struct {
+	from    NodeID
+	payload any
+}
+
+// NewLiveNet returns a live network with the given default link model.
+// Jitter and loss draw from a seeded PRNG so tests can bound behaviour.
+func NewLiveNet(def LinkConfig, seed int64) *LiveNet {
+	return &LiveNet{
+		def:      def,
+		handlers: make(map[NodeID]Handler),
+		boxes:    make(map[NodeID]chan packet),
+		crashed:  make(map[NodeID]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+		start:    time.Now(),
+	}
+}
+
+// Register implements Network. Each node's handler runs on its own
+// dispatcher goroutine, so a node processes its messages serially —
+// the process model ordered-multicast protocols assume.
+func (n *LiveNet) Register(id NodeID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if _, ok := n.boxes[id]; ok {
+		n.handlers[id] = h
+		return
+	}
+	box := make(chan packet, 1024)
+	n.handlers[id] = h
+	n.boxes[id] = box
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for p := range box {
+			n.mu.Lock()
+			h := n.handlers[id]
+			n.mu.Unlock()
+			if h != nil {
+				h(p.from, p.payload)
+			}
+		}
+	}()
+}
+
+// Crash marks a node failed; its traffic is dropped until Recover.
+func (n *LiveNet) Crash(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Recover clears a node's crashed state.
+func (n *LiveNet) Recover(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// Send implements Network.
+func (n *LiveNet) Send(from, to NodeID, payload any) {
+	n.mu.Lock()
+	if n.closed || n.crashed[from] || n.crashed[to] {
+		n.stats.Sent++
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Sent++
+	drop := n.def.LossProb > 0 && n.rng.Float64() < n.def.LossProb
+	d := n.def.BaseDelay
+	if n.def.Jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.def.Jitter)))
+	}
+	n.mu.Unlock()
+	if drop {
+		n.mu.Lock()
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	deliver := func() {
+		n.mu.Lock()
+		if n.closed || n.crashed[to] {
+			n.stats.Dropped++
+			n.mu.Unlock()
+			return
+		}
+		box, ok := n.boxes[to]
+		if !ok {
+			n.stats.Dropped++
+			n.mu.Unlock()
+			return
+		}
+		n.stats.Delivered++
+		n.stats.Bytes += uint64(ApproxSize(payload))
+		n.mu.Unlock()
+		select {
+		case box <- packet{from: from, payload: payload}:
+		default:
+			// Mailbox overflow models receiver buffer exhaustion; the
+			// packet is lost, as on a real datagram network.
+			n.mu.Lock()
+			n.stats.Delivered--
+			n.stats.Dropped++
+			n.mu.Unlock()
+		}
+	}
+	if d <= 0 {
+		go deliver()
+		return
+	}
+	time.AfterFunc(d, deliver)
+}
+
+// Now implements Network: wall time since the network was created.
+func (n *LiveNet) Now() time.Duration { return time.Since(n.start) }
+
+// After implements Network.
+func (n *LiveNet) After(d time.Duration, f func()) {
+	time.AfterFunc(d, func() {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if !closed {
+			f()
+		}
+	})
+}
+
+// Stats returns a snapshot of the counters.
+func (n *LiveNet) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close stops dispatchers and drops all future traffic. It waits for
+// in-flight handler executions to finish.
+func (n *LiveNet) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, box := range n.boxes {
+		close(box)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}

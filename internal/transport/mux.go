@@ -1,0 +1,51 @@
+package transport
+
+import "time"
+
+// Mux fans incoming payloads for one node out to multiple handlers, so
+// a single node can host several protocol endpoints (a multicast group
+// member, a membership monitor, an application RPC port). Handlers
+// receive every payload and must ignore types or groups that are not
+// theirs — the same discipline as demultiplexing on a shared datagram
+// socket.
+type Mux struct {
+	net    Network
+	routes map[NodeID][]Handler
+}
+
+// NewMux wraps a network in a mux.
+func NewMux(net Network) *Mux {
+	return &Mux{net: net, routes: make(map[NodeID][]Handler)}
+}
+
+// Register implements Network by appending a handler for the node. The
+// first registration installs the fan-out dispatcher on the underlying
+// network.
+func (m *Mux) Register(id NodeID, h Handler) {
+	if _, ok := m.routes[id]; !ok {
+		m.net.Register(id, func(from NodeID, payload any) {
+			for _, handler := range m.routes[id] {
+				handler(from, payload)
+			}
+		})
+	}
+	m.routes[id] = append(m.routes[id], h)
+}
+
+// Send implements Network.
+func (m *Mux) Send(from, to NodeID, payload any) { m.net.Send(from, to, payload) }
+
+// Now implements Network.
+func (m *Mux) Now() time.Duration { return m.net.Now() }
+
+// After implements Network.
+func (m *Mux) After(d time.Duration, f func()) { m.net.After(d, f) }
+
+// Crashed reports whether the underlying network marks the node
+// failed. Networks without crash modelling report false.
+func (m *Mux) Crashed(id NodeID) bool {
+	if c, ok := m.net.(interface{ Crashed(NodeID) bool }); ok {
+		return c.Crashed(id)
+	}
+	return false
+}

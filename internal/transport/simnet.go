@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"catocs/internal/sim"
+)
+
+// LinkConfig models one directed link's behaviour. The zero value is a
+// perfect instantaneous link.
+type LinkConfig struct {
+	// BaseDelay is the fixed one-way latency.
+	BaseDelay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossProb is the probability a packet is silently dropped.
+	LossProb float64
+	// DupProb is the probability a packet is delivered twice (the
+	// second copy after an independent delay draw).
+	DupProb float64
+	// Bandwidth, when positive, adds a serialization delay of
+	// ApproxSize(payload)/Bandwidth (bytes per second). This is how the
+	// per-message ordering headers §3.4 complains about turn into wire
+	// time: a vector clock on every message is not free at line rate.
+	Bandwidth int
+}
+
+// SimNet is a simulated network on a discrete-event kernel. It is not
+// safe for concurrent use; all calls must come from kernel events or
+// from the single driving goroutine between Run calls — the same
+// discipline the kernel itself imposes.
+type SimNet struct {
+	k        *sim.Kernel
+	def      LinkConfig
+	links    map[[2]NodeID]LinkConfig
+	handlers map[NodeID]Handler
+	crashed  map[NodeID]bool
+	// partition assigns nodes to partition islands; nodes in different
+	// islands cannot communicate. nil means fully connected.
+	partition map[NodeID]int
+	stats     Stats
+}
+
+// NewSimNet returns a simulated network with the given default link
+// behaviour applied to every pair.
+func NewSimNet(k *sim.Kernel, def LinkConfig) *SimNet {
+	return &SimNet{
+		k:        k,
+		def:      def,
+		links:    make(map[[2]NodeID]LinkConfig),
+		handlers: make(map[NodeID]Handler),
+		crashed:  make(map[NodeID]bool),
+	}
+}
+
+// Kernel returns the underlying simulation kernel.
+func (n *SimNet) Kernel() *sim.Kernel { return n.k }
+
+// Register implements Network.
+func (n *SimNet) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// SetLink overrides the link configuration for the directed pair
+// (from, to).
+func (n *SimNet) SetLink(from, to NodeID, cfg LinkConfig) {
+	n.links[[2]NodeID{from, to}] = cfg
+}
+
+// Crash marks a node failed: all traffic to and from it is dropped
+// until Recover. Crashing models fail-stop, the failure model the
+// CATOCS literature (and the paper's §4.4 discussion) assumes.
+func (n *SimNet) Crash(id NodeID) { n.crashed[id] = true }
+
+// Recover clears a node's crashed state.
+func (n *SimNet) Recover(id NodeID) { delete(n.crashed, id) }
+
+// Crashed reports whether a node is currently marked failed.
+func (n *SimNet) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// Partition divides the nodes into islands; traffic crosses islands
+// only after Heal. Pass one slice per island; unlisted nodes form an
+// implicit island 0... callers should list every node explicitly to
+// avoid surprises, and the function panics on duplicates.
+func (n *SimNet) Partition(islands ...[]NodeID) {
+	p := make(map[NodeID]int)
+	for i, island := range islands {
+		for _, id := range island {
+			if _, dup := p[id]; dup {
+				panic(fmt.Sprintf("transport: node %d in multiple islands", id))
+			}
+			p[id] = i
+		}
+	}
+	n.partition = p
+}
+
+// Heal removes any partition.
+func (n *SimNet) Heal() { n.partition = nil }
+
+// Stats returns a copy of the accumulated counters.
+func (n *SimNet) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the counters (e.g. after warmup).
+func (n *SimNet) ResetStats() { n.stats = Stats{} }
+
+// Now implements Network.
+func (n *SimNet) Now() time.Duration { return n.k.Now() }
+
+// After implements Network.
+func (n *SimNet) After(d time.Duration, f func()) { n.k.After(d, f) }
+
+// reachable applies crash and partition filters.
+func (n *SimNet) reachable(from, to NodeID) bool {
+	if n.crashed[from] || n.crashed[to] {
+		return false
+	}
+	if n.partition != nil && n.partition[from] != n.partition[to] {
+		return false
+	}
+	return true
+}
+
+func (n *SimNet) linkFor(from, to NodeID) LinkConfig {
+	if cfg, ok := n.links[[2]NodeID{from, to}]; ok {
+		return cfg
+	}
+	return n.def
+}
+
+// Send implements Network. The reachability check happens at delivery
+// time as well as send time, so a crash or partition that occurs while
+// a packet is in flight drops it — matching the fail-stop model where
+// in-flight data to a failed node is simply lost.
+func (n *SimNet) Send(from, to NodeID, payload any) {
+	n.stats.Sent++
+	if !n.reachable(from, to) {
+		n.stats.Dropped++
+		return
+	}
+	cfg := n.linkFor(from, to)
+	rng := n.k.Rand()
+	if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+		n.stats.Dropped++
+		return
+	}
+	n.deliverAfter(cfg, from, to, payload)
+	if cfg.DupProb > 0 && rng.Float64() < cfg.DupProb {
+		n.stats.Duplicated++
+		n.deliverAfter(cfg, from, to, payload)
+	}
+}
+
+func (n *SimNet) deliverAfter(cfg LinkConfig, from, to NodeID, payload any) {
+	d := cfg.BaseDelay
+	if cfg.Jitter > 0 {
+		d += time.Duration(n.k.Rand().Int63n(int64(cfg.Jitter)))
+	}
+	if cfg.Bandwidth > 0 {
+		d += time.Duration(float64(ApproxSize(payload)) / float64(cfg.Bandwidth) * float64(time.Second))
+	}
+	n.k.After(d, func() {
+		if !n.reachable(from, to) {
+			n.stats.Dropped++
+			return
+		}
+		h, ok := n.handlers[to]
+		if !ok {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		n.stats.Bytes += uint64(ApproxSize(payload))
+		h(from, payload)
+	})
+}

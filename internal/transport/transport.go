@@ -1,0 +1,71 @@
+// Package transport provides the point-to-point message substrate the
+// CATOCS stack and its state-level rivals run over.
+//
+// Two implementations share one interface:
+//
+//   - SimNet runs on the deterministic discrete-event kernel
+//     (internal/sim) with per-link delay, jitter, loss, duplication,
+//     partitions, and crash injection. All experiments use it.
+//   - LiveNet runs on real goroutines and channels with wall-clock
+//     delays, demonstrating that the same protocol code serves as a
+//     usable library outside the simulator.
+//
+// The unit of addressing is a dense NodeID assigned by the caller.
+// Payloads travel as Go values (the "wire" is in-process); the ordering
+// protocols attach their headers as struct fields, and ApproxSize
+// estimates wire cost for the traffic-volume experiments.
+package transport
+
+import (
+	"time"
+)
+
+// NodeID identifies an endpoint on a Network. IDs are small dense
+// integers; the group layer maps them to vclock.ProcessID.
+type NodeID int
+
+// Handler receives a delivered payload. Handlers run on the network's
+// dispatch context: the kernel goroutine for SimNet, a per-node
+// dispatcher goroutine for LiveNet.
+type Handler func(from NodeID, payload any)
+
+// Network is the substrate interface protocols are written against.
+type Network interface {
+	// Register installs the delivery handler for a node. Must be called
+	// before any message is sent to that node.
+	Register(id NodeID, h Handler)
+	// Send transmits payload from one node to another, subject to the
+	// network's delay/loss model. Send never blocks.
+	Send(from, to NodeID, payload any)
+	// Now returns the network's notion of current time (virtual for
+	// SimNet, wall for LiveNet).
+	Now() time.Duration
+	// After schedules f after d on the network's clock.
+	After(d time.Duration, f func())
+}
+
+// Sizer is implemented by payloads that can report an approximate
+// encoded size in bytes; used by traffic-volume metrics.
+type Sizer interface {
+	ApproxSize() int
+}
+
+// ApproxSize estimates the wire size of a payload: its own report if it
+// implements Sizer, else a flat per-message estimate standing in for a
+// small header-only packet.
+func ApproxSize(payload any) int {
+	if s, ok := payload.(Sizer); ok {
+		return s.ApproxSize()
+	}
+	return 64
+}
+
+// Stats aggregates network-level counters. Both implementations expose
+// it; the experiment harness reads it for message-census columns.
+type Stats struct {
+	Sent       uint64 // Send calls accepted
+	Delivered  uint64 // payloads handed to handlers
+	Dropped    uint64 // lost to the loss model, partitions, or crashes
+	Duplicated uint64 // extra copies injected by the duplication model
+	Bytes      uint64 // ApproxSize sum over delivered payloads
+}

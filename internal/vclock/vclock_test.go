@@ -1,0 +1,361 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportTick(t *testing.T) {
+	var l Lamport
+	if l.Now() != 0 {
+		t.Fatalf("fresh clock = %d, want 0", l.Now())
+	}
+	if got := l.Tick(); got != 1 {
+		t.Fatalf("first tick = %d, want 1", got)
+	}
+	if got := l.Tick(); got != 2 {
+		t.Fatalf("second tick = %d, want 2", got)
+	}
+}
+
+func TestLamportObserve(t *testing.T) {
+	var l Lamport
+	l.Tick() // 1
+	if got := l.Observe(10); got != 11 {
+		t.Fatalf("observe(10) = %d, want 11", got)
+	}
+	if got := l.Observe(3); got != 12 {
+		t.Fatalf("observe(3) after 11 = %d, want 12", got)
+	}
+}
+
+func TestStampLess(t *testing.T) {
+	cases := []struct {
+		a, b Stamp
+		want bool
+	}{
+		{Stamp{1, 0}, Stamp{2, 0}, true},
+		{Stamp{2, 0}, Stamp{1, 0}, false},
+		{Stamp{1, 0}, Stamp{1, 1}, true},
+		{Stamp{1, 1}, Stamp{1, 0}, false},
+		{Stamp{1, 1}, Stamp{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStampTotalOrder(t *testing.T) {
+	// Less must be a strict total order: for distinct stamps exactly one
+	// of a<b, b<a holds.
+	f := func(t1, t2 uint64, p1, p2 uint8) bool {
+		a := Stamp{Time: t1, Proc: ProcessID(p1)}
+		b := Stamp{Time: t2, Proc: ProcessID(p2)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCCompareBasics(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	if a.Compare(b) != Equal {
+		t.Fatalf("zero clocks should be equal")
+	}
+	a.Tick(0)
+	if a.Compare(b) != After || b.Compare(a) != Before {
+		t.Fatalf("a=%v b=%v: want After/Before", a, b)
+	}
+	b.Tick(1)
+	if a.Compare(b) != Concurrent {
+		t.Fatalf("a=%v b=%v: want Concurrent", a, b)
+	}
+	b.Merge(a)
+	if a.Compare(b) != Before {
+		t.Fatalf("after merge, a=%v b=%v: want Before", a, b)
+	}
+}
+
+func TestVCCloneIndependence(t *testing.T) {
+	a := New(2)
+	a.Tick(0)
+	c := a.Clone()
+	c.Tick(1)
+	if a[1] != 0 {
+		t.Fatalf("clone mutated original: %v", a)
+	}
+}
+
+func TestVCResize(t *testing.T) {
+	a := New(2)
+	a.Tick(0).Tick(0)
+	g := a.Resize(4)
+	if g.Len() != 4 || g[0] != 2 || g[2] != 0 {
+		t.Fatalf("resize grow = %v", g)
+	}
+	s := g.Resize(1)
+	if s.Len() != 1 || s[0] != 2 {
+		t.Fatalf("resize shrink = %v", s)
+	}
+}
+
+// randVC builds a small random vector clock pair of equal length for
+// property tests.
+func randVC(r *rand.Rand) (VC, VC) {
+	n := 1 + r.Intn(6)
+	a, b := New(n), New(n)
+	for i := range a {
+		a[i] = uint64(r.Intn(4))
+		b[i] = uint64(r.Intn(4))
+	}
+	return a, b
+}
+
+func TestVCCompareAntisymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randVC(r)
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case Before:
+			if ba != After {
+				t.Fatalf("a=%v b=%v: a<b but reverse=%v", a, b, ba)
+			}
+		case After:
+			if ba != Before {
+				t.Fatalf("a=%v b=%v: a>b but reverse=%v", a, b, ba)
+			}
+		case Equal:
+			if ba != Equal {
+				t.Fatalf("a=%v b=%v: equal not symmetric", a, b)
+			}
+		case Concurrent:
+			if ba != Concurrent {
+				t.Fatalf("a=%v b=%v: concurrency not symmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestVCHappensBeforeTransitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		n := 1 + r.Intn(5)
+		a, b, c := New(n), New(n), New(n)
+		for j := 0; j < n; j++ {
+			a[j] = uint64(r.Intn(3))
+			b[j] = a[j] + uint64(r.Intn(3))
+			c[j] = b[j] + uint64(r.Intn(3))
+		}
+		// Constructed so a <= b <= c component-wise.
+		if a.HappensBefore(b) && b.HappensBefore(c) && !a.HappensBefore(c) {
+			t.Fatalf("transitivity violated: a=%v b=%v c=%v", a, b, c)
+		}
+	}
+}
+
+func TestVCMergeIsLUB(t *testing.T) {
+	// Merge must produce a least upper bound: result >= both inputs, and
+	// component-wise exactly max.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a, b := randVC(r)
+		m := a.Clone().Merge(b)
+		if m.Compare(a) == Before || m.Compare(b) == Before || m.ConcurrentWith(a) || m.ConcurrentWith(b) {
+			t.Fatalf("merge not an upper bound: a=%v b=%v m=%v", a, b, m)
+		}
+		for j := range m {
+			want := a[j]
+			if b[j] > want {
+				want = b[j]
+			}
+			if m[j] != want {
+				t.Fatalf("merge not pointwise max at %d: a=%v b=%v m=%v", j, a, b, m)
+			}
+		}
+	}
+}
+
+func TestDeliverableExactNext(t *testing.T) {
+	// Receiver has delivered 2 messages from p0, 1 from p1.
+	recv := VC{2, 1, 0}
+	// Next from p0 with no extra dependencies: deliverable.
+	if !recv.Deliverable(VC{3, 1, 0}, 0) {
+		t.Fatal("next-in-sequence message should be deliverable")
+	}
+	// Gap from p0 (seq 5): not deliverable.
+	if recv.Deliverable(VC{5, 1, 0}, 0) {
+		t.Fatal("gapped message must not be deliverable")
+	}
+	// Depends on an undelivered message from p2: not deliverable.
+	if recv.Deliverable(VC{3, 1, 1}, 0) {
+		t.Fatal("message with undelivered dependency must not be deliverable")
+	}
+	// Duplicate (seq already delivered): not deliverable.
+	if recv.Deliverable(VC{2, 1, 0}, 0) {
+		t.Fatal("duplicate must not be deliverable")
+	}
+}
+
+func TestMissing(t *testing.T) {
+	recv := VC{1, 0, 0}
+	msg := VC{3, 2, 0} // third from p0, depends on two from p1
+	miss := recv.Missing(msg, 0)
+	want := []Stamp{{1, 1}, {2, 0}, {2, 1}}
+	if len(miss) != len(want) {
+		t.Fatalf("missing = %v, want %v", miss, want)
+	}
+	for i := range want {
+		if miss[i] != want[i] {
+			t.Fatalf("missing[%d] = %v, want %v", i, miss[i], want[i])
+		}
+	}
+}
+
+func TestMissingNothing(t *testing.T) {
+	recv := VC{1, 1}
+	msg := VC{2, 1}
+	if miss := recv.Missing(msg, 0); len(miss) != 0 {
+		t.Fatalf("deliverable message reported missing deps: %v", miss)
+	}
+}
+
+func TestDeliverableAfterMissingSatisfied(t *testing.T) {
+	// Property: if Missing is empty and the sender component is exactly
+	// next, Deliverable must be true.
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		n := 2 + r.Intn(4)
+		recv := New(n)
+		for j := range recv {
+			recv[j] = uint64(r.Intn(3))
+		}
+		sender := ProcessID(r.Intn(n))
+		msg := recv.Clone()
+		msg[sender]++ // exactly next, all deps satisfied
+		if !recv.Deliverable(msg, sender) {
+			t.Fatalf("recv=%v msg=%v sender=%d: should be deliverable", recv, msg, sender)
+		}
+		if m := recv.Missing(msg, sender); len(m) != 0 {
+			t.Fatalf("recv=%v msg=%v: unexpected missing %v", recv, msg, m)
+		}
+	}
+}
+
+func TestMatrixStability(t *testing.T) {
+	m := NewMatrix(3)
+	// p0 sends message seq 1; initially unstable.
+	if m.Stable(0, 1) {
+		t.Fatal("message should start unstable")
+	}
+	m.Update(0, VC{1, 0, 0})
+	m.Update(1, VC{1, 0, 0})
+	if m.Stable(0, 1) {
+		t.Fatal("not stable until all rows cover it")
+	}
+	m.Update(2, VC{1, 0, 0})
+	if !m.Stable(0, 1) {
+		t.Fatal("stable once every process has delivered")
+	}
+}
+
+func TestMatrixMinClock(t *testing.T) {
+	m := NewMatrix(2)
+	m.Update(0, VC{3, 1})
+	m.Update(1, VC{2, 5})
+	min := m.MinClock()
+	if min[0] != 2 || min[1] != 1 {
+		t.Fatalf("min clock = %v, want [2 1]", min)
+	}
+}
+
+func TestMatrixMinClockMonotone(t *testing.T) {
+	// Property: updates only advance the stability frontier.
+	r := rand.New(rand.NewSource(5))
+	m := NewMatrix(4)
+	prev := m.MinClock()
+	for i := 0; i < 500; i++ {
+		p := ProcessID(r.Intn(4))
+		v := New(4)
+		for j := range v {
+			v[j] = uint64(r.Intn(20))
+		}
+		m.Update(p, v)
+		cur := m.MinClock()
+		for j := range cur {
+			if cur[j] < prev[j] {
+				t.Fatalf("stability frontier regressed at %d: %v -> %v", j, prev, cur)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestVersionCovers(t *testing.T) {
+	v1 := Version{Object: "lotA", Seq: 1}
+	v2 := v1.Next()
+	if !v2.Covers(v1) {
+		t.Fatal("later version must cover earlier")
+	}
+	if v1.Covers(v2) {
+		t.Fatal("earlier version must not cover later")
+	}
+	if v1.Covers(Version{Object: "lotB", Seq: 0}) {
+		t.Fatal("versions of distinct objects are incomparable")
+	}
+	if !v1.Covers(v1) {
+		t.Fatal("version must cover itself")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Before: "before", After: "after", Equal: "equal", Concurrent: "concurrent",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+	if Ordering(42).String() != "Ordering(42)" {
+		t.Errorf("unknown ordering string = %q", Ordering(42).String())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	v := VC{1, 2, 3}
+	if v.String() != "[1 2 3]" {
+		t.Errorf("VC string = %q", v.String())
+	}
+	s := Stamp{Time: 7, Proc: 2}
+	if s.String() != "7@2" {
+		t.Errorf("stamp string = %q", s.String())
+	}
+	ver := Version{Object: "x", Seq: 4}
+	if ver.String() != "x#4" {
+		t.Errorf("version string = %q", ver.String())
+	}
+}
+
+func TestVCSum(t *testing.T) {
+	v := VC{1, 2, 3}
+	if v.Sum() != 6 {
+		t.Fatalf("sum = %d, want 6", v.Sum())
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	VC{1}.Compare(VC{1, 2})
+}

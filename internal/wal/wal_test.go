@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"testing"
+)
+
+func TestDurablePutAndRecover(t *testing.T) {
+	dev := NewDevice()
+	ds := NewDurableStore(dev)
+	ds.Put("x", 1)
+	ds.Put("y", "a")
+	ds.Put("x", 2)
+
+	if dev.Len() != 3 {
+		t.Fatalf("log records = %d", dev.Len())
+	}
+	recovered, n, err := Recover(dev)
+	if err != nil || n != 3 {
+		t.Fatalf("recover: n=%d err=%v", n, err)
+	}
+	v, ver, ok := recovered.Get("x")
+	if !ok || v != 2 || ver.Seq != 2 {
+		t.Fatalf("recovered x = %v %v", v, ver)
+	}
+	if v, _, _ := recovered.Get("y"); v != "a" {
+		t.Fatalf("recovered y = %v", v)
+	}
+}
+
+func TestRecoverDetectsGaps(t *testing.T) {
+	dev := NewDevice()
+	dev.Append(Record{Object: "x", Seq: 1, Value: 1})
+	dev.Append(Record{Object: "x", Seq: 3, Value: 3}) // gap: seq 2 missing
+	if _, _, err := Recover(dev); err == nil {
+		t.Fatal("gap in versions not detected")
+	}
+}
+
+func TestDeviceAccounting(t *testing.T) {
+	dev := NewDevice()
+	lat := dev.Append(Record{Object: "obj", Seq: 1, Value: 9})
+	if lat != dev.WriteLatency {
+		t.Fatal("latency model")
+	}
+	if dev.Appends() != 1 || dev.Bytes() == 0 {
+		t.Fatalf("accounting: appends=%d bytes=%d", dev.Appends(), dev.Bytes())
+	}
+	before := dev.Bytes()
+	dev.AppendRaw(100)
+	if dev.Bytes() != before+100 || dev.Appends() != 2 {
+		t.Fatal("raw append accounting")
+	}
+	if dev.Len() != 1 {
+		t.Fatal("raw appends must not appear as structured records")
+	}
+}
+
+func TestDurableStoreReadThrough(t *testing.T) {
+	ds := NewDurableStore(NewDevice())
+	ver, _ := ds.Put("k", 7)
+	if ver.Seq != 1 {
+		t.Fatal("version")
+	}
+	if v, _, ok := ds.Get("k"); !ok || v != 7 {
+		t.Fatal("read-through")
+	}
+	if ds.Store().Version("k") != 1 {
+		t.Fatal("store accessor")
+	}
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	s, n, err := Recover(NewDevice())
+	if err != nil || n != 0 || s == nil {
+		t.Fatalf("empty recover: %v %d", err, n)
+	}
+}

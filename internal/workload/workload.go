@@ -1,0 +1,135 @@
+// Package workload provides deterministic arrival-process generators
+// for the experiment sweeps: uniform (fixed-interval), Poisson
+// (exponential inter-arrival), and bursty (on/off modulated) traffic.
+// The paper's §5 cost model assumes a fixed per-process message rate;
+// the sensitivity of the buffering results to traffic shape is itself
+// worth measuring, which is what these generators enable (burstiness
+// concentrates unstable messages, inflating peak buffers beyond the
+// uniform-rate prediction).
+//
+// Generators draw from an explicit *rand.Rand so runs are reproducible
+// under the simulation kernel's seed discipline.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrivals yields successive event times. Implementations are
+// stateful iterators: each Next returns a strictly later time.
+type Arrivals interface {
+	// Next returns the next arrival time.
+	Next() time.Duration
+}
+
+// Uniform emits arrivals at a fixed interval starting at Start.
+type Uniform struct {
+	Start    time.Duration
+	Interval time.Duration
+	n        int
+}
+
+// Next implements Arrivals.
+func (u *Uniform) Next() time.Duration {
+	t := u.Start + time.Duration(u.n)*u.Interval
+	u.n++
+	return t
+}
+
+// Poisson emits arrivals with exponential inter-arrival times at the
+// given mean rate (events per second).
+type Poisson struct {
+	Start time.Duration
+	Rate  float64 // events per second; must be > 0
+	Rng   *rand.Rand
+	cur   time.Duration
+	began bool
+}
+
+// Next implements Arrivals.
+func (p *Poisson) Next() time.Duration {
+	if !p.began {
+		p.cur = p.Start
+		p.began = true
+	}
+	// Inverse-CDF exponential draw.
+	u := p.Rng.Float64()
+	for u == 0 {
+		u = p.Rng.Float64()
+	}
+	gap := time.Duration(-math.Log(u) / p.Rate * float64(time.Second))
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	p.cur += gap
+	return p.cur
+}
+
+// Bursty alternates between an "on" phase emitting at OnInterval and a
+// silent "off" phase, modelling the bursty sources real-time and
+// trading feeds exhibit.
+type Bursty struct {
+	Start       time.Duration
+	OnInterval  time.Duration // spacing within a burst
+	BurstLen    int           // events per burst
+	OffDuration time.Duration // silence between bursts
+	n           int
+}
+
+// Next implements Arrivals.
+func (b *Bursty) Next() time.Duration {
+	burst := b.n / b.BurstLen
+	within := b.n % b.BurstLen
+	b.n++
+	return b.Start +
+		time.Duration(burst)*(time.Duration(b.BurstLen)*b.OnInterval+b.OffDuration) +
+		time.Duration(within)*b.OnInterval
+}
+
+// Take drains n arrivals into a slice.
+func Take(a Arrivals, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = a.Next()
+	}
+	return out
+}
+
+// MeanRate estimates events per second over a schedule (0 for fewer
+// than 2 events).
+func MeanRate(times []time.Duration) float64 {
+	if len(times) < 2 {
+		return 0
+	}
+	span := (times[len(times)-1] - times[0]).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(times)-1) / span
+}
+
+// Burstiness is the coefficient of variation of inter-arrival times:
+// ~0 for uniform, ~1 for Poisson, >1 for bursty traffic.
+func Burstiness(times []time.Duration) float64 {
+	if len(times) < 3 {
+		return 0
+	}
+	gaps := make([]float64, len(times)-1)
+	var sum float64
+	for i := 1; i < len(times); i++ {
+		gaps[i-1] = (times[i] - times[i-1]).Seconds()
+		sum += gaps[i-1]
+	}
+	mean := sum / float64(len(gaps))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, g := range gaps {
+		d := g - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(gaps))) / mean
+}

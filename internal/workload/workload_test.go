@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestUniformSpacing(t *testing.T) {
+	u := &Uniform{Start: 10 * time.Millisecond, Interval: 5 * time.Millisecond}
+	times := Take(u, 4)
+	want := []time.Duration{10, 15, 20, 25}
+	for i, w := range want {
+		if times[i] != w*time.Millisecond {
+			t.Fatalf("times = %v", times)
+		}
+	}
+	if b := Burstiness(times); b > 1e-9 {
+		t.Fatalf("uniform burstiness = %v, want 0", b)
+	}
+}
+
+func TestPoissonRateAndMonotonicity(t *testing.T) {
+	p := &Poisson{Rate: 1000, Rng: rand.New(rand.NewSource(1))}
+	times := Take(p, 5000)
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("non-monotone arrivals at %d", i)
+		}
+	}
+	rate := MeanRate(times)
+	if math.Abs(rate-1000)/1000 > 0.1 {
+		t.Fatalf("measured rate %v, want ~1000/s", rate)
+	}
+	// Poisson CV ≈ 1.
+	if b := Burstiness(times); b < 0.8 || b > 1.2 {
+		t.Fatalf("poisson burstiness = %v, want ~1", b)
+	}
+}
+
+func TestPoissonDeterministicUnderSeed(t *testing.T) {
+	a := Take(&Poisson{Rate: 100, Rng: rand.New(rand.NewSource(7))}, 50)
+	b := Take(&Poisson{Rate: 100, Rng: rand.New(rand.NewSource(7))}, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("poisson schedule not reproducible")
+		}
+	}
+}
+
+func TestBurstyShape(t *testing.T) {
+	b := &Bursty{OnInterval: time.Millisecond, BurstLen: 3, OffDuration: 100 * time.Millisecond}
+	times := Take(b, 7)
+	// First burst: 0, 1, 2 ms. Second: 103, 104, 105 ms. Third starts 206.
+	want := []time.Duration{0, 1, 2, 103, 104, 105, 206}
+	for i, w := range want {
+		if times[i] != w*time.Millisecond {
+			t.Fatalf("times = %v", times)
+		}
+	}
+	if cv := Burstiness(times); cv <= 1 {
+		t.Fatalf("bursty CV = %v, want > 1", cv)
+	}
+}
+
+func TestDegenerateStats(t *testing.T) {
+	if MeanRate(nil) != 0 || MeanRate([]time.Duration{1}) != 0 {
+		t.Fatal("mean rate degenerate")
+	}
+	if Burstiness([]time.Duration{1, 2}) != 0 {
+		t.Fatal("burstiness degenerate")
+	}
+	same := []time.Duration{5, 5, 5}
+	if MeanRate(same) != 0 {
+		t.Fatal("zero-span rate")
+	}
+}

@@ -1,0 +1,138 @@
+package catocs
+
+// Micro-benchmarks of the per-message machinery §3.4 charges CATOCS
+// with: "ordering information is added each transmission and checked
+// on each reception. This overhead will be an increasingly significant
+// cost as networks go to ever higher transfer rates." These quantify
+// the per-operation cost of the clocks and buffers at several group
+// sizes.
+
+import (
+	"fmt"
+	"testing"
+
+	"catocs/internal/stability"
+	"catocs/internal/state"
+	"catocs/internal/vclock"
+)
+
+func benchSizes() []int { return []int{4, 16, 64, 256} }
+
+func BenchmarkVCCompare(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := vclock.New(n), vclock.New(n)
+			for i := 0; i < n; i++ {
+				x.Set(vclock.ProcessID(i), uint64(i))
+				y.Set(vclock.ProcessID(i), uint64(i%3))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = x.Compare(y)
+			}
+		})
+	}
+}
+
+func BenchmarkVCDeliverableCheck(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			recv := vclock.New(n)
+			msg := recv.Clone()
+			msg.Set(0, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = recv.Deliverable(msg, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkVCMerge(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := vclock.New(n), vclock.New(n)
+			for i := 0; i < n; i++ {
+				y.Set(vclock.ProcessID(i), uint64(i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Merge(y)
+			}
+		})
+	}
+}
+
+func BenchmarkVCStampClone(b *testing.B) {
+	// The per-send cost: clone the delivered clock to stamp a message.
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			v := vclock.New(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = v.Clone()
+			}
+		})
+	}
+}
+
+func BenchmarkStabilityObserveAck(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := stability.New(n)
+			for s := 0; s < n; s++ {
+				for q := uint64(1); q <= 4; q++ {
+					tr.Buffer(stability.Key{Sender: vclock.ProcessID(s), Seq: q}, q)
+				}
+			}
+			ack := vclock.New(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.ObserveAck(vclock.ProcessID(i%n), ack)
+			}
+		})
+	}
+}
+
+func BenchmarkMatrixMinClock(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := vclock.NewMatrix(n)
+			for i := 0; i < n; i++ {
+				v := vclock.New(n)
+				v.Set(vclock.ProcessID(i), uint64(i))
+				m.Update(vclock.ProcessID(i), v)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.MinClock()
+			}
+		})
+	}
+}
+
+func BenchmarkStateReorderer(b *testing.B) {
+	// The state-level alternative's per-message cost, for contrast:
+	// one map insert and a drain check.
+	r := state.NewReorderer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Submit(uint64(i+1), i)
+	}
+}
+
+func BenchmarkStateCacheApply(b *testing.B) {
+	c := state.NewCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Apply(state.Update{Object: "obj", Version: uint64(i + 1), Value: i})
+	}
+}
+
+func BenchmarkStoreVersionedPut(b *testing.B) {
+	s := state.NewStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put("key", i)
+	}
+}
