@@ -8,6 +8,7 @@ package catocs
 // simulation and the shape of the result.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -272,4 +273,25 @@ func benchThroughput(b *testing.B, ord Ordering) {
 	}
 	sim.Run()
 	b.ReportMetric(float64(delivered)/float64(b.N), "deliveries/msg")
+}
+
+// BenchmarkScalecastVsCBCAST runs the E16 head-to-head sweep as
+// sub-benchmarks, reporting the headline per-packet control bytes as a
+// metric and emitting one JSON line per (substrate, N) — the same
+// records `scalebench -exp scalecast -json` produces.
+func BenchmarkScalecastVsCBCAST(b *testing.B) {
+	for _, substrate := range []string{"cbcast", "scalecast"} {
+		for _, n := range []int{8, 32, 128} {
+			substrate, n := substrate, n
+			b.Run(fmt.Sprintf("%s/N=%d", substrate, n), func(b *testing.B) {
+				var pt experiments.E16Point
+				for i := 0; i < b.N; i++ {
+					pt = experiments.RunE16(substrate, n, 4, int64(i+1))
+				}
+				b.ReportMetric(pt.CtrlBytesPerPkt, "ctrl-B/pkt")
+				b.ReportMetric(pt.LatencyMean*1000, "mean-lat-ms")
+				b.Logf("%s", pt.JSON())
+			})
+		}
+	}
 }

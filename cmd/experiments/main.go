@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E14 plus the
+// Command experiments runs the full reproduction suite E1–E16 plus the
 // ablations and prints every table. With -md it emits the tables in
 // the Markdown layout used by EXPERIMENTS.md.
 //
@@ -22,9 +22,11 @@ func main() {
 
 	trials, sizes, msgs := 50, []int{4, 8, 16, 24}, 40
 	e8procs := []int{4, 8}
+	e16sizes := []int{8, 32, 128, 512}
 	if *quick {
 		trials, sizes, msgs = 10, []int{4, 8}, 20
 		e8procs = []int{4}
+		e16sizes = []int{8, 32}
 	}
 
 	tables := []*experiments.Table{
@@ -48,6 +50,7 @@ func main() {
 		experiments.TableE13(sizes, 48, *seed),
 		experiments.TableE14([]int{8, 16, 32}, 40, *seed),
 		experiments.TableE15([]int{4, 8, 16}, 30, *seed),
+		experiments.TableE16(e16sizes, 4, *seed),
 		experiments.TableAblationTotal(sizes, msgs/2, *seed),
 	}
 

@@ -8,8 +8,14 @@
 // Usage:
 //
 //	scalebench [-exp buffer|false-causality|viewchange|partition|totalorder|
-//	            traffic|join|durability|namesvc|all]
-//	           [-sizes 4,8,16,32] [-msgs 40] [-loss 0.05] [-seed 1]
+//	            traffic|join|durability|namesvc|scalecast|all]
+//	           [-sizes 4,8,16,32] [-msgs 40] [-loss 0.05] [-seed 1] [-json]
+//
+// The scalecast sweep (-exp scalecast) compares vector-clock CBCAST
+// against the constant-metadata flood substrate head-to-head; with
+// -json it emits one JSON line per (substrate, N) for plotting, e.g.
+//
+//	scalebench -exp scalecast -sizes 8,32,128,512 -json
 package main
 
 import (
@@ -36,7 +42,8 @@ func parseSizes(s string) []int {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: buffer, false-causality, viewchange, partition, totalorder, traffic, join, durability, namesvc, all")
+	exp := flag.String("exp", "all", "experiment: buffer, false-causality, viewchange, partition, totalorder, traffic, join, durability, namesvc, scalecast, all")
+	jsonOut := flag.Bool("json", false, "emit JSON lines instead of tables (scalecast sweep)")
 	sizesFlag := flag.String("sizes", "4,8,16,24", "comma-separated group sizes")
 	msgs := flag.Int("msgs", 40, "messages per sender")
 	loss := flag.Float64("loss", 0.05, "link loss probability (buffer sweep)")
@@ -69,6 +76,16 @@ func main() {
 			fmt.Println(experiments.TableE13(sizes, *msgs, *seed).Render())
 		case "namesvc":
 			fmt.Println(experiments.TableE14(sizes, *msgs, *seed).Render())
+		case "scalecast":
+			// Head-to-head causal-broadcast metadata sweep; -json emits
+			// one JSON line per (substrate, N) for plotting pipelines.
+			if *jsonOut {
+				for _, pt := range experiments.RunE16Sweep(sizes, 4, *seed) {
+					fmt.Println(pt.JSON())
+				}
+			} else {
+				fmt.Println(experiments.TableE16(sizes, 4, *seed).Render())
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -76,7 +93,7 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, name := range []string{"false-causality", "buffer", "viewchange", "partition",
-			"totalorder", "traffic", "join", "durability"} {
+			"totalorder", "traffic", "join", "durability", "scalecast"} {
 			run(name)
 		}
 		return

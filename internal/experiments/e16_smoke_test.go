@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestE16FullSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	tab := TableE16([]int{8, 32, 128, 512}, 4, 1)
+	fmt.Println(tab.Render())
+}

@@ -306,3 +306,44 @@ func TestTablesRenderWithoutPanic(t *testing.T) {
 		}
 	}
 }
+
+func TestE16ConstantVsLinearMetadata(t *testing.T) {
+	// The tentpole claim: CBCAST's per-packet control bytes grow
+	// linearly with N; scalecast's stay constant. Completeness must
+	// hold on both substrates (senders × msgs × N deliveries).
+	pts := RunE16Sweep([]int{8, 32}, 3, 1)
+	byKey := map[string]E16Point{}
+	for _, p := range pts {
+		byKey[p.Substrate+"-"+fmtI(p.N)] = p
+		wantDeliveries := uint64(e16Senders(p.N) * 3 * p.N)
+		if p.Deliveries != wantDeliveries {
+			t.Fatalf("%s N=%d delivered %d, want %d", p.Substrate, p.N, p.Deliveries, wantDeliveries)
+		}
+	}
+	cb8, cb32 := byKey["cbcast-8"], byKey["cbcast-32"]
+	sc8, sc32 := byKey["scalecast-8"], byKey["scalecast-32"]
+	// CBCAST header grows by ~8 bytes per member: 4x the group, ~+192B.
+	if cb32.CtrlBytesPerPkt < cb8.CtrlBytesPerPkt+150 {
+		t.Fatalf("cbcast ctrl/pkt did not grow with N: %.1f -> %.1f",
+			cb8.CtrlBytesPerPkt, cb32.CtrlBytesPerPkt)
+	}
+	// Scalecast stays within a few bytes (mix of acks vs data shifts).
+	if diff := sc32.CtrlBytesPerPkt - sc8.CtrlBytesPerPkt; diff > 10 || diff < -10 {
+		t.Fatalf("scalecast ctrl/pkt not constant: %.1f -> %.1f",
+			sc8.CtrlBytesPerPkt, sc32.CtrlBytesPerPkt)
+	}
+	// And at N=32 the flood header is already far below the vclock one.
+	if sc32.CtrlBytesPerPkt*2 > cb32.CtrlBytesPerPkt {
+		t.Fatalf("scalecast (%.1f B/pkt) should be well under cbcast (%.1f B/pkt) at N=32",
+			sc32.CtrlBytesPerPkt, cb32.CtrlBytesPerPkt)
+	}
+	tab := TableE16([]int{8}, 2, 1)
+	if len(tab.Rows) != 2 || len(tab.Headers) != 10 {
+		t.Fatal("E16 table malformed")
+	}
+	for _, p := range pts {
+		if p.JSON() == "" || !strings.Contains(p.JSON(), "\"substrate\"") {
+			t.Fatal("E16 JSON malformed")
+		}
+	}
+}

@@ -181,6 +181,64 @@ func (s *Series) MeanLevel() float64 {
 	return area / total
 }
 
+// RatioPoint is one sample of a RatioSeries: two cumulative quantities
+// at a virtual time.
+type RatioPoint struct {
+	T   time.Duration
+	Num float64
+	Den float64
+}
+
+// RatioSeries tracks the ratio of two accumulating quantities over
+// time — canonically control bytes ÷ payload bytes, the per-message
+// overhead census of experiment E16. Samples carry the cumulative
+// totals, so the series answers both the final overhead and the worst
+// instantaneous window.
+type RatioSeries struct {
+	points []RatioPoint
+}
+
+// Record appends a sample of the cumulative numerator and denominator.
+func (r *RatioSeries) Record(t time.Duration, num, den float64) {
+	r.points = append(r.points, RatioPoint{T: t, Num: num, Den: den})
+}
+
+// Points returns the recorded samples (aliased; do not mutate).
+func (r *RatioSeries) Points() []RatioPoint { return r.points }
+
+// Final returns the ratio at the last sample, or 0 when the series is
+// empty or its final denominator is 0.
+func (r *RatioSeries) Final() float64 {
+	if len(r.points) == 0 {
+		return 0
+	}
+	last := r.points[len(r.points)-1]
+	if last.Den == 0 {
+		return 0
+	}
+	return last.Num / last.Den
+}
+
+// PeakWindow returns the largest ratio of per-interval increments
+// between consecutive samples — the worst burst of overhead relative
+// to useful bytes. Intervals whose denominator does not grow are
+// skipped (all-control windows would divide by zero); 0 when no
+// interval qualifies.
+func (r *RatioSeries) PeakWindow() float64 {
+	var peak float64
+	for i := 1; i < len(r.points); i++ {
+		dn := r.points[i].Num - r.points[i-1].Num
+		dd := r.points[i].Den - r.points[i-1].Den
+		if dd <= 0 {
+			continue
+		}
+		if ratio := dn / dd; ratio > peak {
+			peak = ratio
+		}
+	}
+	return peak
+}
+
 // Peak returns the maximum recorded value, or 0 when empty.
 func (s *Series) Peak() float64 {
 	var m float64

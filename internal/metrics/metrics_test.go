@@ -135,3 +135,51 @@ func TestSeriesDegenerate(t *testing.T) {
 		t.Fatalf("peak = %v", s.Peak())
 	}
 }
+
+func TestRatioSeries(t *testing.T) {
+	var r RatioSeries
+	if r.Final() != 0 || r.PeakWindow() != 0 {
+		t.Fatal("empty ratio series should return zeros")
+	}
+	// Cumulative control/payload: 10/100, then 30/200, then 90/300.
+	r.Record(0, 10, 100)
+	r.Record(time.Second, 30, 200)
+	r.Record(2*time.Second, 90, 300)
+	if got, want := r.Final(), 90.0/300.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("final = %v, want %v", got, want)
+	}
+	// Increments: (20/100)=0.2 then (60/100)=0.6.
+	if got := r.PeakWindow(); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("peak window = %v, want 0.6", got)
+	}
+	if len(r.Points()) != 3 {
+		t.Fatalf("points = %d", len(r.Points()))
+	}
+}
+
+func TestRatioSeriesDegenerate(t *testing.T) {
+	var r RatioSeries
+	r.Record(0, 5, 0)
+	if r.Final() != 0 {
+		t.Fatal("zero denominator must not divide")
+	}
+	// A window where only control bytes flow is skipped, not infinite.
+	r.Record(time.Second, 9, 0)
+	if r.PeakWindow() != 0 {
+		t.Fatalf("peak window = %v, want 0", r.PeakWindow())
+	}
+}
+
+func TestHistogramQuantileP100Edge(t *testing.T) {
+	// Nearest-rank must pin the p100 edge to the true maximum even for
+	// q arbitrarily close to (or beyond) 1.
+	var h Histogram
+	for _, v := range []float64{3, 1, 2} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.999999, 1, 1.5} {
+		if got := h.Quantile(q); got != 3 {
+			t.Fatalf("Quantile(%v) = %v, want 3", q, got)
+		}
+	}
+}

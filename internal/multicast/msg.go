@@ -63,6 +63,11 @@ func (m *DataMsg) ApproxSize() int {
 	return size
 }
 
+// ControlSize implements transport.ControlSizer: everything but the
+// payload is ordering metadata — and the vector clocks make it grow
+// linearly in group size, the scaling cost scalecast removes.
+func (m *DataMsg) ControlSize() int { return m.ApproxSize() - m.PayloadSize }
+
 // OrderMsg is the fixed sequencer's ordering announcement: global
 // position GlobalSeq is assigned to message ID.
 type OrderMsg struct {
@@ -153,3 +158,6 @@ type RetransMsg struct {
 
 // ApproxSize implements transport.Sizer.
 func (m *RetransMsg) ApproxSize() int { return 16 + m.Data.ApproxSize() }
+
+// ControlSize implements transport.ControlSizer.
+func (m *RetransMsg) ControlSize() int { return 16 + m.Data.ControlSize() }

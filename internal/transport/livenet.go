@@ -20,6 +20,7 @@ type LiveNet struct {
 	rng      *rand.Rand
 	start    time.Time
 	stats    Stats
+	perNode  map[NodeID]*NodeStats
 	wg       sync.WaitGroup
 	closed   bool
 }
@@ -37,6 +38,7 @@ func NewLiveNet(def LinkConfig, seed int64) *LiveNet {
 		handlers: make(map[NodeID]Handler),
 		boxes:    make(map[NodeID]chan packet),
 		crashed:  make(map[NodeID]bool),
+		perNode:  make(map[NodeID]*NodeStats),
 		rng:      rand.New(rand.NewSource(seed)),
 		start:    time.Now(),
 	}
@@ -90,12 +92,12 @@ func (n *LiveNet) Recover(id NodeID) {
 func (n *LiveNet) Send(from, to NodeID, payload any) {
 	n.mu.Lock()
 	if n.closed || n.crashed[from] || n.crashed[to] {
-		n.stats.Sent++
+		accountSend(&n.stats, n.perNode, from, payload)
 		n.stats.Dropped++
 		n.mu.Unlock()
 		return
 	}
-	n.stats.Sent++
+	accountSend(&n.stats, n.perNode, from, payload)
 	drop := n.def.LossProb > 0 && n.rng.Float64() < n.def.LossProb
 	d := n.def.BaseDelay
 	if n.def.Jitter > 0 {
@@ -109,30 +111,28 @@ func (n *LiveNet) Send(from, to NodeID, payload any) {
 		return
 	}
 	deliver := func() {
+		// The non-blocking send happens under the mutex: Close closes the
+		// mailboxes under the same mutex after setting closed, so the
+		// closed check and the send are atomic with respect to it.
 		n.mu.Lock()
+		defer n.mu.Unlock()
 		if n.closed || n.crashed[to] {
 			n.stats.Dropped++
-			n.mu.Unlock()
 			return
 		}
 		box, ok := n.boxes[to]
 		if !ok {
 			n.stats.Dropped++
-			n.mu.Unlock()
 			return
 		}
-		n.stats.Delivered++
-		n.stats.Bytes += uint64(ApproxSize(payload))
-		n.mu.Unlock()
 		select {
 		case box <- packet{from: from, payload: payload}:
+			n.stats.Delivered++
+			n.stats.Bytes += uint64(ApproxSize(payload))
 		default:
 			// Mailbox overflow models receiver buffer exhaustion; the
 			// packet is lost, as on a real datagram network.
-			n.mu.Lock()
-			n.stats.Delivered--
 			n.stats.Dropped++
-			n.mu.Unlock()
 		}
 	}
 	if d <= 0 {
@@ -162,6 +162,16 @@ func (n *LiveNet) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.stats
+}
+
+// NodeStats returns a snapshot of one node's send-side counters.
+func (n *LiveNet) NodeStats(id NodeID) NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ns := n.perNode[id]; ns != nil {
+		return *ns
+	}
+	return NodeStats{}
 }
 
 // Close stops dispatchers and drops all future traffic. It waits for

@@ -40,6 +40,7 @@ type SimNet struct {
 	// islands cannot communicate. nil means fully connected.
 	partition map[NodeID]int
 	stats     Stats
+	perNode   map[NodeID]*NodeStats
 }
 
 // NewSimNet returns a simulated network with the given default link
@@ -51,6 +52,7 @@ func NewSimNet(k *sim.Kernel, def LinkConfig) *SimNet {
 		links:    make(map[[2]NodeID]LinkConfig),
 		handlers: make(map[NodeID]Handler),
 		crashed:  make(map[NodeID]bool),
+		perNode:  make(map[NodeID]*NodeStats),
 	}
 }
 
@@ -100,8 +102,19 @@ func (n *SimNet) Heal() { n.partition = nil }
 // Stats returns a copy of the accumulated counters.
 func (n *SimNet) Stats() Stats { return n.stats }
 
+// NodeStats returns a copy of one node's send-side counters.
+func (n *SimNet) NodeStats(id NodeID) NodeStats {
+	if ns := n.perNode[id]; ns != nil {
+		return *ns
+	}
+	return NodeStats{}
+}
+
 // ResetStats zeroes the counters (e.g. after warmup).
-func (n *SimNet) ResetStats() { n.stats = Stats{} }
+func (n *SimNet) ResetStats() {
+	n.stats = Stats{}
+	n.perNode = make(map[NodeID]*NodeStats)
+}
 
 // Now implements Network.
 func (n *SimNet) Now() time.Duration { return n.k.Now() }
@@ -132,7 +145,7 @@ func (n *SimNet) linkFor(from, to NodeID) LinkConfig {
 // a packet is in flight drops it — matching the fail-stop model where
 // in-flight data to a failed node is simply lost.
 func (n *SimNet) Send(from, to NodeID, payload any) {
-	n.stats.Sent++
+	accountSend(&n.stats, n.perNode, from, payload)
 	if !n.reachable(from, to) {
 		n.stats.Dropped++
 		return

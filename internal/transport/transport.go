@@ -50,6 +50,39 @@ type Sizer interface {
 	ApproxSize() int
 }
 
+// ControlSizer is implemented by payloads that can report how many of
+// their ApproxSize bytes are protocol control metadata (ordering
+// headers, clocks, acknowledgement state) rather than application
+// payload. Pure control messages report their full size.
+type ControlSizer interface {
+	ControlSize() int
+}
+
+// ForwardMarker is implemented by payloads that may be relayed on
+// behalf of another origin (overlay dissemination). A payload reporting
+// Forwarded() == true counts against the relaying node's forwarded-
+// message counter rather than as an origin send.
+type ForwardMarker interface {
+	Forwarded() bool
+}
+
+// ControlSize estimates the control-metadata bytes of a payload: its
+// own report if it implements ControlSizer, else its whole ApproxSize —
+// a payload that cannot distinguish application bytes is all header as
+// far as the overhead census is concerned.
+func ControlSize(payload any) int {
+	if c, ok := payload.(ControlSizer); ok {
+		return c.ControlSize()
+	}
+	return ApproxSize(payload)
+}
+
+// isForwarded reports whether a payload is a relayed copy.
+func isForwarded(payload any) bool {
+	f, ok := payload.(ForwardMarker)
+	return ok && f.Forwarded()
+}
+
 // ApproxSize estimates the wire size of a payload: its own report if it
 // implements Sizer, else a flat per-message estimate standing in for a
 // small header-only packet.
@@ -68,4 +101,43 @@ type Stats struct {
 	Dropped    uint64 // lost to the loss model, partitions, or crashes
 	Duplicated uint64 // extra copies injected by the duplication model
 	Bytes      uint64 // ApproxSize sum over delivered payloads
+	// CtrlBytes is the ControlSize sum over accepted sends: the wire
+	// bytes spent on protocol metadata rather than application payload.
+	// Counted at send time (the sender pays for the header whether or
+	// not the loss model eats the packet).
+	CtrlBytes uint64
+	// Forwarded counts accepted sends whose payload was a relayed copy
+	// (ForwardMarker); overlay dissemination forwards on intermediate
+	// hops, which end-to-end counters alone would misattribute.
+	Forwarded uint64
+}
+
+// NodeStats are the per-node counters both networks maintain alongside
+// the aggregate Stats; all counts attribute to the sending node.
+type NodeStats struct {
+	Sent      uint64 // Send calls accepted from this node
+	CtrlBytes uint64 // control-metadata bytes this node put on the wire
+	Forwarded uint64 // relayed copies this node sent
+}
+
+// accountSend updates aggregate and per-node counters for one accepted
+// send. Shared by SimNet and LiveNet.
+func accountSend(stats *Stats, perNode map[NodeID]*NodeStats, from NodeID, payload any) {
+	stats.Sent++
+	ctrl := uint64(ControlSize(payload))
+	stats.CtrlBytes += ctrl
+	fwd := isForwarded(payload)
+	if fwd {
+		stats.Forwarded++
+	}
+	ns := perNode[from]
+	if ns == nil {
+		ns = &NodeStats{}
+		perNode[from] = ns
+	}
+	ns.Sent++
+	ns.CtrlBytes += ctrl
+	if fwd {
+		ns.Forwarded++
+	}
 }

@@ -278,3 +278,67 @@ func TestLiveNetDelay(t *testing.T) {
 		t.Fatalf("delivered after %v, want >= ~30ms", elapsed)
 	}
 }
+
+// ctrlPayload is a test payload with distinct payload and control
+// bytes plus a forwarded marker.
+type ctrlPayload struct {
+	payload int
+	control int
+	relayed bool
+}
+
+func (p ctrlPayload) ApproxSize() int  { return p.payload + p.control }
+func (p ctrlPayload) ControlSize() int { return p.control }
+func (p ctrlPayload) Forwarded() bool  { return p.relayed }
+
+func TestSimNetControlAndForwardCounters(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewSimNet(k, LinkConfig{})
+	n.Register(1, func(NodeID, any) {})
+	n.Send(0, 1, ctrlPayload{payload: 100, control: 24})
+	n.Send(0, 1, ctrlPayload{payload: 100, control: 24, relayed: true})
+	n.Send(2, 1, "opaque") // no ControlSizer: all 64 estimate bytes are control
+	k.Run()
+
+	st := n.Stats()
+	if st.CtrlBytes != 24+24+64 {
+		t.Fatalf("aggregate ctrl bytes = %d, want 112", st.CtrlBytes)
+	}
+	if st.Forwarded != 1 {
+		t.Fatalf("aggregate forwarded = %d, want 1", st.Forwarded)
+	}
+	ns0 := n.NodeStats(0)
+	if ns0.Sent != 2 || ns0.CtrlBytes != 48 || ns0.Forwarded != 1 {
+		t.Fatalf("node 0 stats = %+v", ns0)
+	}
+	ns2 := n.NodeStats(2)
+	if ns2.Sent != 1 || ns2.CtrlBytes != 64 || ns2.Forwarded != 0 {
+		t.Fatalf("node 2 stats = %+v", ns2)
+	}
+	if got := n.NodeStats(9); got != (NodeStats{}) {
+		t.Fatalf("unknown node stats = %+v", got)
+	}
+	n.ResetStats()
+	if n.Stats().CtrlBytes != 0 || n.NodeStats(0).Sent != 0 {
+		t.Fatal("ResetStats did not clear per-node counters")
+	}
+}
+
+func TestLiveNetControlAndForwardCounters(t *testing.T) {
+	n := NewLiveNet(LinkConfig{}, 1)
+	defer n.Close()
+	done := make(chan struct{}, 4)
+	n.Register(1, func(NodeID, any) { done <- struct{}{} })
+	n.Send(0, 1, ctrlPayload{payload: 10, control: 6, relayed: true})
+	n.Send(0, 1, ctrlPayload{payload: 10, control: 6})
+	<-done
+	<-done
+	st := n.Stats()
+	if st.CtrlBytes != 12 || st.Forwarded != 1 {
+		t.Fatalf("live stats = %+v", st)
+	}
+	ns := n.NodeStats(0)
+	if ns.Sent != 2 || ns.CtrlBytes != 12 || ns.Forwarded != 1 {
+		t.Fatalf("live node stats = %+v", ns)
+	}
+}
