@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench experiments
+.PHONY: verify vet build test race bench experiments e17-smoke
 
-verify: vet build race
+verify: vet build test race e17-smoke
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +15,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The E17 latency-breakdown smoke gate: the trace pipeline must
+# decompose deliveries on every substrate.
+e17-smoke:
+	$(GO) test ./internal/experiments -run 'TestE17' -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E16 plus the
+// Command experiments runs the full reproduction suite E1–E17 plus the
 // ablations and prints every table. With -md it emits the tables in
 // the Markdown layout used by EXPERIMENTS.md.
 //
@@ -23,10 +23,12 @@ func main() {
 	trials, sizes, msgs := 50, []int{4, 8, 16, 24}, 40
 	e8procs := []int{4, 8}
 	e16sizes := []int{8, 32, 128, 512}
+	e17sizes := []int{8, 32, 128}
 	if *quick {
 		trials, sizes, msgs = 10, []int{4, 8}, 20
 		e8procs = []int{4}
 		e16sizes = []int{8, 32}
+		e17sizes = []int{8, 32}
 	}
 
 	tables := []*experiments.Table{
@@ -51,6 +53,7 @@ func main() {
 		experiments.TableE14([]int{8, 16, 32}, 40, *seed),
 		experiments.TableE15([]int{4, 8, 16}, 30, *seed),
 		experiments.TableE16(e16sizes, 4, *seed),
+		experiments.TableE17(e17sizes, msgs/2, *seed),
 		experiments.TableAblationTotal(sizes, msgs/2, *seed),
 	}
 

@@ -8,14 +8,23 @@
 // Usage:
 //
 //	scalebench [-exp buffer|false-causality|viewchange|partition|totalorder|
-//	            traffic|join|durability|namesvc|scalecast|all]
+//	            traffic|join|durability|namesvc|scalecast|latbreak|all]
 //	           [-sizes 4,8,16,32] [-msgs 40] [-loss 0.05] [-seed 1] [-json]
+//	           [-trace out.trace.json]
 //
 // The scalecast sweep (-exp scalecast) compares vector-clock CBCAST
 // against the constant-metadata flood substrate head-to-head; with
 // -json it emits one JSON line per (substrate, N) for plotting, e.g.
 //
 //	scalebench -exp scalecast -sizes 8,32,128,512 -json
+//
+// The latency-breakdown sweep (-exp latbreak) decomposes delivery
+// latency into network delay vs ordering holdback for CBCAST, ABCAST,
+// and scalecast (default sizes 8,32,128); -trace writes the raw causal
+// traces of the whole sweep as Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto:
+//
+//	scalebench -exp latbreak -json -trace latbreak.trace.json
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"strings"
 
 	"catocs/internal/experiments"
+	"catocs/internal/obs"
 )
 
 func parseSizes(s string) []int {
@@ -42,14 +52,21 @@ func parseSizes(s string) []int {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: buffer, false-causality, viewchange, partition, totalorder, traffic, join, durability, namesvc, scalecast, all")
-	jsonOut := flag.Bool("json", false, "emit JSON lines instead of tables (scalecast sweep)")
+	exp := flag.String("exp", "all", "experiment: buffer, false-causality, viewchange, partition, totalorder, traffic, join, durability, namesvc, scalecast, latbreak, all")
+	jsonOut := flag.Bool("json", false, "emit JSON lines instead of tables (scalecast/latbreak sweeps)")
 	sizesFlag := flag.String("sizes", "4,8,16,24", "comma-separated group sizes")
 	msgs := flag.Int("msgs", 40, "messages per sender")
 	loss := flag.Float64("loss", 0.05, "link loss probability (buffer sweep)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	traceOut := flag.String("trace", "", "write the latbreak sweep's causal traces as Chrome trace-event JSON to this file")
 	flag.Parse()
 
+	sizesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sizes" {
+			sizesSet = true
+		}
+	})
 	sizes := parseSizes(*sizesFlag)
 	run := func(name string) {
 		switch name {
@@ -86,6 +103,48 @@ func main() {
 			} else {
 				fmt.Println(experiments.TableE16(sizes, 4, *seed).Render())
 			}
+		case "latbreak":
+			// Ordering-latency breakdown (E17). The issue's reference
+			// sweep is N ∈ {8,32,128}; an explicit -sizes overrides it.
+			latSizes := []int{8, 32, 128}
+			if sizesSet {
+				latSizes = sizes
+			}
+			var chrome *obs.ChromeTrace
+			if *traceOut != "" {
+				chrome = obs.NewChromeTrace()
+			}
+			var pts []experiments.E17Point
+			for _, sub := range []string{"cbcast", "abcast", "scalecast"} {
+				for _, n := range latSizes {
+					pt, tracer := experiments.RunE17(sub, n, *msgs, *seed)
+					pts = append(pts, pt)
+					if chrome != nil {
+						chrome.AddProcess(fmt.Sprintf("%s N=%d", sub, n),
+							tracer.Labels(), tracer.Events())
+					}
+				}
+			}
+			if *jsonOut {
+				for _, pt := range pts {
+					fmt.Println(pt.JSON())
+				}
+			} else {
+				fmt.Println(experiments.TableE17From(pts).Render())
+			}
+			if chrome != nil {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+					os.Exit(1)
+				}
+				if err := chrome.Encode(f); err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -93,7 +152,7 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, name := range []string{"false-causality", "buffer", "viewchange", "partition",
-			"totalorder", "traffic", "join", "durability", "scalecast"} {
+			"totalorder", "traffic", "join", "durability", "scalecast", "latbreak"} {
 			run(name)
 		}
 		return

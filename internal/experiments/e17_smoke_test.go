@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+// TestE17Smoke runs the latency-breakdown experiment small (N=8, a few
+// messages per sender) on every substrate and checks the decomposition
+// is internally consistent. `make verify` runs it as the E17 gate.
+func TestE17Smoke(t *testing.T) {
+	for _, sub := range e17Substrates {
+		pt, tracer := RunE17(sub, 8, 5, 1)
+		if pt.Deliveries == 0 {
+			t.Fatalf("%s: no deliveries", sub)
+		}
+		if pt.Decomposed == 0 {
+			t.Fatalf("%s: trace decomposed no deliveries (transport or member not instrumented?)", sub)
+		}
+		if tracer.Len() == 0 {
+			t.Fatalf("%s: empty trace", sub)
+		}
+		if pt.NetMean <= 0 {
+			t.Errorf("%s: network delay mean %.6fs, want > 0", sub, pt.NetMean)
+		}
+		if pt.HoldMean < 0 {
+			t.Errorf("%s: negative holdback mean %.6fs", sub, pt.HoldMean)
+		}
+		if pt.HoldShare < 0 || pt.HoldShare > 1 {
+			t.Errorf("%s: hold share %.3f outside [0,1]", sub, pt.HoldShare)
+		}
+		if got := pt.NetMean + pt.HoldMean; !approxEqual(got, pt.TotalMean, 1e-9) {
+			t.Errorf("%s: net %.6f + hold %.6f != total %.6f", sub, pt.NetMean, pt.HoldMean, pt.TotalMean)
+		}
+	}
+}
+
+// TestE17SequencerHoldback checks the headline qualitative claim: the
+// fixed-sequencer total order (abcast) imposes strictly more holdback
+// than the pure causal delay queue at the same size and workload.
+func TestE17SequencerHoldback(t *testing.T) {
+	cb, _ := RunE17("cbcast", 8, 10, 1)
+	ab, _ := RunE17("abcast", 8, 10, 1)
+	if ab.HoldMean <= cb.HoldMean {
+		t.Errorf("abcast hold mean %.6fs not above cbcast %.6fs — sequencer round-trip missing from breakdown",
+			ab.HoldMean, cb.HoldMean)
+	}
+}
+
+// TestE17Deterministic: same seed, same point — the trace pipeline
+// must not perturb simulation determinism.
+func TestE17Deterministic(t *testing.T) {
+	a, _ := RunE17("scalecast", 8, 5, 42)
+	b, _ := RunE17("scalecast", 8, 5, 42)
+	if a != b {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func approxEqual(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGaugeNegativeMax: a gauge that only ever sees negative levels
+// must report the largest (least negative) one, not the zero value —
+// the zero-init bug the seen flag fixes.
+func TestGaugeNegativeMax(t *testing.T) {
+	var g Gauge
+	g.Set(-10)
+	g.Set(-3)
+	g.Set(-7)
+	if got := g.Max(); got != -3 {
+		t.Fatalf("negative-only gauge Max = %d, want -3", got)
+	}
+	var empty Gauge
+	if got := empty.Max(); got != 0 {
+		t.Fatalf("untouched gauge Max = %d, want 0", got)
+	}
+}
+
+// TestLockedCounter: single-threaded semantics match Counter.
+func TestLockedCounter(t *testing.T) {
+	var c LockedCounter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+// TestLockedGauge: semantics match Gauge, including the negative-max
+// fix.
+func TestLockedGauge(t *testing.T) {
+	var g LockedGauge
+	g.Set(3)
+	g.Add(4)
+	g.Add(-6)
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Fatalf("gauge max = %d, want 7", g.Max())
+	}
+	var neg LockedGauge
+	neg.Set(-5)
+	if neg.Max() != -5 {
+		t.Fatalf("negative-only locked gauge Max = %d, want -5", neg.Max())
+	}
+}
+
+// TestLockedHistogram: aggregate queries and the snapshot round-trip.
+func TestLockedHistogram(t *testing.T) {
+	var h LockedHistogram
+	for i := 1; i <= 4; i++ {
+		h.Observe(float64(i))
+	}
+	h.ObserveDuration(5 * time.Second)
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 15 {
+		t.Fatalf("sum = %f, want 15", h.Sum())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %f, want 3", h.Mean())
+	}
+	if h.Max() != 5 {
+		t.Fatalf("max = %f, want 5", h.Max())
+	}
+	snap := h.Snapshot()
+	if snap.Count() != 5 || snap.Mean() != 3 {
+		t.Fatalf("snapshot count=%d mean=%f, want 5 and 3", snap.Count(), snap.Mean())
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// TestLockedConcurrent hammers all three guarded instruments from
+// many goroutines; correctness of the totals plus -race coverage.
+func TestLockedConcurrent(t *testing.T) {
+	var (
+		c  LockedCounter
+		g  LockedGauge
+		h  LockedHistogram
+		wg sync.WaitGroup
+	)
+	const (
+		workers = 8
+		iters   = 5000
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(1)
+				if i%128 == 0 {
+					_ = c.Value()
+					_ = g.Max()
+					_ = h.Mean()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if g.Max() < 1 || g.Max() > workers {
+		t.Errorf("gauge max = %d, want within [1, %d]", g.Max(), workers)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+}

@@ -32,15 +32,17 @@ func (c *Counter) Value() uint64 { return c.n }
 // Gauge tracks an instantaneous level plus its observed maximum, e.g.
 // current unstable-buffer occupancy and its high-water mark.
 type Gauge struct {
-	cur int64
-	max int64
+	cur  int64
+	max  int64
+	seen bool
 }
 
 // Set assigns the current level.
 func (g *Gauge) Set(v int64) {
 	g.cur = v
-	if v > g.max {
+	if !g.seen || v > g.max {
 		g.max = v
+		g.seen = true
 	}
 }
 
@@ -50,7 +52,9 @@ func (g *Gauge) Add(delta int64) { g.Set(g.cur + delta) }
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.cur }
 
-// Max returns the high-water mark.
+// Max returns the high-water mark, or 0 when no sample was ever set —
+// a gauge that only ever held negative levels reports its true
+// (negative) maximum, not the zero initial value.
 func (g *Gauge) Max() int64 { return g.max }
 
 // Histogram accumulates float64 samples and answers mean/quantile

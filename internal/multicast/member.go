@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"catocs/internal/metrics"
+	"catocs/internal/obs"
 	"catocs/internal/stability"
 	"catocs/internal/transport"
 	"catocs/internal/vclock"
@@ -81,6 +82,11 @@ type Config struct {
 	// SequencerRank selects the sequencer in TotalSeq mode (default
 	// rank 0).
 	SequencerRank vclock.ProcessID
+	// Tracer, when non-nil, records the member's per-message lifecycle
+	// (send, holdback, deliver, stabilize, view-change spans) into the
+	// shared causal trace. Disabled tracing costs one nil check per
+	// event site.
+	Tracer *obs.Tracer
 }
 
 func (c Config) ackInterval() time.Duration {
@@ -197,6 +203,7 @@ type Member struct {
 	SentCount      metrics.Counter
 	CtrlMsgs       metrics.Counter // protocol (non-data) messages sent
 	Duplicates     metrics.Counter // duplicate data copies discarded
+	trace          *obs.Tracer     // nil when tracing is disabled
 }
 
 // suppressedSend is an outbox entry.
@@ -260,6 +267,10 @@ func NewMember(net transport.Network, nodes []transport.NodeID, rank vclock.Proc
 		if cfg.Ordering != FIFO && cfg.Ordering != Causal {
 			m.contig = vclock.New(len(nodes))
 		}
+	}
+	m.trace = cfg.Tracer
+	if m.trace != nil && m.stab != nil {
+		m.stab.Instrument(m.trace, int(m.Node()), net.Now)
 	}
 	net.Register(nodes[rank], m.Handle)
 	return m
@@ -340,13 +351,21 @@ func (m *Member) Close() { m.closed = true }
 // a delivery after the member reported its flush state would break
 // the all-survivors-delivered-the-same-set agreement. ForceDeliver
 // (the flush fill path) bypasses the freeze.
-func (m *Member) Suppress() { m.suppressed = true }
+func (m *Member) Suppress() {
+	if m.trace != nil && !m.suppressed {
+		m.trace.SpanBegin(m.net.Now(), int(m.Node()), "view-change flush")
+	}
+	m.suppressed = true
+}
 
 // Resume ends suppression: queued control sends flush as-is (stale
 // epochs are harmlessly discarded by receivers), and application
 // multicasts deferred during the window are re-issued so they carry
 // the current epoch.
 func (m *Member) Resume() {
+	if m.trace != nil && m.suppressed {
+		m.trace.SpanEnd(m.net.Now(), int(m.Node()), "view-change flush")
+	}
 	m.suppressed = false
 	out := m.outbox
 	m.outbox = nil
@@ -426,8 +445,40 @@ func (m *Member) Multicast(payload any, size int) MsgID {
 		m.armAck()
 	}
 	m.SentCount.Inc()
+	if m.trace != nil {
+		m.trace.Send(m.net.Now(), int(m.Node()), msg.TraceRef(), m.causalCtx(msg))
+	}
 	m.sendAll(msg)
 	return msg.ID()
+}
+
+// causalCtx renders a message's causal context for the trace: its
+// vector-clock stamp when the ordering carries one, else its
+// per-sender sequence position.
+func (m *Member) causalCtx(msg *DataMsg) string {
+	if msg.VC != nil {
+		return "vc=" + msg.VC.String()
+	}
+	return fmt.Sprintf("seq=%d:%d", msg.Sender, msg.Seq)
+}
+
+// traceHoldback records that an arriving message is being held back,
+// if it is still undeliverable after the drain attempt that followed
+// its arrival.
+func (m *Member) traceHoldback(msg *DataMsg, reason string) {
+	if m.trace == nil {
+		return
+	}
+	held := false
+	switch m.cfg.Ordering {
+	case FIFO, Causal:
+		_, held = m.pending[msg.ID()]
+	default:
+		_, held = m.dataByID[msg.ID()]
+	}
+	if held {
+		m.trace.Holdback(m.net.Now(), int(m.Node()), msg.TraceRef(), reason)
+	}
 }
 
 // Handle is the member's network receive entry point.
@@ -523,6 +574,11 @@ func (m *Member) onData(msg *DataMsg) {
 		m.pending[msg.ID()] = msg
 		m.HoldbackGauge.Set(int64(len(m.pending)))
 		m.drainHoldback()
+		if m.cfg.Ordering == Causal {
+			m.traceHoldback(msg, "awaiting causal predecessors")
+		} else {
+			m.traceHoldback(msg, "fifo gap")
+		}
 		if len(m.pending) > 0 && m.cfg.Atomic {
 			m.armNack()
 		}
@@ -536,6 +592,7 @@ func (m *Member) onData(msg *DataMsg) {
 			m.assignOrder(msg.ID())
 		}
 		m.drainTotal()
+		m.traceHoldback(msg, "awaiting global order")
 		if m.cfg.Atomic && len(m.dataByID) > 0 {
 			m.armNack()
 		}
@@ -550,6 +607,7 @@ func (m *Member) onData(msg *DataMsg) {
 			m.drainSequencer()
 		}
 		m.drainTotal()
+		m.traceHoldback(msg, "awaiting causally consistent global order")
 		if m.cfg.Atomic && len(m.dataByID) > 0 {
 			m.armNack()
 		}
@@ -727,5 +785,8 @@ func (m *Member) doDeliver(msg *DataMsg) {
 	lat := now - msg.SentAt
 	m.Latency.Observe(lat.Seconds())
 	m.DeliveredCount.Inc()
+	if m.trace != nil {
+		m.trace.Deliver(now, int(m.Node()), msg.TraceRef(), m.causalCtx(msg))
+	}
 	m.deliver(Delivered{ID: msg.ID(), Payload: msg.Payload, SentAt: msg.SentAt, At: now, Latency: lat, VC: msg.VC})
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"catocs/internal/obs"
 	"catocs/internal/vclock"
 )
 
@@ -52,6 +53,12 @@ type DataMsg struct {
 
 // ID returns the message's identity.
 func (m *DataMsg) ID() MsgID { return MsgID{Sender: m.Sender, Seq: m.Seq} }
+
+// TraceRef implements obs.Referable, letting the transport layer
+// record wire-receive events for the causal trace recorder.
+func (m *DataMsg) TraceRef() obs.MsgRef {
+	return obs.MsgRef{Sender: int64(m.Sender), Seq: m.Seq}
+}
 
 // ApproxSize implements transport.Sizer: a fixed header, 8 bytes per
 // vector-clock entry carried, and the payload. This is the per-message
@@ -161,3 +168,7 @@ func (m *RetransMsg) ApproxSize() int { return 16 + m.Data.ApproxSize() }
 
 // ControlSize implements transport.ControlSizer.
 func (m *RetransMsg) ControlSize() int { return 16 + m.Data.ControlSize() }
+
+// TraceRef implements obs.Referable: a retransmitted copy arrives on
+// the wire as the original message.
+func (m *RetransMsg) TraceRef() obs.MsgRef { return m.Data.TraceRef() }

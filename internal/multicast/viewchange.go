@@ -1,6 +1,7 @@
 package multicast
 
 import (
+	"fmt"
 	"sort"
 
 	"catocs/internal/transport"
@@ -72,6 +73,10 @@ func (m *Member) ForceDeliver(msg *DataMsg) {
 func (m *Member) InstallView(nodes []transport.NodeID, rank vclock.ProcessID, epoch uint64) {
 	if nodes[rank] != m.Node() {
 		panic("multicast: InstallView must keep the member's transport address")
+	}
+	if m.trace != nil {
+		m.trace.Mark(m.net.Now(), int(m.Node()),
+			fmt.Sprintf("install-view epoch=%d n=%d rank=%d", epoch, len(nodes), rank))
 	}
 	m.nodes = append([]transport.NodeID(nil), nodes...)
 	m.rank = rank

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"catocs/internal/metrics"
+)
+
+// DeliverySample is one delivery's latency decomposition: the time a
+// message spent on the wire (send to first arrival at the delivering
+// node, including any relay hops) versus the time the ordering
+// discipline held it back after arrival (delay queue, total-order
+// wait, link-FIFO gap, reconfiguration buffer).
+type DeliverySample struct {
+	Msg     MsgRef
+	Node    int
+	SendT   time.Duration
+	RecvT   time.Duration
+	Deliver time.Duration
+	Net     time.Duration // RecvT - SendT
+	Hold    time.Duration // Deliver - RecvT
+}
+
+// Breakdown aggregates delivery samples from a trace — the §5 cost
+// model made measurable: end-to-end latency = network delay +
+// ordering-imposed holdback.
+type Breakdown struct {
+	Samples []DeliverySample
+	Net     metrics.Histogram // seconds
+	Hold    metrics.Histogram // seconds
+	Total   metrics.Histogram // seconds
+	// Held counts deliveries whose holdback exceeded zero.
+	Held int
+	// SkippedLocal counts deliveries excluded because the delivering
+	// node originated the message (no wire transit to decompose).
+	SkippedLocal int
+	// SkippedNoRecv counts deliveries excluded for lacking a recorded
+	// wire-receive (transport not instrumented for that payload).
+	SkippedNoRecv int
+}
+
+// HoldShare returns holdback's share of total delivery latency, 0
+// when the trace decomposed nothing.
+func (b *Breakdown) HoldShare() float64 {
+	total := b.Net.Sum() + b.Hold.Sum()
+	if total == 0 {
+		return 0
+	}
+	return b.Hold.Sum() / total
+}
+
+// recvKey pairs a message with a receiving node.
+type recvKey struct {
+	msg  MsgRef
+	node int
+}
+
+// AnalyzeLatency decomposes every delivery in a trace into network
+// delay and ordering holdback. A delivery contributes a sample when
+// the trace holds the message's send event and at least one
+// wire-receive at the delivering node; the earliest receive wins
+// (flood substrates deliver redundant copies). Deliveries at the
+// originating node are skipped — there is no wire leg to decompose.
+func AnalyzeLatency(events []Event) *Breakdown {
+	sends := make(map[MsgRef]Event)
+	sendNode := make(map[MsgRef]int)
+	firstRecv := make(map[recvKey]time.Duration)
+	var delivers []Event
+	for _, e := range events {
+		switch e.Kind {
+		case KSend:
+			if _, dup := sends[e.Msg]; !dup {
+				sends[e.Msg] = e
+				sendNode[e.Msg] = e.Node
+			}
+		case KWireRecv:
+			k := recvKey{e.Msg, e.Node}
+			if t, ok := firstRecv[k]; !ok || e.T < t {
+				firstRecv[k] = e.T
+			}
+		case KDeliver:
+			delivers = append(delivers, e)
+		}
+	}
+	b := &Breakdown{}
+	for _, d := range delivers {
+		send, ok := sends[d.Msg]
+		if !ok {
+			b.SkippedNoRecv++
+			continue
+		}
+		if sendNode[d.Msg] == d.Node {
+			b.SkippedLocal++
+			continue
+		}
+		recvT, ok := firstRecv[recvKey{d.Msg, d.Node}]
+		if !ok {
+			b.SkippedNoRecv++
+			continue
+		}
+		s := DeliverySample{
+			Msg:     d.Msg,
+			Node:    d.Node,
+			SendT:   send.T,
+			RecvT:   recvT,
+			Deliver: d.T,
+			Net:     recvT - send.T,
+			Hold:    d.T - recvT,
+		}
+		b.Samples = append(b.Samples, s)
+		b.Net.Observe(s.Net.Seconds())
+		b.Hold.Observe(s.Hold.Seconds())
+		b.Total.Observe((s.Net + s.Hold).Seconds())
+		if s.Hold > 0 {
+			b.Held++
+		}
+	}
+	sort.Slice(b.Samples, func(i, j int) bool {
+		if b.Samples[i].Deliver != b.Samples[j].Deliver {
+			return b.Samples[i].Deliver < b.Samples[j].Deliver
+		}
+		if b.Samples[i].Node != b.Samples[j].Node {
+			return b.Samples[i].Node < b.Samples[j].Node
+		}
+		return b.Samples[i].Msg.String() < b.Samples[j].Msg.String()
+	})
+	return b
+}

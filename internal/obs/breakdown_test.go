@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// TestAnalyzeLatency: a hand-built trace decomposes exactly.
+func TestAnalyzeLatency(t *testing.T) {
+	m := MsgRef{Sender: 0, Seq: 1}
+	tr := NewTracer()
+	tr.Send(1*ms, 0, m, "")
+	tr.Deliver(1*ms, 0, m, "") // self-delivery: skipped, no wire leg
+	tr.WireRecv(4*ms, 1, m)
+	tr.Deliver(9*ms, 1, m, "") // 3ms net + 5ms hold
+	tr.WireRecv(6*ms, 2, m)
+	tr.Deliver(6*ms, 2, m, "") // 5ms net + 0 hold
+
+	b := AnalyzeLatency(tr.Events())
+	if len(b.Samples) != 2 {
+		t.Fatalf("decomposed %d samples, want 2", len(b.Samples))
+	}
+	if b.SkippedLocal != 1 {
+		t.Errorf("SkippedLocal = %d, want 1", b.SkippedLocal)
+	}
+	if b.Held != 1 {
+		t.Errorf("Held = %d, want 1", b.Held)
+	}
+	// Samples sort by delivery time: node 2 first.
+	if s := b.Samples[0]; s.Node != 2 || s.Net != 5*ms || s.Hold != 0 {
+		t.Errorf("sample 0 = %+v, want node 2 net 5ms hold 0", s)
+	}
+	if s := b.Samples[1]; s.Node != 1 || s.Net != 3*ms || s.Hold != 5*ms {
+		t.Errorf("sample 1 = %+v, want node 1 net 3ms hold 5ms", s)
+	}
+	if got, want := b.HoldShare(), 5.0/13.0; !approx(got, want) {
+		t.Errorf("HoldShare = %f, want %f", got, want)
+	}
+}
+
+// TestAnalyzeLatencyEarliestRecv: flood substrates deliver redundant
+// copies; the earliest wire arrival defines the network leg.
+func TestAnalyzeLatencyEarliestRecv(t *testing.T) {
+	m := MsgRef{Sender: 3, Seq: 7}
+	tr := NewTracer()
+	tr.Send(0, 3, m, "")
+	tr.WireRecv(8*ms, 1, m) // late copy recorded first
+	tr.WireRecv(2*ms, 1, m) // earliest wins
+	tr.Deliver(10*ms, 1, m, "")
+	b := AnalyzeLatency(tr.Events())
+	if len(b.Samples) != 1 {
+		t.Fatalf("decomposed %d samples, want 1", len(b.Samples))
+	}
+	if s := b.Samples[0]; s.Net != 2*ms || s.Hold != 8*ms {
+		t.Errorf("sample = %+v, want net 2ms hold 8ms", s)
+	}
+}
+
+// TestAnalyzeLatencySkips: deliveries without a send or a receive are
+// counted, not decomposed.
+func TestAnalyzeLatencySkips(t *testing.T) {
+	tr := NewTracer()
+	orphan := MsgRef{Sender: 9, Seq: 9}
+	tr.Deliver(1*ms, 1, orphan, "") // no send recorded
+	withSend := MsgRef{Sender: 0, Seq: 1}
+	tr.Send(0, 0, withSend, "")
+	tr.Deliver(2*ms, 1, withSend, "") // no wire receive recorded
+	b := AnalyzeLatency(tr.Events())
+	if len(b.Samples) != 0 {
+		t.Fatalf("decomposed %d samples, want 0", len(b.Samples))
+	}
+	if b.SkippedNoRecv != 2 {
+		t.Errorf("SkippedNoRecv = %d, want 2", b.SkippedNoRecv)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

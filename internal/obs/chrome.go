@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event export: the recorded trace as a JSON object
+// loadable in chrome://tracing or https://ui.perfetto.dev. Each
+// AddProcess call becomes one "process" row group (pid) with one
+// thread (tid) per node, so a single file can hold several runs side
+// by side — cmd/scalebench writes the whole E17 sweep into one file,
+// one process per (substrate, N).
+//
+// Mapping: sends, deliveries, stabilizations, and marks are instant
+// events; spans (view-change flush, overlay link activation) are B/E
+// duration events; and every (receive, deliver) pair additionally
+// emits an X slice named after the message spanning the holdback
+// window, which is the visual the ordering-latency breakdown (E17)
+// quantifies.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace accumulates processes for one export file.
+type ChromeTrace struct {
+	events  []chromeEvent
+	nextPID int
+}
+
+// NewChromeTrace returns an empty export.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{}
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// AddProcess adds one run's events under a named process row. labels
+// names the node threads (may be nil).
+func (c *ChromeTrace) AddProcess(name string, labels map[int]string, events []Event) {
+	pid := c.nextPID
+	c.nextPID++
+	c.events = append(c.events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+	nodes := map[int]bool{}
+	for _, e := range events {
+		nodes[e.Node] = true
+	}
+	ids := make([]int, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Ints(ids)
+	for _, n := range ids {
+		c.events = append(c.events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pid, TID: n,
+			Args: map[string]any{"name": nodeLabel(labels, n)},
+		})
+	}
+
+	// Holdback slices from (first receive, deliver) pairs.
+	firstRecv := make(map[recvKey]float64)
+	for _, e := range events {
+		if e.Kind != KWireRecv {
+			continue
+		}
+		k := recvKey{e.Msg, e.Node}
+		if t, ok := firstRecv[k]; !ok || us(e.T) < t {
+			firstRecv[k] = us(e.T)
+		}
+	}
+
+	for _, e := range events {
+		args := map[string]any{}
+		if !e.Msg.IsZero() {
+			args["msg"] = e.Msg.String()
+		}
+		if e.Ctx != "" {
+			args["ctx"] = e.Ctx
+		}
+		if e.Name != "" && e.Kind != KSpanBegin && e.Kind != KSpanEnd && e.Kind != KMark {
+			args["reason"] = e.Name
+		}
+		switch e.Kind {
+		case KSend, KWireRecv, KHoldback, KDeliver, KStabilize:
+			name := fmt.Sprintf("%s %s", e.Kind, e.Msg)
+			c.events = append(c.events, chromeEvent{
+				Name: name, Cat: "msg", Phase: "i", Scope: "t",
+				TS: us(e.T), PID: pid, TID: e.Node, Args: args,
+			})
+			if e.Kind == KDeliver {
+				if recvTS, ok := firstRecv[recvKey{e.Msg, e.Node}]; ok && us(e.T) >= recvTS {
+					c.events = append(c.events, chromeEvent{
+						Name: e.Msg.String(), Cat: "holdback", Phase: "X",
+						TS: recvTS, Dur: us(e.T) - recvTS,
+						PID: pid, TID: e.Node, Args: args,
+					})
+				}
+			}
+		case KSpanBegin:
+			c.events = append(c.events, chromeEvent{
+				Name: e.Name, Cat: "span", Phase: "B",
+				TS: us(e.T), PID: pid, TID: e.Node,
+			})
+		case KSpanEnd:
+			c.events = append(c.events, chromeEvent{
+				Name: e.Name, Cat: "span", Phase: "E",
+				TS: us(e.T), PID: pid, TID: e.Node,
+			})
+		case KMark:
+			c.events = append(c.events, chromeEvent{
+				Name: e.Name, Cat: "mark", Phase: "i", Scope: "t",
+				TS: us(e.T), PID: pid, TID: e.Node,
+			})
+		}
+	}
+}
+
+// Encode serializes the accumulated trace as a Chrome trace-event
+// JSON object.
+func (c *ChromeTrace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     c.events,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"catocs/internal/eventlog"
+)
+
+// Bridge from internal/eventlog: the anomaly scenarios (cmd/anomaly,
+// internal/apps/*) record their executions as application-level event
+// logs with named processes and messages. FromEventLog lifts such a
+// log into trace events so one recorded run exports to Chrome trace
+// JSON and renders as a space-time diagram through the same machinery
+// as substrate-level traces — each paper figure gets a one-command
+// reproduction from a live run.
+
+// FromEventLog converts an event log to trace events plus node
+// labels. Processes map to node ids in column order; messages are
+// identified by their scenario name (MsgRef.Label, Sender -1 since
+// the log does not attribute sequence numbers).
+func FromEventLog(l *eventlog.Log) ([]Event, map[int]string) {
+	labels := make(map[int]string)
+	nodeOf := make(map[string]int)
+	node := func(proc string) int {
+		if n, ok := nodeOf[proc]; ok {
+			return n
+		}
+		n := len(nodeOf)
+		nodeOf[proc] = n
+		labels[n] = proc
+		return n
+	}
+	var out []Event
+	for i, e := range l.Events() {
+		ev := Event{T: e.T, Node: node(e.Proc), Name: e.Note, seq: i}
+		if e.Msg != "" {
+			ev.Msg = MsgRef{Sender: -1, Label: e.Msg}
+		}
+		switch e.Kind {
+		case eventlog.Send:
+			ev.Kind = KSend
+		case eventlog.Recv:
+			ev.Kind = KWireRecv
+		case eventlog.Deliver:
+			ev.Kind = KDeliver
+		default: // eventlog.Local
+			ev.Kind = KMark
+			if ev.Name == "" {
+				ev.Name = e.Msg
+			}
+		}
+		out = append(out, ev)
+	}
+	return out, labels
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *Tracer {
+	tr := NewTracer()
+	tr.SetNodeLabel(0, "P")
+	tr.SetNodeLabel(1, "Q")
+	m := MsgRef{Sender: 0, Seq: 1}
+	tr.Send(1*time.Millisecond, 0, m, "vc=[1 0]")
+	tr.WireRecv(3*time.Millisecond, 1, m)
+	tr.Holdback(3*time.Millisecond, 1, m, "awaiting causal predecessors")
+	tr.Deliver(5*time.Millisecond, 1, m, "vc=[1 0]")
+	tr.Stabilize(9*time.Millisecond, 1, m, "frontier=[1 0]")
+	tr.SpanBegin(6*time.Millisecond, 0, "view-change flush")
+	tr.SpanEnd(8*time.Millisecond, 0, "view-change flush")
+	tr.Mark(8*time.Millisecond, 0, "install-view epoch=2 n=2 rank=0")
+	return tr
+}
+
+// TestRenderSpaceTime: the diagram carries the node columns, the event
+// rows, and the deliver row's latency decomposition.
+func TestRenderSpaceTime(t *testing.T) {
+	tr := sampleTrace()
+	out := RenderSpaceTime("title", tr.Labels(), tr.Events())
+	for _, want := range []string{
+		"title", "P", "Q",
+		"send 0:1", "recv 0:1", "hold 0:1", "dlvr 0:1", "stab 0:1",
+		"net 2.00ms + held 2.00ms", // the deliver-row decomposition
+		"awaiting causal predecessors",
+		"begin view-change flush", "end view-change flush",
+		"install-view epoch=2 n=2 rank=0", // long mark → note margin
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderSpaceTimeDeterministic: same trace, same text.
+func TestRenderSpaceTimeDeterministic(t *testing.T) {
+	tr := sampleTrace()
+	a := RenderSpaceTime("t", tr.Labels(), tr.Events())
+	b := RenderSpaceTime("t", tr.Labels(), tr.Events())
+	if a != b {
+		t.Fatal("rendering nondeterministic")
+	}
+}
+
+// TestChromeExport: the export is valid JSON in Chrome trace-event
+// format — process/thread metadata, instants for message events, B/E
+// spans, and an X slice covering the holdback window.
+func TestChromeExport(t *testing.T) {
+	tr := sampleTrace()
+	c := NewChromeTrace()
+	c.AddProcess("run A", tr.Labels(), tr.Events())
+	c.AddProcess("run B", tr.Labels(), tr.Events())
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	pids := map[int]bool{}
+	var sawHoldSlice, sawProcName bool
+	for _, e := range doc.TraceEvents {
+		phases[e.Phase]++
+		pids[e.PID] = true
+		if e.Phase == "M" && e.Name == "process_name" {
+			sawProcName = true
+		}
+		if e.Phase == "X" && e.Name == "0:1" {
+			sawHoldSlice = true
+			if e.TS != 3000 || e.Dur != 2000 {
+				t.Errorf("holdback slice ts=%v dur=%v, want ts=3000us dur=2000us", e.TS, e.Dur)
+			}
+		}
+	}
+	if !sawProcName {
+		t.Error("missing process_name metadata")
+	}
+	if !sawHoldSlice {
+		t.Error("missing holdback X slice")
+	}
+	if phases["B"] != 2 || phases["E"] != 2 {
+		t.Errorf("span phases B=%d E=%d, want 2 each (two processes)", phases["B"], phases["E"])
+	}
+	if len(pids) != 2 {
+		t.Errorf("got %d pids, want 2 (one per AddProcess)", len(pids))
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilTracer: every method on a nil tracer is a no-op — the
+// contract instrumented hot paths rely on.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Send(0, 0, MsgRef{Sender: 1, Seq: 1}, "vc")
+	tr.WireRecv(0, 0, MsgRef{Sender: 1, Seq: 1})
+	tr.Holdback(0, 0, MsgRef{Sender: 1, Seq: 1}, "gap")
+	tr.Deliver(0, 0, MsgRef{Sender: 1, Seq: 1}, "vc")
+	tr.Stabilize(0, 0, MsgRef{Sender: 1, Seq: 1}, "frontier")
+	tr.SpanBegin(0, 0, "flush")
+	tr.SpanEnd(0, 0, "flush")
+	tr.Mark(0, 0, "note")
+	tr.SetNodeLabel(0, "P")
+	if tr.Len() != 0 || tr.Events() != nil || tr.Labels() != nil {
+		t.Fatal("nil tracer retained state")
+	}
+}
+
+// TestTracerOrdering: Events() sorts by time with insertion order as
+// the tiebreak, regardless of recording order.
+func TestTracerOrdering(t *testing.T) {
+	tr := NewTracer()
+	m := MsgRef{Sender: 0, Seq: 1}
+	tr.Deliver(3*time.Millisecond, 1, m, "")
+	tr.Send(1*time.Millisecond, 0, m, "")
+	tr.WireRecv(2*time.Millisecond, 1, m)
+	// Same timestamp: insertion order must hold.
+	tr.Mark(2*time.Millisecond, 1, "first")
+	tr.Mark(2*time.Millisecond, 1, "second")
+
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	wantKinds := []Kind{KSend, KWireRecv, KMark, KMark, KDeliver}
+	for i, k := range wantKinds {
+		if evs[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, evs[i].Kind, k)
+		}
+	}
+	if evs[2].Name != "first" || evs[3].Name != "second" {
+		t.Errorf("tied timestamps broke insertion order: %q, %q", evs[2].Name, evs[3].Name)
+	}
+}
+
+// TestTracerLabels: node labels round-trip and feed rendering.
+func TestTracerLabels(t *testing.T) {
+	tr := NewTracer()
+	tr.SetNodeLabel(0, "P")
+	labels := tr.Labels()
+	if labels[0] != "P" {
+		t.Fatalf("label = %q, want P", labels[0])
+	}
+	if got := nodeLabel(labels, 0); got != "P" {
+		t.Errorf("nodeLabel = %q, want P", got)
+	}
+	if got := nodeLabel(labels, 7); got != "n7" {
+		t.Errorf("unlabeled nodeLabel = %q, want n7", got)
+	}
+}
+
+// TestMsgRefString: label wins over sender:seq; zero detection.
+func TestMsgRefString(t *testing.T) {
+	if got := (MsgRef{Sender: 2, Seq: 9}).String(); got != "2:9" {
+		t.Errorf("String = %q, want 2:9", got)
+	}
+	if got := (MsgRef{Sender: -1, Label: "m1"}).String(); got != "m1" {
+		t.Errorf("String = %q, want m1", got)
+	}
+	if !(MsgRef{}).IsZero() || (MsgRef{Seq: 1}).IsZero() {
+		t.Error("IsZero misclassified")
+	}
+}

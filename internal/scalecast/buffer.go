@@ -1,6 +1,8 @@
 package scalecast
 
 import (
+	"fmt"
+
 	"catocs/internal/transport"
 )
 
@@ -174,6 +176,10 @@ func (m *Member) onBarrierDelivered(bp barrierPayload) {
 // order and confirm to the peer.
 func (m *Member) activateLink(l *link) {
 	l.pendingIn = false
+	if m.trace != nil {
+		m.trace.SpanEnd(m.net.Now(), int(m.self),
+			fmt.Sprintf("link-activation peer=%d", l.peer))
+	}
 	buffered := l.buffered
 	l.buffered = nil
 	for _, fm := range buffered {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"catocs/internal/multicast"
+	"catocs/internal/obs"
 	"catocs/internal/transport"
 	"catocs/internal/vclock"
 )
@@ -32,6 +33,12 @@ func (m *FloodMsg) ID() multicast.MsgID {
 	return multicast.MsgID{Sender: vclock.ProcessID(m.Origin), Seq: m.Seq}
 }
 
+// TraceRef implements obs.Referable: the identity the causal trace
+// recorder files the message's lifecycle under.
+func (m *FloodMsg) TraceRef() obs.MsgRef {
+	return obs.MsgRef{Sender: int64(m.Origin), Seq: m.Seq}
+}
+
 // ApproxSize implements transport.Sizer: a constant header plus the
 // payload.
 func (m *FloodMsg) ApproxSize() int { return 28 + m.PayloadSize }
@@ -47,6 +54,10 @@ type LinkPacket struct {
 	Seq     uint64 // per-link FIFO sequence, 1-based within the session
 	Msg     *FloodMsg
 }
+
+// TraceRef implements obs.Referable: a link packet arrives on the wire
+// as the flood message it carries.
+func (p *LinkPacket) TraceRef() obs.MsgRef { return p.Msg.TraceRef() }
 
 // ApproxSize implements transport.Sizer.
 func (p *LinkPacket) ApproxSize() int { return 24 + p.Msg.ApproxSize() }
@@ -169,6 +180,9 @@ func (m *Member) onLinkPacket(from transport.NodeID, pkt *LinkPacket) {
 	}
 	m.drainLink(l)
 	if pkt.Seq >= l.inNext { // still gapped below this packet
+		if m.trace != nil && !l.pendingIn {
+			m.trace.Holdback(m.net.Now(), int(m.self), pkt.TraceRef(), "link fifo gap")
+		}
 		m.armNack()
 	}
 	m.updateGauge()
@@ -200,6 +214,9 @@ func (m *Member) drainLink(l *link) {
 			// Reconfiguration buffering: the link is not yet causally
 			// safe; park the message in arrival (FIFO) order.
 			l.buffered = append(l.buffered, pkt.Msg)
+			if m.trace != nil {
+				m.trace.Holdback(m.net.Now(), int(m.self), pkt.Msg.TraceRef(), "link awaiting causal barrier")
+			}
 		} else {
 			m.acceptFlood(pkt.Msg, l.peer)
 		}

@@ -1,6 +1,7 @@
 package scalecast
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -100,6 +101,10 @@ func (m *Member) Rewire(newNodes []transport.NodeID) {
 func (m *Member) rewireLocked(newNodes []transport.NodeID) {
 	if m.closed {
 		return
+	}
+	if m.trace != nil {
+		m.trace.Mark(m.net.Now(), int(m.self),
+			fmt.Sprintf("rewire n=%d", len(newNodes)))
 	}
 	m.nodes = append([]transport.NodeID(nil), newNodes...)
 	if m.rank() < 0 {

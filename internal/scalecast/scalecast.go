@@ -48,6 +48,7 @@ import (
 
 	"catocs/internal/metrics"
 	"catocs/internal/multicast"
+	"catocs/internal/obs"
 	"catocs/internal/transport"
 	"catocs/internal/vclock"
 )
@@ -73,6 +74,13 @@ type Config struct {
 	// a lost final packet is eventually recovered. Zero defaults to
 	// 40ms.
 	Heartbeat time.Duration
+	// Tracer, when non-nil, records the member's message lifecycle
+	// (send, holdback, deliver) and reconfiguration spans into the
+	// causal trace recorder. The causal context stamped on events is
+	// the member's barrier epoch (its link-session counter), the
+	// scalecast analogue of CBCAST's vector clock. Nil disables
+	// tracing at nil-check cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) ackInterval() time.Duration {
@@ -164,6 +172,8 @@ type Member struct {
 	CtrlMsgs       metrics.Counter // protocol (non-data) messages sent
 	Duplicates     metrics.Counter // duplicate data copies discarded
 	ForwardedMsgs  metrics.Counter // data copies relayed for other origins
+
+	trace *obs.Tracer // optional lifecycle recorder (Config.Tracer)
 }
 
 // NewMember creates one group endpoint with active links to its
@@ -200,6 +210,7 @@ func newMember(net transport.Network, nodes []transport.NodeID, self transport.N
 		delivered: make(map[transport.NodeID]uint64),
 		links:     make(map[transport.NodeID]*link),
 		future:    make(map[originKey]futureEntry),
+		trace:     cfg.Tracer,
 	}
 	if m.rank() < 0 {
 		panic(fmt.Sprintf("scalecast: node %d not in view %v", self, nodes))
@@ -305,6 +316,13 @@ func (m *Member) Close() {
 	m.mu.Unlock()
 }
 
+// barrierCtx renders the member's causal context for trace events: the
+// barrier epoch (link-session counter) is the only ordering state a
+// scalecast member carries, where CBCAST stamps a full vector clock.
+func (m *Member) barrierCtx() string {
+	return fmt.Sprintf("barrier-epoch=%d", m.sessionNo)
+}
+
 // addLink creates link state toward peer. pending links buffer inbound
 // traffic until the barrier protocol activates them (buffer.go).
 func (m *Member) addLink(peer transport.NodeID, pending bool) {
@@ -325,6 +343,10 @@ func (m *Member) addLink(peer transport.NodeID, pending bool) {
 	m.order = append(m.order, peer)
 	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
 	if pending {
+		if m.trace != nil {
+			m.trace.SpanBegin(m.net.Now(), int(m.self),
+				fmt.Sprintf("link-activation peer=%d", peer))
+		}
 		l.outCut = make(map[transport.NodeID]uint64, len(m.delivered))
 		for id, seq := range m.delivered {
 			l.outCut[id] = seq
@@ -371,6 +393,9 @@ func (m *Member) Multicast(payload any, size int) multicast.MsgID {
 		PayloadSize: size,
 	}
 	m.SentCount.Inc()
+	if m.trace != nil {
+		m.trace.Send(fm.SentAt, int(m.self), fm.TraceRef(), m.barrierCtx())
+	}
 	// Forward before delivering: the origin's copy goes onto every
 	// link ahead of anything the delivery callback may broadcast in
 	// reaction, which is the invariant causal order rests on.
@@ -414,6 +439,9 @@ func (m *Member) acceptFlood(fm *FloodMsg, from transport.NodeID) {
 		if _, dup := m.future[key]; !dup {
 			m.future[key] = futureEntry{msg: fm, from: from}
 			m.updateGauge()
+			if m.trace != nil {
+				m.trace.Holdback(m.net.Now(), int(m.self), fm.TraceRef(), "future origin gap")
+			}
 		}
 		return
 	}
@@ -453,6 +481,10 @@ func (m *Member) deliverLocal(fm *FloodMsg) {
 	if bp, ok := fm.Payload.(barrierPayload); ok {
 		// Barriers are protocol-internal: they mark a causal cut for
 		// link activation and never reach the application.
+		if m.trace != nil {
+			m.trace.Mark(m.net.Now(), int(m.self),
+				fmt.Sprintf("barrier delivered from=%d to=%d gen=%d", bp.From, bp.To, bp.Gen))
+		}
 		m.onBarrierDelivered(bp)
 		return
 	}
@@ -460,6 +492,9 @@ func (m *Member) deliverLocal(fm *FloodMsg) {
 	lat := now - fm.SentAt
 	m.Latency.Observe(lat.Seconds())
 	m.DeliveredCount.Inc()
+	if m.trace != nil {
+		m.trace.Deliver(now, int(m.self), fm.TraceRef(), m.barrierCtx())
+	}
 	m.outbox = append(m.outbox, multicast.Delivered{
 		ID:      fm.ID(),
 		Payload: fm.Payload,

@@ -11,7 +11,11 @@
 package stability
 
 import (
+	"sort"
+	"time"
+
 	"catocs/internal/metrics"
+	"catocs/internal/obs"
 	"catocs/internal/vclock"
 )
 
@@ -32,6 +36,13 @@ type Tracker struct {
 	occupancy metrics.Gauge
 	evicted   metrics.Counter
 	buffered  metrics.Counter
+
+	// Optional trace wiring (Instrument): stabilization events are
+	// part of a message's lifecycle, so eviction records one trace
+	// event per message with the stability frontier as causal context.
+	trace     *obs.Tracer
+	traceNode int
+	traceNow  func() time.Duration
 }
 
 // New returns a tracker for a group of n members.
@@ -65,6 +76,15 @@ func (t *Tracker) Get(k Key) (any, bool) {
 	return m, ok
 }
 
+// Instrument attaches a trace recorder: each eviction (a message
+// becoming stable at this member) records a stabilize event stamped
+// node and now(). A nil tracer detaches.
+func (t *Tracker) Instrument(tr *obs.Tracer, node int, now func() time.Duration) {
+	t.trace = tr
+	t.traceNode = node
+	t.traceNow = now
+}
+
 // ObserveAck merges process p's delivered clock into the matrix and
 // evicts every buffered message that became stable. It returns the
 // number of evictions.
@@ -72,15 +92,33 @@ func (t *Tracker) ObserveAck(p vclock.ProcessID, delivered vclock.VC) int {
 	t.matrix.Update(p, delivered)
 	min := t.matrix.MinClock()
 	evicted := 0
+	var gone []Key
 	for k := range t.buf {
 		if k.Seq <= min[k.Sender] {
 			delete(t.buf, k)
 			evicted++
+			if t.trace != nil {
+				gone = append(gone, k)
+			}
 		}
 	}
 	if evicted > 0 {
 		t.evicted.Add(uint64(evicted))
 		t.occupancy.Set(int64(len(t.buf)))
+	}
+	if len(gone) > 0 {
+		// Sorted so the trace is deterministic under map iteration.
+		sort.Slice(gone, func(i, j int) bool {
+			if gone[i].Sender != gone[j].Sender {
+				return gone[i].Sender < gone[j].Sender
+			}
+			return gone[i].Seq < gone[j].Seq
+		})
+		at := t.traceNow()
+		ctx := "frontier=" + min.String()
+		for _, k := range gone {
+			t.trace.Stabilize(at, t.traceNode, obs.MsgRef{Sender: int64(k.Sender), Seq: k.Seq}, ctx)
+		}
 	}
 	return evicted
 }

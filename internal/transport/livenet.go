@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"catocs/internal/obs"
 )
 
 // LiveNet is a Network over real goroutines: each registered node gets
@@ -21,6 +23,7 @@ type LiveNet struct {
 	start    time.Time
 	stats    Stats
 	perNode  map[NodeID]*NodeStats
+	sink     obsSink
 	wg       sync.WaitGroup
 	closed   bool
 }
@@ -74,6 +77,17 @@ func (n *LiveNet) Register(id NodeID, h Handler) {
 	}()
 }
 
+// Instrument attaches observability: tracer records per-payload wire
+// events, reg accumulates labeled counters. Both are safe under
+// LiveNet's concurrency — the tracer locks internally and the
+// registry hands out guarded instruments — so, unlike the plain
+// metrics types, they may be read while traffic flows.
+func (n *LiveNet) Instrument(tr *obs.Tracer, reg *obs.Registry, substrate string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sink.instrument(tr, reg, substrate, "live")
+}
+
 // Crash marks a node failed; its traffic is dropped until Recover.
 func (n *LiveNet) Crash(id NodeID) {
 	n.mu.Lock()
@@ -92,12 +106,13 @@ func (n *LiveNet) Recover(id NodeID) {
 func (n *LiveNet) Send(from, to NodeID, payload any) {
 	n.mu.Lock()
 	if n.closed || n.crashed[from] || n.crashed[to] {
-		accountSend(&n.stats, n.perNode, from, payload)
+		accountSend(&n.stats, n.perNode, from, payload, &n.sink)
 		n.stats.Dropped++
+		n.sink.onDrop(to)
 		n.mu.Unlock()
 		return
 	}
-	accountSend(&n.stats, n.perNode, from, payload)
+	accountSend(&n.stats, n.perNode, from, payload, &n.sink)
 	drop := n.def.LossProb > 0 && n.rng.Float64() < n.def.LossProb
 	d := n.def.BaseDelay
 	if n.def.Jitter > 0 {
@@ -107,6 +122,7 @@ func (n *LiveNet) Send(from, to NodeID, payload any) {
 	if drop {
 		n.mu.Lock()
 		n.stats.Dropped++
+		n.sink.onDrop(to)
 		n.mu.Unlock()
 		return
 	}
@@ -118,21 +134,25 @@ func (n *LiveNet) Send(from, to NodeID, payload any) {
 		defer n.mu.Unlock()
 		if n.closed || n.crashed[to] {
 			n.stats.Dropped++
+			n.sink.onDrop(to)
 			return
 		}
 		box, ok := n.boxes[to]
 		if !ok {
 			n.stats.Dropped++
+			n.sink.onDrop(to)
 			return
 		}
 		select {
 		case box <- packet{from: from, payload: payload}:
 			n.stats.Delivered++
 			n.stats.Bytes += uint64(ApproxSize(payload))
+			n.sink.onWireRecv(time.Since(n.start), to, payload)
 		default:
 			// Mailbox overflow models receiver buffer exhaustion; the
 			// packet is lost, as on a real datagram network.
 			n.stats.Dropped++
+			n.sink.onDrop(to)
 		}
 	}
 	if d <= 0 {

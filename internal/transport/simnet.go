@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"catocs/internal/obs"
 	"catocs/internal/sim"
 )
 
@@ -41,6 +42,7 @@ type SimNet struct {
 	partition map[NodeID]int
 	stats     Stats
 	perNode   map[NodeID]*NodeStats
+	sink      obsSink
 }
 
 // NewSimNet returns a simulated network with the given default link
@@ -58,6 +60,14 @@ func NewSimNet(k *sim.Kernel, def LinkConfig) *SimNet {
 
 // Kernel returns the underlying simulation kernel.
 func (n *SimNet) Kernel() *sim.Kernel { return n.k }
+
+// Instrument attaches observability: tracer records per-payload wire
+// events (for payloads implementing obs.Referable), reg accumulates
+// labeled counters keyed by {substrate, node, kind}. Either may be
+// nil; with both nil the hot path pays only nil checks.
+func (n *SimNet) Instrument(tr *obs.Tracer, reg *obs.Registry, substrate string) {
+	n.sink.instrument(tr, reg, substrate, "sim")
+}
 
 // Register implements Network.
 func (n *SimNet) Register(id NodeID, h Handler) { n.handlers[id] = h }
@@ -145,15 +155,17 @@ func (n *SimNet) linkFor(from, to NodeID) LinkConfig {
 // a packet is in flight drops it — matching the fail-stop model where
 // in-flight data to a failed node is simply lost.
 func (n *SimNet) Send(from, to NodeID, payload any) {
-	accountSend(&n.stats, n.perNode, from, payload)
+	accountSend(&n.stats, n.perNode, from, payload, &n.sink)
 	if !n.reachable(from, to) {
 		n.stats.Dropped++
+		n.sink.onDrop(to)
 		return
 	}
 	cfg := n.linkFor(from, to)
 	rng := n.k.Rand()
 	if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
 		n.stats.Dropped++
+		n.sink.onDrop(to)
 		return
 	}
 	n.deliverAfter(cfg, from, to, payload)
@@ -174,15 +186,18 @@ func (n *SimNet) deliverAfter(cfg LinkConfig, from, to NodeID, payload any) {
 	n.k.After(d, func() {
 		if !n.reachable(from, to) {
 			n.stats.Dropped++
+			n.sink.onDrop(to)
 			return
 		}
 		h, ok := n.handlers[to]
 		if !ok {
 			n.stats.Dropped++
+			n.sink.onDrop(to)
 			return
 		}
 		n.stats.Delivered++
 		n.stats.Bytes += uint64(ApproxSize(payload))
+		n.sink.onWireRecv(n.k.Now(), to, payload)
 		h(from, payload)
 	})
 }

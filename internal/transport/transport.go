@@ -18,6 +18,8 @@ package transport
 
 import (
 	"time"
+
+	"catocs/internal/obs"
 )
 
 // NodeID identifies an endpoint on a Network. IDs are small dense
@@ -120,9 +122,53 @@ type NodeStats struct {
 	Forwarded uint64 // relayed copies this node sent
 }
 
+// obsSink is the optional observability wiring both networks share: a
+// causal trace recorder for per-message wire events and a labeled
+// metrics registry that subsumes the Stats/NodeStats counters with
+// {substrate, node, kind} labels. The zero sink is inactive and costs
+// the hot path two nil checks.
+type obsSink struct {
+	tracer    *obs.Tracer
+	reg       *obs.Registry
+	substrate string
+}
+
+// instrument installs the sink. An empty substrate label defaults to
+// the given fallback ("sim" or "live").
+func (s *obsSink) instrument(tr *obs.Tracer, reg *obs.Registry, substrate, fallback string) {
+	if substrate == "" {
+		substrate = fallback
+	}
+	s.tracer = tr
+	s.reg = reg
+	s.substrate = substrate
+}
+
+// onWireRecv records a payload's arrival at a node: a trace
+// wire-receive event (when the payload can name its message) and the
+// delivered/bytes registry counters.
+func (s *obsSink) onWireRecv(at time.Duration, to NodeID, payload any) {
+	if s.tracer != nil {
+		if ref, ok := obs.RefOf(payload); ok {
+			s.tracer.WireRecv(at, int(to), ref)
+		}
+	}
+	if s.reg != nil {
+		s.reg.Counter(s.substrate, int(to), "delivered").Inc()
+		s.reg.Counter(s.substrate, int(to), "bytes").Add(uint64(ApproxSize(payload)))
+	}
+}
+
+// onDrop counts a dropped packet against the node it was headed to.
+func (s *obsSink) onDrop(to NodeID) {
+	if s.reg != nil {
+		s.reg.Counter(s.substrate, int(to), "dropped").Inc()
+	}
+}
+
 // accountSend updates aggregate and per-node counters for one accepted
 // send. Shared by SimNet and LiveNet.
-func accountSend(stats *Stats, perNode map[NodeID]*NodeStats, from NodeID, payload any) {
+func accountSend(stats *Stats, perNode map[NodeID]*NodeStats, from NodeID, payload any, sink *obsSink) {
 	stats.Sent++
 	ctrl := uint64(ControlSize(payload))
 	stats.CtrlBytes += ctrl
@@ -139,5 +185,12 @@ func accountSend(stats *Stats, perNode map[NodeID]*NodeStats, from NodeID, paylo
 	ns.CtrlBytes += ctrl
 	if fwd {
 		ns.Forwarded++
+	}
+	if sink.reg != nil {
+		sink.reg.Counter(sink.substrate, int(from), "sent").Inc()
+		sink.reg.Counter(sink.substrate, int(from), "ctrl_bytes").Add(ctrl)
+		if fwd {
+			sink.reg.Counter(sink.substrate, int(from), "forwarded").Inc()
+		}
 	}
 }
