@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench experiments e17-smoke
+.PHONY: verify vet build test race bench experiments e17-smoke chaos-smoke
 
-verify: vet build test race e17-smoke
+verify: vet build test race e17-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,13 @@ race:
 # decompose deliveries on every substrate.
 e17-smoke:
 	$(GO) test ./internal/experiments -run 'TestE17' -count=1 -v
+
+# The chaos smoke gate: seeded fault-injection episodes on every
+# substrate with all invariant oracles armed. On failure the command
+# prints the seed and a shrunk minimal fault script, so the breakage
+# reproduces with the printed one-liner.
+chaos-smoke:
+	$(GO) run ./cmd/chaos -substrate all -n 5 -msgs 20 -episodes 3 -seed 1
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,130 @@
+// Command chaos runs seeded fault-injection episodes against the
+// ordered-broadcast substrates and checks the invariants each one
+// advertises. Two modes:
+//
+// Randomized batch (default): N seeded episodes per substrate, each
+// with a generated crash/partition/flaky-link schedule on top of a
+// background drop/dup/delay mix. Any violation is shrunk to a minimal
+// fault script and reported with a one-line reproduction command.
+//
+//	go run ./cmd/chaos -substrate scalecast -seed 42 -episodes 50
+//
+// Scripted episode (-script): one episode with an explicit fault
+// schedule — the replay side of the reproduction line above.
+//
+//	go run ./cmd/chaos -substrate cbcast -seed 5 \
+//	    -script "@30ms part 0,1,2|3; @230ms heal"
+//
+// Exit status is 1 if any oracle found a violation, so the command
+// slots into CI (make chaos-smoke).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"catocs/internal/chaos"
+)
+
+func main() {
+	var (
+		substrate  = flag.String("substrate", "all", "cbcast | abcast | scalecast | all")
+		n          = flag.Int("n", 6, "group size")
+		senders    = flag.Int("senders", 0, "sending ranks (0 = min(n, 4))")
+		msgs       = flag.Int("msgs", 30, "messages per sender")
+		episodes   = flag.Int("episodes", 20, "episodes per substrate (batch mode)")
+		seed       = flag.Int64("seed", 1, "base seed")
+		script     = flag.String("script", "", "explicit fault schedule (single-episode mode)")
+		crashes    = flag.Int("crashes", 1, "crash/recover pairs per generated schedule")
+		partitions = flag.Int("partitions", 1, "partition/heal pairs per generated schedule")
+		flaky      = flag.Int("flaky", 2, "flaky-link windows per generated schedule")
+		clean      = flag.Bool("clean", false, "disable the background drop/dup/delay mix")
+		noShrink   = flag.Bool("no-shrink", false, "report failures without minimising them")
+	)
+	flag.Parse()
+
+	subs := chaos.Substrates
+	if *substrate != "all" {
+		subs = []string{*substrate}
+	}
+
+	failed := false
+	if *script != "" {
+		s, err := chaos.ParseScript(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, sub := range subs {
+			cfg := chaos.Config{
+				Substrate: sub, N: *n, Senders: *senders, MsgsPer: *msgs,
+				Seed: *seed, Script: s,
+			}
+			if !*clean {
+				cfg.Faults = chaos.DefaultFaults
+			}
+			res := chaos.Run(cfg)
+			printResult(res)
+			if len(res.Violations) > 0 {
+				failed = true
+			}
+		}
+	} else {
+		for _, sub := range subs {
+			rc := chaos.RunnerConfig{
+				Substrate: sub, N: *n, Senders: *senders, MsgsPer: *msgs,
+				Episodes: *episodes, Seed: *seed,
+				NoFaults: *clean, Shrink: !*noShrink,
+			}
+			rc.Gen.Crashes = *crashes
+			rc.Gen.Partitions = *partitions
+			rc.Gen.FlakyLinks = *flaky
+			sum := chaos.RunEpisodes(rc)
+			printSummary(sum)
+			if len(sum.Failures) > 0 {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printResult(r chaos.Result) {
+	fmt.Printf("%-10s seed=%-6d digest=%016x sent=%d skipped=%d delivered=%d "+
+		"faults(drop=%d dup=%d delay=%d) holdback-max=%d stab-hw=%d unavail(max=%s mean=%s)\n",
+		r.Substrate, r.Seed, r.Digest, r.Sent, r.Skipped, r.Delivered,
+		r.Faults.Dropped, r.Faults.Duplicated, r.Faults.Delayed,
+		r.MaxHoldback, r.StabHighWater, round(r.UnavailMax), round(r.UnavailMean))
+	if len(r.Script.Ops) > 0 {
+		fmt.Printf("  script: %s\n", r.Script)
+	}
+	for _, v := range r.Violations {
+		fmt.Printf("  VIOLATION %s\n", v)
+	}
+	if len(r.Violations) == 0 {
+		fmt.Println("  all oracles passed")
+	}
+}
+
+func printSummary(s chaos.Summary) {
+	fmt.Printf("%-10s episodes=%-3d digest=%016x sent=%d skipped=%d delivered=%d "+
+		"faults(drop=%d dup=%d delay=%d) holdback-max=%d stab-hw=%d unavail(max=%s mean=%s) violations=%s\n",
+		s.Substrate, s.Episodes, s.Digest, s.Sent, s.Skipped, s.Delivered,
+		s.Faults.Dropped, s.Faults.Duplicated, s.Faults.Delayed,
+		s.MaxHoldback, s.StabHighWater, round(s.UnavailMax), round(s.UnavailMean),
+		s.ViolationSummary())
+	for _, f := range s.Failures {
+		fmt.Printf("  FAILING EPISODE seed=%d\n", f.Seed)
+		for _, v := range f.Result.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+		fmt.Printf("    minimal script: %s\n", f.MinConfig.Script)
+		fmt.Printf("    reproduce: %s\n", f.Repro)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }

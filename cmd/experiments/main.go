@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E17 plus the
+// Command experiments runs the full reproduction suite E1–E18 plus the
 // ablations and prints every table. With -md it emits the tables in
 // the Markdown layout used by EXPERIMENTS.md.
 //
@@ -24,11 +24,13 @@ func main() {
 	e8procs := []int{4, 8}
 	e16sizes := []int{8, 32, 128, 512}
 	e17sizes := []int{8, 32, 128}
+	e18episodes, e18n := 50, 6
 	if *quick {
 		trials, sizes, msgs = 10, []int{4, 8}, 20
 		e8procs = []int{4}
 		e16sizes = []int{8, 32}
 		e17sizes = []int{8, 32}
+		e18episodes, e18n = 5, 5
 	}
 
 	tables := []*experiments.Table{
@@ -54,6 +56,7 @@ func main() {
 		experiments.TableE15([]int{4, 8, 16}, 30, *seed),
 		experiments.TableE16(e16sizes, 4, *seed),
 		experiments.TableE17(e17sizes, msgs/2, *seed),
+		experiments.TableE18(e18episodes, e18n, 30, *seed),
 		experiments.TableAblationTotal(sizes, msgs/2, *seed),
 	}
 

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// CI-sized E18: small episode counts, but the assertions are the real
+// acceptance criteria — zero invariant violations under the random
+// fault mix, a deterministic digest, and a partition unavailability
+// window that tracks the scripted outage.
+func TestE18Smoke(t *testing.T) {
+	for _, sub := range []string{"cbcast", "abcast", "scalecast"} {
+		pts := RunE18(sub, 3, 5, 20, 1)
+		if len(pts) != 2 {
+			t.Fatalf("%s: %d points", sub, len(pts))
+		}
+		random, part := pts[0], pts[1]
+		if random.Violations != 0 {
+			t.Fatalf("%s: %d violations under the random fault mix", sub, random.Violations)
+		}
+		if part.Violations != 0 {
+			t.Fatalf("%s: %d violations under the scripted partition", sub, part.Violations)
+		}
+		if random.Sent == 0 || random.Delivered == 0 || random.Drops == 0 {
+			t.Fatalf("%s: episode injected no faults or moved no traffic: %+v", sub, random)
+		}
+		// The isolated node's delivery silence must show (most of) the
+		// 250ms outage; detection lag can only lengthen it, message
+		// spacing shortens the measurable floor slightly.
+		if got := time.Duration(part.UnavailMax * float64(time.Second)); got < e18PartitionOutage*4/5 {
+			t.Fatalf("%s: partition unavailability %s does not reflect the %s outage",
+				sub, got, e18PartitionOutage)
+		}
+		again := RunE18(sub, 3, 5, 20, 1)
+		if again[0].Digest != random.Digest || again[1].Digest != part.Digest {
+			t.Fatalf("%s: digests differ across identical runs", sub)
+		}
+	}
+}

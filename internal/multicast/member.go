@@ -588,6 +588,7 @@ func (m *Member) onData(msg *DataMsg) {
 			return
 		}
 		m.dataByID[msg.ID()] = msg
+		m.HoldbackGauge.Set(int64(len(m.dataByID)))
 		if m.rank == m.cfg.SequencerRank && !m.orderKnown[msg.ID()] {
 			m.assignOrder(msg.ID())
 		}
@@ -602,6 +603,7 @@ func (m *Member) onData(msg *DataMsg) {
 			return
 		}
 		m.dataByID[msg.ID()] = msg
+		m.HoldbackGauge.Set(int64(len(m.dataByID)))
 		if m.rank == m.cfg.SequencerRank {
 			m.seqPending[msg.ID()] = msg
 			m.drainSequencer()
@@ -735,6 +737,7 @@ func (m *Member) drainTotal() {
 			return
 		}
 		delete(m.dataByID, id)
+		m.HoldbackGauge.Set(int64(len(m.dataByID)))
 		delete(m.orderOf, m.nextGlobal)
 		m.nextGlobal++
 		m.doDeliver(msg)

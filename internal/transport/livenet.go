@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -19,13 +20,17 @@ type LiveNet struct {
 	handlers map[NodeID]Handler
 	boxes    map[NodeID]chan packet
 	crashed  map[NodeID]bool
-	rng      *rand.Rand
-	start    time.Time
-	stats    Stats
-	perNode  map[NodeID]*NodeStats
-	sink     obsSink
-	wg       sync.WaitGroup
-	closed   bool
+	// partition assigns nodes to partition islands; nodes in different
+	// islands cannot communicate. nil means fully connected. Same
+	// semantics as SimNet so chaos schedules run identically on both.
+	partition map[NodeID]int
+	rng       *rand.Rand
+	start     time.Time
+	stats     Stats
+	perNode   map[NodeID]*NodeStats
+	sink      obsSink
+	wg        sync.WaitGroup
+	closed    bool
 }
 
 type packet struct {
@@ -102,10 +107,56 @@ func (n *LiveNet) Recover(id NodeID) {
 	delete(n.crashed, id)
 }
 
+// Crashed reports whether a node is currently marked failed.
+func (n *LiveNet) Crashed(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// Partition divides the nodes into islands; traffic crosses islands
+// only after Heal. Pass one slice per island; unlisted nodes form an
+// implicit island 0, and the function panics on duplicates — the same
+// contract as SimNet.Partition.
+func (n *LiveNet) Partition(islands ...[]NodeID) {
+	p := make(map[NodeID]int)
+	for i, island := range islands {
+		for _, id := range island {
+			if _, dup := p[id]; dup {
+				panic(fmt.Sprintf("transport: node %d in multiple islands", id))
+			}
+			p[id] = i
+		}
+	}
+	n.mu.Lock()
+	n.partition = p
+	n.mu.Unlock()
+}
+
+// Heal removes any partition.
+func (n *LiveNet) Heal() {
+	n.mu.Lock()
+	n.partition = nil
+	n.mu.Unlock()
+}
+
+// reachableLocked applies crash and partition filters. Like SimNet,
+// the check runs at send time and again at delivery time, so a crash
+// or partition that lands while a packet is in flight drops it.
+func (n *LiveNet) reachableLocked(from, to NodeID) bool {
+	if n.crashed[from] || n.crashed[to] {
+		return false
+	}
+	if n.partition != nil && n.partition[from] != n.partition[to] {
+		return false
+	}
+	return true
+}
+
 // Send implements Network.
 func (n *LiveNet) Send(from, to NodeID, payload any) {
 	n.mu.Lock()
-	if n.closed || n.crashed[from] || n.crashed[to] {
+	if n.closed || !n.reachableLocked(from, to) {
 		accountSend(&n.stats, n.perNode, from, payload, &n.sink)
 		n.stats.Dropped++
 		n.sink.onDrop(to)
@@ -132,7 +183,7 @@ func (n *LiveNet) Send(from, to NodeID, payload any) {
 		// closed check and the send are atomic with respect to it.
 		n.mu.Lock()
 		defer n.mu.Unlock()
-		if n.closed || n.crashed[to] {
+		if n.closed || !n.reachableLocked(from, to) {
 			n.stats.Dropped++
 			n.sink.onDrop(to)
 			return

@@ -17,7 +17,9 @@
 package wal
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"time"
 
 	"catocs/internal/state"
@@ -35,11 +37,29 @@ type Record struct {
 // encodedSize approximates the on-disk size of a record.
 func (r Record) encodedSize() int { return 24 + len(r.Object) + 16 }
 
+// checksum is the per-record CRC32 guarding against torn writes and
+// bit rot. The device is an in-memory model, so the "encoding" covered
+// by the CRC is a canonical rendering of the record rather than real
+// disk bytes; what the model preserves is the recovery discipline: a
+// record is valid only if its stored CRC matches its contents.
+func (r Record) checksum() uint32 {
+	h := crc32.NewIEEE()
+	var seq [8]byte
+	binary.LittleEndian.PutUint64(seq[:], r.Seq)
+	h.Write(seq[:])
+	h.Write([]byte(r.Object))
+	fmt.Fprintf(h, "%T:%v", r.Value, r.Value)
+	return h.Sum32()
+}
+
 // Device is an append-only stable storage model: records survive
 // "crashes" (of everything except the device), appends cost
-// WriteLatency each, and total bytes are tracked.
+// WriteLatency each, and total bytes are tracked. Each record carries a
+// CRC32; a crash mid-append leaves a torn (CRC-invalid) tail record
+// that Recover truncates instead of failing.
 type Device struct {
 	records []Record
+	crcs    []uint32
 	bytes   uint64
 	appends uint64
 	// WriteLatency is the modeled cost of one append (used by callers
@@ -55,10 +75,26 @@ func NewDevice() *Device {
 // Append logs a record and returns the modeled latency of the write.
 func (d *Device) Append(r Record) time.Duration {
 	d.records = append(d.records, r)
+	d.crcs = append(d.crcs, r.checksum())
 	d.bytes += uint64(r.encodedSize())
 	d.appends++
 	return d.WriteLatency
 }
+
+// AppendTorn models a crash in the middle of appending r: only part of
+// the record's bytes reached the device, so its stored CRC does not
+// match its contents. Recover treats such a tail as never written.
+func (d *Device) AppendTorn(r Record) {
+	d.records = append(d.records, r)
+	d.crcs = append(d.crcs, r.checksum()^0xdeadbeef)
+	d.bytes += uint64(r.encodedSize() / 2)
+	d.appends++
+}
+
+// Corrupt flips record i's stored CRC, modeling bit rot inside the log
+// body (as opposed to a torn tail). Recovery must refuse such a log
+// rather than silently skipping the record.
+func (d *Device) Corrupt(i int) { d.crcs[i] ^= 1 }
 
 // AppendRaw logs an arbitrary-size opaque entry (used to model logging
 // communication clocks, whose payload is a vector clock).
@@ -109,16 +145,49 @@ func (s *DurableStore) Get(object string) (any, vclock.Version, bool) {
 // Store exposes the in-memory store (for read-mostly paths).
 func (s *DurableStore) Store() *state.Store { return s.store }
 
+// validPrefix returns the number of leading records whose CRCs verify,
+// and an error if an invalid record is followed by a valid one — a
+// torn tail is expected after a crash (at most the in-flight suffix is
+// damaged), but valid data beyond a bad record means the log body
+// itself is corrupt and recovery must not silently skip it.
+func (d *Device) validPrefix() (int, error) {
+	n := len(d.records)
+	valid := n
+	for i := n - 1; i >= 0; i-- {
+		ok := i < len(d.crcs) && d.crcs[i] == d.records[i].checksum()
+		if ok {
+			break
+		}
+		valid = i
+	}
+	for i := 0; i < valid; i++ {
+		if i >= len(d.crcs) || d.crcs[i] != d.records[i].checksum() {
+			return 0, fmt.Errorf("wal: record %d fails CRC with valid records after it (corrupt log body)", i)
+		}
+	}
+	return valid, nil
+}
+
 // Recover replays a device's log into a fresh store, returning it and
 // the number of records replayed. Replaying in append order restores
 // every object to its highest logged version — the state clock is the
 // recovery order, no communication history needed (§6's point about
 // fault tolerance living at the state level).
+//
+// Records are CRC-checked: a torn tail (a crash mid-append) is
+// truncated and the valid prefix recovered — every acknowledged write
+// survives, the half-written one vanishes, exactly the contract a real
+// WAL gives. A CRC failure in the body of the log (valid records after
+// it) or a version gap is corruption and returns an error.
 func Recover(dev *Device) (*state.Store, int, error) {
+	valid, err := dev.validPrefix()
+	if err != nil {
+		return nil, 0, err
+	}
 	s := state.NewStore()
 	applied := 0
 	lastSeq := make(map[string]uint64)
-	for i, r := range dev.Records() {
+	for i, r := range dev.Records()[:valid] {
 		if r.Seq != lastSeq[r.Object]+1 {
 			return nil, applied, fmt.Errorf("wal: record %d for %q has seq %d, want %d (corrupt log)",
 				i, r.Object, r.Seq, lastSeq[r.Object]+1)
