@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench experiments e17-smoke chaos-smoke
+.PHONY: verify vet build test race bench experiments e17-smoke chaos-smoke slow-consumer-smoke
 
-verify: vet build test race e17-smoke chaos-smoke
+verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,13 @@ e17-smoke:
 # reproduces with the printed one-liner.
 chaos-smoke:
 	$(GO) run ./cmd/chaos -substrate all -n 5 -msgs 20 -episodes 3 -seed 1
+
+# The slow-consumer smoke gate: a tiny E19. Exits 1 if the no-policy
+# baseline fails to show unbounded growth, if any overflow policy lets
+# a buffer exceed its budget, or if the bounded-memory oracle fires on
+# the randomized slow-consumer batch.
+slow-consumer-smoke:
+	$(GO) test ./internal/experiments -run 'TestE19' -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem

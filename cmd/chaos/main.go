@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"catocs/internal/chaos"
+	"catocs/internal/flowcontrol"
 )
 
 func main() {
@@ -40,10 +41,27 @@ func main() {
 		crashes    = flag.Int("crashes", 1, "crash/recover pairs per generated schedule")
 		partitions = flag.Int("partitions", 1, "partition/heal pairs per generated schedule")
 		flaky      = flag.Int("flaky", 2, "flaky-link windows per generated schedule")
+		slows      = flag.Int("slows", 0, "slow-consumer windows per generated schedule")
+		maxLag     = flag.Duration("max-lag", 0, "max inbound lag for generated slow windows (0 = 100ms)")
+		budget     = flag.Int("budget", 0, "group buffer budget in messages (0 = unlimited)")
+		policy     = flag.String("policy", "", "overflow policy with -budget: block | shed | spill")
 		clean      = flag.Bool("clean", false, "disable the background drop/dup/delay mix")
 		noShrink   = flag.Bool("no-shrink", false, "report failures without minimising them")
 	)
 	flag.Parse()
+
+	var (
+		fcBudget flowcontrol.Budget
+		fcPolicy flowcontrol.Policy
+	)
+	if *budget > 0 {
+		fcBudget = flowcontrol.Budget{MaxMsgs: *budget}
+		var err error
+		if fcPolicy, err = flowcontrol.ParsePolicy(*policy); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	subs := chaos.Substrates
 	if *substrate != "all" {
@@ -61,6 +79,7 @@ func main() {
 			cfg := chaos.Config{
 				Substrate: sub, N: *n, Senders: *senders, MsgsPer: *msgs,
 				Seed: *seed, Script: s,
+				Budget: fcBudget, Overflow: fcPolicy,
 			}
 			if !*clean {
 				cfg.Faults = chaos.DefaultFaults
@@ -77,10 +96,13 @@ func main() {
 				Substrate: sub, N: *n, Senders: *senders, MsgsPer: *msgs,
 				Episodes: *episodes, Seed: *seed,
 				NoFaults: *clean, Shrink: !*noShrink,
+				Budget: fcBudget, Overflow: fcPolicy,
 			}
 			rc.Gen.Crashes = *crashes
 			rc.Gen.Partitions = *partitions
 			rc.Gen.FlakyLinks = *flaky
+			rc.Gen.Slows = *slows
+			rc.Gen.MaxLag = *maxLag
 			sum := chaos.RunEpisodes(rc)
 			printSummary(sum)
 			if len(sum.Failures) > 0 {

@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E18 plus the
+// Command experiments runs the full reproduction suite E1–E19 plus the
 // ablations and prints every table. With -md it emits the tables in
 // the Markdown layout used by EXPERIMENTS.md.
 //
@@ -25,12 +25,14 @@ func main() {
 	e16sizes := []int{8, 32, 128, 512}
 	e17sizes := []int{8, 32, 128}
 	e18episodes, e18n := 50, 6
+	e19casts, e19episodes := 150, 100
 	if *quick {
 		trials, sizes, msgs = 10, []int{4, 8}, 20
 		e8procs = []int{4}
 		e16sizes = []int{8, 32}
 		e17sizes = []int{8, 32}
 		e18episodes, e18n = 5, 5
+		e19casts, e19episodes = 60, 10
 	}
 
 	tables := []*experiments.Table{
@@ -57,6 +59,7 @@ func main() {
 		experiments.TableE16(e16sizes, 4, *seed),
 		experiments.TableE17(e17sizes, msgs/2, *seed),
 		experiments.TableE18(e18episodes, e18n, 30, *seed),
+		experiments.TableE19(5, e19casts, e19episodes, *seed),
 		experiments.TableAblationTotal(sizes, msgs/2, *seed),
 	}
 

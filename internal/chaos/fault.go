@@ -85,6 +85,16 @@ type Faultable interface {
 	Heal()
 }
 
+// Slowable is the slow-consumer control surface: a network that can
+// add inbound delivery lag at a node while leaving its outbound
+// traffic timely — the §5 failure mode where a member stays "alive" to
+// every detector yet pins the group's stability buffers. SimNet and
+// LiveNet both implement it; the Interposer forwards it.
+type Slowable interface {
+	Slow(id transport.NodeID, lag time.Duration)
+	Fast(id transport.NodeID)
+}
+
 // FaultStats counts the faults the interposer actually injected.
 type FaultStats struct {
 	Dropped    uint64 // payloads discarded
@@ -235,10 +245,28 @@ func (ip *Interposer) Heal() {
 	}
 }
 
+// Slow forwards to the underlying network when it models slow
+// consumers.
+func (ip *Interposer) Slow(id transport.NodeID, lag time.Duration) {
+	if s, ok := ip.net.(Slowable); ok {
+		s.Slow(id, lag)
+	}
+}
+
+// Fast forwards to the underlying network.
+func (ip *Interposer) Fast(id transport.NodeID) {
+	if s, ok := ip.net.(Slowable); ok {
+		s.Fast(id)
+	}
+}
+
 // Compile-time checks: both stock networks satisfy the chaos control
 // surface, and the interposer passes as either interface.
 var (
 	_ Faultable = (*transport.SimNet)(nil)
 	_ Faultable = (*transport.LiveNet)(nil)
 	_ Faultable = (*Interposer)(nil)
+	_ Slowable  = (*transport.SimNet)(nil)
+	_ Slowable  = (*transport.LiveNet)(nil)
+	_ Slowable  = (*Interposer)(nil)
 )

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"catocs/internal/flowcontrol"
 	"catocs/internal/obs"
 )
 
@@ -294,6 +295,40 @@ func CheckStabilitySafety(events []obs.Event, nodes []int) []Violation {
 				}
 			}
 		}
+	}
+	return out
+}
+
+// CheckBoundedMemory verifies the flow-control contract: with a
+// limited budget and a policy installed, no member's in-memory
+// unstable buffer may exceed the budget at any point in the run — not
+// on average, and not transiently, because the §5 failure mode is
+// precisely a transient that never ends. The inputs are the episode's
+// high-water marks (worst over members and time); with an unlimited
+// budget or no policy there is nothing to check and the oracle passes
+// vacuously.
+func CheckBoundedMemory(maxHoldback, stabHighWater int64, budget flowcontrol.Budget, pol flowcontrol.Policy) []Violation {
+	if !budget.Limited() || budget.MaxMsgs <= 0 || pol == flowcontrol.None {
+		return nil
+	}
+	var out []Violation
+	limit := int64(budget.MaxMsgs)
+	if stabHighWater > limit {
+		out = append(out, Violation{
+			Oracle: "bounded-memory",
+			Detail: fmt.Sprintf("stability buffer high-water %d exceeds budget %d msgs", stabHighWater, limit),
+		})
+	}
+	// The holdback queue holds undeliverable (out-of-order) arrivals.
+	// Under the window policies every held message is some sender's
+	// outstanding cast, so per-sender admission bounds it by the same
+	// group budget. Spill deliberately admits everything — its bound is
+	// the in-memory stability occupancy above, not the holdback queue.
+	if pol != flowcontrol.Spill && maxHoldback > limit {
+		out = append(out, Violation{
+			Oracle: "bounded-memory",
+			Detail: fmt.Sprintf("holdback high-water %d exceeds budget %d msgs", maxHoldback, limit),
+		})
 	}
 	return out
 }

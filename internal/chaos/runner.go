@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"catocs/internal/flowcontrol"
 	"catocs/internal/multicast"
 	"catocs/internal/obs"
 	"catocs/internal/scalecast"
@@ -59,6 +60,13 @@ type Config struct {
 	Faults LinkFault
 	// Degree is the scalecast overlay degree (0 = its default).
 	Degree int
+	// Budget bounds per-group buffer memory; the zero value is
+	// unlimited. With a limited budget the bounded-memory oracle runs.
+	Budget flowcontrol.Budget
+	// Overflow picks what happens when the budget is hit. The runner
+	// supports None, Block, Shed, and Spill; Suspect needs a membership
+	// monitor the episode harness does not run.
+	Overflow flowcontrol.Policy
 }
 
 func (cfg *Config) fillDefaults() {
@@ -148,12 +156,18 @@ func Run(cfg Config) Result {
 		if cfg.Substrate == "abcast" {
 			ordering = multicast.TotalCausal
 		}
-		members := multicast.NewGroup(ip, nodes, multicast.Config{
+		mcfg := multicast.Config{
 			Group:    "chaos",
 			Ordering: ordering,
 			Atomic:   true, // stability tracking + ack/NACK loss recovery
 			Tracer:   tracer,
-		}, deliverFor)
+			Budget:   cfg.Budget,
+			Overflow: cfg.Overflow,
+		}
+		if cfg.Overflow == flowcontrol.Spill {
+			mcfg.SpillDevice = wal.NewDevice()
+		}
+		members := multicast.NewGroup(ip, nodes, mcfg, deliverFor)
 		multicastFrom = func(rank int, payload any) { members[rank].Multicast(payload, chaosPayloadBytes) }
 		holdMax = func() int64 {
 			var max int64
@@ -182,9 +196,11 @@ func Run(cfg Config) Result {
 		}()
 	case "scalecast":
 		members := scalecast.NewGroup(ip, nodes, scalecast.Config{
-			Group:  "chaos",
-			Degree: cfg.Degree,
-			Tracer: tracer,
+			Group:    "chaos",
+			Degree:   cfg.Degree,
+			Tracer:   tracer,
+			Budget:   cfg.Budget,
+			Overflow: cfg.Overflow,
 		}, deliverFor)
 		multicastFrom = func(rank int, payload any) { members[rank].Multicast(payload, chaosPayloadBytes) }
 		holdMax = func() int64 {
@@ -252,6 +268,10 @@ func Run(cfg Config) Result {
 	res.Violations = append(res.Violations, CheckLiveness(events, groupNodes, cfg.Script.CrashedNodes())...)
 	if cfg.Substrate != "scalecast" {
 		res.Violations = append(res.Violations, CheckStabilitySafety(events, groupNodes)...)
+		// Scalecast's budget bounds its retransmission logs, not the
+		// holdback/stability pair this oracle audits; its bound is
+		// asserted by the package's own tests.
+		res.Violations = append(res.Violations, CheckBoundedMemory(res.MaxHoldback, res.StabHighWater, cfg.Budget, cfg.Overflow)...)
 	}
 	res.Violations = append(res.Violations, checkWALDurability(cfg.Seed)...)
 	return res
@@ -408,6 +428,10 @@ type RunnerConfig struct {
 	// Shrink minimises failing schedules before reporting them.
 	Shrink bool
 	Degree int
+	// Budget/Overflow install flow control in every episode; a limited
+	// budget arms the bounded-memory oracle.
+	Budget   flowcontrol.Budget
+	Overflow flowcontrol.Policy
 }
 
 // Failure is one episode that violated an oracle, with its minimised
@@ -473,6 +497,9 @@ func (rc *RunnerConfig) fillDefaults() {
 	if g.Flaky.IsZero() {
 		g.Flaky = LinkFault{DropProb: 0.3, DupProb: 0.2, DelayProb: 0.3, Delay: 20 * time.Millisecond}
 	}
+	if g.Slows > 0 && g.MaxLag == 0 {
+		g.MaxLag = 100 * time.Millisecond
+	}
 }
 
 // RunEpisodes executes rc.Episodes seeded random-fault episodes and
@@ -497,6 +524,8 @@ func RunEpisodes(rc RunnerConfig) Summary {
 			Script:    script,
 			Faults:    rc.Faults,
 			Degree:    rc.Degree,
+			Budget:    rc.Budget,
+			Overflow:  rc.Overflow,
 		}
 		res := Run(cfg)
 		for b := 0; b < 8; b++ {

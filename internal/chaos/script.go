@@ -21,15 +21,19 @@ const (
 	OpHeal
 	OpLink
 	OpClearLink
+	OpSlow
+	OpFast
 )
 
 // Op is one scheduled fault action. Which fields are meaningful
-// depends on Kind: Node for crash/recover, Islands for part, From/To
-// and Fault for link, From/To for clear, nothing extra for heal.
+// depends on Kind: Node for crash/recover/slow/fast, Lag for slow,
+// Islands for part, From/To and Fault for link, From/To for clear,
+// nothing extra for heal.
 type Op struct {
 	At      time.Duration
 	Kind    OpKind
 	Node    transport.NodeID
+	Lag     time.Duration
 	Islands [][]transport.NodeID
 	From    transport.NodeID
 	To      transport.NodeID
@@ -59,6 +63,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("@%s link %d>%d %s", o.At, o.From, o.To, o.Fault)
 	case OpClearLink:
 		return fmt.Sprintf("@%s clear %d>%d", o.At, o.From, o.To)
+	case OpSlow:
+		return fmt.Sprintf("@%s slow %d %s", o.At, o.Node, o.Lag)
+	case OpFast:
+		return fmt.Sprintf("@%s fast %d", o.At, o.Node)
 	}
 	return fmt.Sprintf("@%s ?", o.At)
 }
@@ -68,7 +76,8 @@ func (o Op) String() string {
 // straight back into the CLI:
 //
 //	@12ms crash 3; @30ms recover 3; @40ms part 0,1,2|3,4; @90ms heal;
-//	@10ms link 2>4 drop=0.30,dup=0.10,delay=0.50x20ms; @50ms clear 2>4
+//	@10ms link 2>4 drop=0.30,dup=0.10,delay=0.50x20ms; @50ms clear 2>4;
+//	@10ms slow 3 50ms; @200ms fast 3
 type Script struct {
 	Ops []Op
 }
@@ -148,6 +157,28 @@ func parseOp(clause string) (Op, error) {
 		}
 	case "heal":
 		op.Kind = OpHeal
+	case "slow":
+		if len(fields) != 4 {
+			return Op{}, fmt.Errorf("want \"slow <node> <lag>\"")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return Op{}, err
+		}
+		lag, err := time.ParseDuration(fields[3])
+		if err != nil {
+			return Op{}, err
+		}
+		op.Kind, op.Node, op.Lag = OpSlow, transport.NodeID(n), lag
+	case "fast":
+		if len(fields) != 3 {
+			return Op{}, fmt.Errorf("want \"fast <node>\"")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return Op{}, err
+		}
+		op.Kind, op.Node = OpFast, transport.NodeID(n)
 	case "link", "clear":
 		if fields[1] == "link" && len(fields) != 4 {
 			return Op{}, fmt.Errorf("want \"link a>b <fault>\"")
@@ -246,6 +277,10 @@ func (s Script) Apply(ip *Interposer) {
 				ip.SetLink(op.From, op.To, op.Fault)
 			case OpClearLink:
 				ip.ClearLink(op.From, op.To)
+			case OpSlow:
+				ip.Slow(op.Node, op.Lag)
+			case OpFast:
+				ip.Fast(op.Node)
 			}
 		})
 	}
@@ -289,11 +324,15 @@ type GenConfig struct {
 	// MaxOutage bounds how long a crash or partition lasts before its
 	// paired recover/heal.
 	MaxOutage time.Duration
-	// Crashes, Partitions, FlakyLinks count how many of each fault
-	// pair to schedule.
+	// Crashes, Partitions, FlakyLinks, Slows count how many of each
+	// fault pair to schedule.
 	Crashes    int
 	Partitions int
 	FlakyLinks int
+	Slows      int
+	// MaxLag bounds the inbound delivery lag a generated slow-consumer
+	// episode applies (the floor is MaxLag/4, mirroring outages).
+	MaxLag time.Duration
 	// Flaky bounds the per-link fault mix for FlakyLinks: each
 	// generated link draws probabilities in [0, bound) and uses
 	// Flaky.Delay verbatim.
@@ -369,6 +408,19 @@ func Gen(rng *rand.Rand, cfg GenConfig) Script {
 		s.Ops = append(s.Ops,
 			Op{At: at, Kind: OpLink, From: from, To: to, Fault: f},
 			Op{At: at + outage, Kind: OpClearLink, From: from, To: to},
+		)
+	}
+	for i := 0; i < cfg.Slows; i++ {
+		at := dur(cfg.Horizon)
+		outage := cfg.MaxOutage/4 + dur(cfg.MaxOutage*3/4)
+		lag := cfg.MaxLag/4 + dur(cfg.MaxLag*3/4)
+		node := transport.NodeID(rng.Intn(cfg.Nodes))
+		// A slowed node is NOT in CrashedNodes: it stays alive and must
+		// eventually deliver everything — that is the point of the
+		// slow-consumer model, and the liveness oracle holds it to it.
+		s.Ops = append(s.Ops,
+			Op{At: at, Kind: OpSlow, Node: node, Lag: lag},
+			Op{At: at + outage, Kind: OpFast, Node: node},
 		)
 	}
 	sort.SliceStable(s.Ops, func(a, b int) bool { return s.Ops[a].At < s.Ops[b].At })

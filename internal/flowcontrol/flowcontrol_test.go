@@ -1,0 +1,68 @@
+package flowcontrol
+
+import "testing"
+
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, p := range Policies {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePolicy("evict-random"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown policy")
+	}
+	if p, err := ParsePolicy(""); err != nil || p != None {
+		t.Fatalf("ParsePolicy(\"\") = %v, %v, want None", p, err)
+	}
+}
+
+func TestBudgetAdmits(t *testing.T) {
+	b := Budget{MaxMsgs: 4, MaxBytes: 100}
+	if !b.Admits(3, 50, 10) {
+		t.Fatal("budget rejected an in-bounds admission")
+	}
+	if b.Admits(4, 50, 10) {
+		t.Fatal("budget admitted past MaxMsgs")
+	}
+	if b.Admits(3, 95, 10) {
+		t.Fatal("budget admitted past MaxBytes")
+	}
+	var unlimited Budget
+	if unlimited.Limited() {
+		t.Fatal("zero budget reports Limited")
+	}
+	if !unlimited.Admits(1<<20, 1<<30, 1<<20) {
+		t.Fatal("unlimited budget rejected an admission")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	b := Budget{MaxMsgs: 4}
+	if b.Exceeded(4, 0) {
+		t.Fatal("at-budget occupancy reported exceeded")
+	}
+	if !b.Exceeded(5, 0) {
+		t.Fatal("over-budget occupancy not reported exceeded")
+	}
+}
+
+func TestBudgetShare(t *testing.T) {
+	b := Budget{MaxMsgs: 48, MaxBytes: 4800}
+	s := b.Share(6)
+	if s.MaxMsgs != 8 || s.MaxBytes != 800 {
+		t.Fatalf("Share(6) = %v, want 8msgs/800B", s)
+	}
+	// Tiny budgets floor at one message per sender.
+	tiny := Budget{MaxMsgs: 2}.Share(6)
+	if tiny.MaxMsgs != 1 {
+		t.Fatalf("tiny share = %v, want 1 msg", tiny)
+	}
+	// Unlimited budgets share as unlimited.
+	if s := (Budget{}).Share(6); s.Limited() {
+		t.Fatalf("unlimited share = %v, want unlimited", s)
+	}
+}

@@ -206,6 +206,22 @@ func (m *Monitor) Start() {
 // Stop permanently halts the monitor (timers stop re-arming).
 func (m *Monitor) Stop() { m.stopped = true }
 
+// ForceSuspect marks a rank suspected on external evidence — the
+// multicast layer's flow-control detector accusing a laggard that
+// still heartbeats (a member can be alive and yet not delivering,
+// which silence-based detection can never see). The next coordination
+// check runs immediately, so a coordinator starts the flush without
+// waiting for a heartbeat tick. Wire multicast.Config.OnSuspect to
+// this.
+func (m *Monitor) ForceSuspect(r vclock.ProcessID) {
+	if m.stopped || r == m.member.Rank() || int(r) < 0 || int(r) >= m.member.GroupSize() || m.suspected[r] {
+		return
+	}
+	m.suspected[r] = true
+	m.Stats.DetectionTime.ObserveDuration(m.net.Now() - m.lastHeard[r])
+	m.maybeCoordinate()
+}
+
 // Suspected returns the currently suspected ranks, sorted.
 func (m *Monitor) Suspected() []vclock.ProcessID {
 	var out []vclock.ProcessID

@@ -1,0 +1,114 @@
+package group
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/flowcontrol"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// TestSuspectPolicyExcisesSlowConsumer is the deterministic end-to-end
+// run of the Suspect overflow policy: a member that stays ALIVE — its
+// heartbeats and acks are perfectly timely — but consumes inbound
+// traffic 400ms late. Silence-based failure detection can never see
+// it; the heartbeat Monitor alone would let it pin every member's
+// stability buffer indefinitely (the §5 trilemma's excise arm needs
+// different evidence). The sender's admission window stalls against
+// the laggard's stale ack frontier, the stall path names the laggard
+// from the stability matrix, ForceSuspect feeds the membership layer,
+// and the ordinary flush protocol excises the node — after which the
+// survivors' buffers must drain to zero.
+func TestSuspectPolicyExcisesSlowConsumer(t *testing.T) {
+	const (
+		n     = 4
+		casts = 60
+		slow  = transport.NodeID(3)
+	)
+	k := sim.NewKernel(11)
+	k.SetEventLimit(20_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	mux := transport.NewMux(net)
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	counts := make([]int, n)
+	members := make([]*multicast.Member, n)
+	monitors := make([]*Monitor, n)
+	for i := range nodes {
+		i := i
+		cfg := multicast.Config{
+			Group: "sus", Ordering: multicast.Causal, Atomic: true,
+			Budget:       flowcontrol.Budget{MaxMsgs: 12},
+			Overflow:     flowcontrol.Suspect,
+			StallTimeout: 200 * time.Millisecond,
+			// Accusations land at this member's own monitor; the flush
+			// protocol spreads the consequence to the group.
+			OnSuspect: func(r vclock.ProcessID) { monitors[i].ForceSuspect(r) },
+		}
+		rank := vclock.ProcessID(i)
+		members[i] = multicast.NewMember(mux, nodes, rank, cfg, func(multicast.Delivered) {
+			counts[i]++
+		})
+	}
+	// SuspectTimeout far above the lag: heartbeats INTO the slow node
+	// arrive 400ms late, and with the default 40ms timeout the slow node
+	// would suspect the whole world and secede — a silence-based
+	// excision. Pushing the timeout to 2s makes heartbeat detection
+	// genuinely blind here, so any excision must come from the
+	// flow-control stall accusation.
+	for i, m := range members {
+		monitors[i] = NewMonitor(mux, m, "sus", Config{SuspectTimeout: 2 * time.Second})
+	}
+	for _, mon := range monitors {
+		mon.Start()
+	}
+	net.Slow(slow, 400*time.Millisecond)
+	for i := 0; i < casts; i++ {
+		i := i
+		k.At(time.Duration(i)*2*time.Millisecond, func() {
+			members[0].Multicast(fmt.Sprintf("m%d", i), 64)
+		})
+	}
+	k.RunUntil(15 * time.Second)
+
+	if members[0].SuspectCount.Value() == 0 {
+		t.Fatal("sender never accused the laggard")
+	}
+	survivors := []int{0, 1, 2}
+	for _, r := range survivors {
+		m := members[r]
+		if m.Epoch() == 0 {
+			t.Fatalf("rank %d never installed a new view", r)
+		}
+		if m.GroupSize() != n-1 {
+			t.Fatalf("rank %d view size %d, want %d (laggard excised)", r, m.GroupSize(), n-1)
+		}
+		for _, node := range m.ViewNodes() {
+			if node == slow {
+				t.Fatalf("rank %d view still contains the excised node", r)
+			}
+		}
+		// The paid-for outcome: excising the laggard lets the stability
+		// frontier advance and every survivor's buffer drain to empty.
+		if occ := m.Stability().Unstable(); occ != 0 {
+			t.Fatalf("rank %d unstable buffer not drained: %d", r, occ)
+		}
+		if m.BlockedCount() != 0 {
+			t.Fatalf("rank %d still has parked casts", r)
+		}
+	}
+	// Virtual synchrony across the change: the survivors delivered the
+	// same message set — everything offered, since Block parks rather
+	// than drops and parked casts re-issue in the new view.
+	for _, r := range survivors {
+		if counts[r] != casts {
+			t.Fatalf("rank %d delivered %d/%d", r, counts[r], casts)
+		}
+	}
+}

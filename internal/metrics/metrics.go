@@ -253,3 +253,73 @@ func (s *Series) Peak() float64 {
 	}
 	return m
 }
+
+// Window is a fixed-capacity sliding window of float64 samples with
+// mean and standard-deviation queries — the inter-arrival model a
+// phi-accrual failure detector maintains per peer. Statistics are
+// recomputed over the (small, bounded) window on demand, which keeps
+// the arithmetic drift-free.
+type Window struct {
+	buf  []float64
+	cap  int
+	next int
+	full bool
+}
+
+// NewWindow returns a window holding the most recent capacity samples
+// (minimum 2).
+func NewWindow(capacity int) *Window {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Window{buf: make([]float64, 0, capacity), cap: capacity}
+}
+
+// Push records one sample, evicting the oldest beyond capacity.
+func (w *Window) Push(v float64) {
+	if len(w.buf) < w.cap {
+		w.buf = append(w.buf, v)
+		return
+	}
+	w.full = true
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % w.cap
+}
+
+// Count returns the number of samples currently held.
+func (w *Window) Count() int { return len(w.buf) }
+
+// Mean returns the window mean, or 0 when empty.
+func (w *Window) Mean() float64 {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range w.buf {
+		sum += v
+	}
+	return sum / float64(len(w.buf))
+}
+
+// StdDev returns the window's population standard deviation, or 0
+// with fewer than two samples.
+func (w *Window) StdDev() float64 {
+	n := len(w.buf)
+	if n < 2 {
+		return 0
+	}
+	m := w.Mean()
+	var ss float64
+	for _, v := range w.buf {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Reset discards all samples.
+func (w *Window) Reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
+	w.full = false
+}

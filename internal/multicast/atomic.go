@@ -59,7 +59,16 @@ func (m *Member) fireAck() {
 		m.CtrlMsgs.Inc()
 		m.send(vclock.ProcessID(r), ack)
 	}
-	if m.stab.Occupancy() > 0 {
+	// The ack cycle doubles as the flow-control clock: evictions from
+	// our own merge may have widened the admission window, and the
+	// Suspect policy's detector is polled here so suspicion needs no
+	// free-running timer of its own.
+	m.drainBlocked()
+	m.checkSuspicion()
+	// Unstable(), not Occupancy(): spilled entries still await
+	// stabilization even when the in-memory buffer is empty, and
+	// stopping the ack cycle would orphan them in the WAL forever.
+	if m.stab.Unstable() > 0 || len(m.blocked) > 0 {
 		m.armAck()
 	}
 }
@@ -69,11 +78,26 @@ func (m *Member) fireAck() {
 // only evidence of a lost message with no causal successor, so it arms
 // the NACK path.
 func (m *Member) onAck(a *AckMsg) {
+	m.observeLiveness(a.From)
 	m.observeStability(a.From, a.Delivered)
+	m.drainBlocked()
 	if m.known != nil {
 		m.known.Merge(a.Delivered)
 		if len(m.missingSet()) > 0 {
 			m.armNack()
+		}
+	}
+	// A peer acking a clock behind ours may have lost our last ack (a
+	// drained member stops acking spontaneously); re-advertise so its
+	// stability frontier can advance. Terminates once clocks agree.
+	if m.stab != nil {
+		sc := m.stabilityClock()
+		for i := range sc {
+			p := vclock.ProcessID(i)
+			if a.Delivered.Get(p) < sc.Get(p) {
+				m.armAck()
+				break
+			}
 		}
 	}
 }

@@ -1,0 +1,158 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The detector's two contracted behaviours, stated as properties over
+// randomized arrival schedules:
+//
+//  1. a timely peer — heartbeats with bounded jitter — is never
+//     suspected, no matter how long the run;
+//  2. a peer that falls silent is eventually suspected, with phi
+//     non-decreasing over the silence.
+//
+// Together these are the suspicion state machine's safety and liveness;
+// the fuzz target below drives the same properties from arbitrary
+// byte-derived schedules.
+
+func TestPhiDetectorTimelyPeerNeverSuspected(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewPhiDetector(2, 8)
+		d.Start(0)
+		base := 10 * time.Millisecond
+		now := time.Duration(0)
+		for i := 0; i < 500; i++ {
+			// Jitter up to 100% of the base period: sloppy but alive.
+			step := base + time.Duration(rng.Int63n(int64(base)))
+			now += step
+			if d.Suspect(1, now) {
+				t.Fatalf("seed %d: timely peer suspected at beat %d (phi=%.2f)",
+					seed, i, d.Phi(1, now))
+			}
+			d.Observe(1, now)
+		}
+	}
+}
+
+func TestPhiDetectorSilentPeerEventuallySuspected(t *testing.T) {
+	d := NewPhiDetector(2, 8)
+	d.Start(0)
+	now := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		now += 10 * time.Millisecond
+		d.Observe(1, now)
+	}
+	// Silence: phi must grow monotonically and cross the threshold.
+	last := d.Phi(1, now)
+	suspected := false
+	for i := 0; i < 200; i++ {
+		now += 10 * time.Millisecond
+		phi := d.Phi(1, now)
+		if phi < last {
+			t.Fatalf("phi decreased during silence: %.3f -> %.3f", last, phi)
+		}
+		last = phi
+		if d.Suspect(1, now) {
+			suspected = true
+			break
+		}
+	}
+	if !suspected {
+		t.Fatalf("silent peer never suspected (final phi=%.2f)", last)
+	}
+}
+
+func TestPhiDetectorBootstrapSuspectsDeadOnArrival(t *testing.T) {
+	// A peer that never speaks has no samples; the bootstrap ramp alone
+	// must eventually accuse it.
+	d := NewPhiDetector(2, 8)
+	d.Start(0)
+	if d.Suspect(1, 100*time.Millisecond) {
+		t.Fatal("suspected during the bootstrap grace window")
+	}
+	if !d.Suspect(1, 2*time.Second) {
+		t.Fatalf("dead-on-arrival peer never suspected (phi=%.2f)", d.Phi(1, 2*time.Second))
+	}
+}
+
+func TestPhiDetectorRecoversAfterObservation(t *testing.T) {
+	d := NewPhiDetector(2, 8)
+	d.Start(0)
+	now := time.Duration(0)
+	for i := 0; i < 20; i++ {
+		now += 10 * time.Millisecond
+		d.Observe(1, now)
+	}
+	now += 3 * time.Second
+	if !d.Suspect(1, now) {
+		t.Fatal("silent peer not suspected before recovery")
+	}
+	// One fresh beat drops phi back below threshold (accrual detectors
+	// are queries, not latches; the member layer latches accusations).
+	d.Observe(1, now)
+	now += 10 * time.Millisecond
+	if d.Suspect(1, now) {
+		t.Fatalf("peer still suspected right after a beat (phi=%.2f)", d.Phi(1, now))
+	}
+}
+
+// FuzzPhiSuspicion derives an arrival schedule from fuzz bytes and
+// checks the suspicion state machine's contract. The first byte picks
+// the mode. Timely mode squeezes every gap into [base, 2*base) and
+// asserts the peer is never suspected — the safety property, which
+// only holds for schedules whose jitter stays inside the envelope the
+// detector has modeled (an adaptive detector rightly accuses a 3x-mean
+// gap after a metronomic history; that is the feature, not a bug).
+// Wild mode takes arbitrary gaps and asserts the history-independent
+// properties: a fresh observation always clears suspicion at that
+// instant, phi never decreases while silent, and sufficient silence
+// always accuses.
+func FuzzPhiSuspicion(f *testing.F) {
+	f.Add([]byte{0, 10, 10, 10, 10, 10, 10, 10})
+	f.Add([]byte{1, 255, 3, 9, 0, 0, 40, 12, 7, 7, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, beats []byte) {
+		d := NewPhiDetector(2, 8)
+		d.Start(0)
+		base := 10 * time.Millisecond
+		timely := len(beats) > 0 && beats[0]%2 == 0
+		if len(beats) > 0 {
+			beats = beats[1:]
+		}
+		now := time.Duration(0)
+		for _, b := range beats {
+			var gap time.Duration
+			if timely {
+				gap = base + time.Duration(int(b)%10)*time.Millisecond
+			} else {
+				gap = time.Duration(int(b)+1) * time.Millisecond
+			}
+			now += gap
+			if timely && d.Suspect(1, now) {
+				t.Fatalf("timely schedule suspected (gap=%v phi=%.2f)", gap, d.Phi(1, now))
+			}
+			d.Observe(1, now)
+			if d.Suspect(1, now) {
+				t.Fatalf("suspected at the instant of an observation (phi=%.2f)", d.Phi(1, now))
+			}
+		}
+		// Silence: phi monotone, and 100x the largest modeled gap always
+		// accuses, whatever history the fuzzer built.
+		last := d.Phi(1, now)
+		for i := 0; i < 100; i++ {
+			now += 256 * time.Millisecond
+			phi := d.Phi(1, now)
+			if phi < last {
+				t.Fatalf("phi decreased during silence: %.3f -> %.3f", last, phi)
+			}
+			last = phi
+		}
+		if !d.Suspect(1, now) {
+			t.Fatalf("silent peer not suspected after long silence (phi=%.2f)", last)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package multicast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/flowcontrol"
+	"catocs/internal/sim"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// Policy-level tests: each overflow policy must keep every member's
+// unstable buffer within the configured budget while honouring its
+// own delivery contract (Block and Spill lose nothing; Shed loses only
+// what it counted).
+
+func flowGroup(t *testing.T, n int, cfg Config, loss float64) (*sim.Kernel, []*Member, []int) {
+	t.Helper()
+	k := sim.NewKernel(7)
+	k.SetEventLimit(50_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{
+		BaseDelay: time.Millisecond, Jitter: time.Millisecond, LossProb: loss,
+	})
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	counts := make([]int, n)
+	members := NewGroup(net, nodes, cfg, func(rank vclock.ProcessID) DeliverFunc {
+		return func(Delivered) { counts[rank]++ }
+	})
+	return k, members, counts
+}
+
+func TestBlockPolicyBoundsBuffersLoseNothing(t *testing.T) {
+	const n, casts = 4, 40
+	budget := flowcontrol.Budget{MaxMsgs: 8}
+	cfg := Config{Group: "blk", Ordering: Causal, Atomic: true,
+		Budget: budget, Overflow: flowcontrol.Block}
+	k, members, counts := flowGroup(t, n, cfg, 0)
+	k.At(0, func() {
+		for i := 0; i < casts; i++ {
+			members[0].Multicast(fmt.Sprintf("m%d", i), 64)
+		}
+	})
+	k.RunUntil(30 * time.Second)
+	for r, m := range members {
+		if counts[r] != casts {
+			t.Fatalf("rank %d delivered %d/%d (blocked=%d)", r, counts[r], casts, m.BlockedCount())
+		}
+		if hw := m.Stability().HighWater(); hw > int64(budget.MaxMsgs) {
+			t.Fatalf("rank %d stability high water %d exceeds budget %d", r, hw, budget.MaxMsgs)
+		}
+		if m.BlockedCount() != 0 {
+			t.Fatalf("rank %d still has %d parked casts", r, m.BlockedCount())
+		}
+	}
+	if members[0].AdmissionStall.Count() == 0 {
+		t.Fatal("no admission stalls recorded despite 40 casts through an 8-msg budget")
+	}
+}
+
+func TestShedPolicyBoundsBuffersCountsLosses(t *testing.T) {
+	const n, casts = 4, 40
+	budget := flowcontrol.Budget{MaxMsgs: 8}
+	cfg := Config{Group: "shd", Ordering: Causal, Atomic: true,
+		Budget: budget, Overflow: flowcontrol.Shed}
+	k, members, counts := flowGroup(t, n, cfg, 0)
+	k.At(0, func() {
+		for i := 0; i < casts; i++ {
+			members[0].Multicast(fmt.Sprintf("m%d", i), 64)
+		}
+	})
+	k.RunUntil(30 * time.Second)
+	shed := int(members[0].ShedCount.Value())
+	if shed == 0 {
+		t.Fatal("burst past the budget shed nothing")
+	}
+	for r, m := range members {
+		if counts[r] != casts-shed {
+			t.Fatalf("rank %d delivered %d, want %d (40 offered - %d shed)", r, counts[r], casts-shed, shed)
+		}
+		if hw := m.Stability().HighWater(); hw > int64(budget.MaxMsgs) {
+			t.Fatalf("rank %d stability high water %d exceeds budget %d", r, hw, budget.MaxMsgs)
+		}
+	}
+}
+
+func TestSpillPolicyBoundsMemoryLosesNothing(t *testing.T) {
+	const n, casts = 4, 40
+	budget := flowcontrol.Budget{MaxMsgs: 8}
+	cfg := Config{Group: "spl", Ordering: Causal, Atomic: true,
+		Budget: budget, Overflow: flowcontrol.Spill}
+	// Loss forces NACK retransmission, which reloads spilled messages.
+	k, members, counts := flowGroup(t, n, cfg, 0.10)
+	k.At(0, func() {
+		for i := 0; i < casts; i++ {
+			members[0].Multicast(fmt.Sprintf("m%d", i), 64)
+		}
+	})
+	k.RunUntil(60 * time.Second)
+	spills := uint64(0)
+	for r, m := range members {
+		if counts[r] != casts {
+			t.Fatalf("rank %d delivered %d/%d", r, counts[r], casts)
+		}
+		// The budget bounds MEMORY; the spill store absorbs the rest.
+		if hw := m.Stability().HighWater(); hw > int64(budget.MaxMsgs) {
+			t.Fatalf("rank %d in-memory high water %d exceeds budget %d", r, hw, budget.MaxMsgs)
+		}
+		if s := m.Stability().Spill(); s != nil {
+			spills += s.Spills()
+			if s.Len() != 0 {
+				t.Fatalf("rank %d spill store not drained: %d entries", r, s.Len())
+			}
+		}
+	}
+	if spills == 0 {
+		t.Fatal("burst past the budget never spilled")
+	}
+}
+
+// TestNoPolicyGrowsPastBudgetUnderSlowConsumer is the control arm: a
+// slow consumer with no policy drives every member's buffer past what
+// any budget would allow — the §5 unbounded-growth behaviour E19
+// measures at scale.
+func TestNoPolicyGrowsPastBudgetUnderSlowConsumer(t *testing.T) {
+	const n, casts = 4, 40
+	cfg := Config{Group: "ctl", Ordering: Causal, Atomic: true}
+	k := sim.NewKernel(7)
+	k.SetEventLimit(50_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	nodes := []transport.NodeID{0, 1, 2, 3}
+	counts := make([]int, n)
+	members := NewGroup(net, nodes, cfg, func(rank vclock.ProcessID) DeliverFunc {
+		return func(Delivered) { counts[rank]++ }
+	})
+	net.Slow(3, 500*time.Millisecond)
+	for i := 0; i < casts; i++ {
+		at := time.Duration(i) * 2 * time.Millisecond
+		i := i
+		k.At(at, func() { members[0].Multicast(fmt.Sprintf("m%d", i), 64) })
+	}
+	k.RunUntil(30 * time.Second)
+	if hw := members[0].Stability().HighWater(); hw <= 8 {
+		t.Fatalf("control arm high water %d; expected growth well past a 8-msg budget", hw)
+	}
+	for r := range counts {
+		if counts[r] != casts {
+			t.Fatalf("rank %d delivered %d/%d", r, counts[r], casts)
+		}
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"time"
 
+	"catocs/internal/flowcontrol"
 	"catocs/internal/metrics"
 	"catocs/internal/obs"
 	"catocs/internal/stability"
 	"catocs/internal/transport"
 	"catocs/internal/vclock"
+	"catocs/internal/wal"
 )
 
 // Ordering selects the delivery discipline of a group.
@@ -87,6 +89,28 @@ type Config struct {
 	// shared causal trace. Disabled tracing costs one nil check per
 	// event site.
 	Tracer *obs.Tracer
+	// Budget bounds the member's unstable buffer in atomic mode. The
+	// zero value is unlimited — the paper's CATOCS default, under which
+	// one slow receiver grows every member's buffer without bound (§5).
+	Budget flowcontrol.Budget
+	// Overflow selects the reaction when the budget is reached. Ignored
+	// unless Atomic and Budget.Limited().
+	Overflow flowcontrol.Policy
+	// SpillDevice backs the Spill policy's overflow store. Nil selects a
+	// fresh in-memory WAL device per member.
+	SpillDevice *wal.Device
+	// OnSuspect, when non-nil, receives the Suspect policy's
+	// accusations (at most one per rank per view). The membership layer
+	// wires it to group.Monitor.ForceSuspect so an accusation triggers
+	// the view change that excises the laggard.
+	OnSuspect func(vclock.ProcessID)
+	// PhiThreshold is the accrual failure detector's suspicion
+	// threshold (Suspect policy). Zero defaults to 8.
+	PhiThreshold float64
+	// StallTimeout is how long the admission window may stay blocked
+	// before the Suspect policy accuses the stability laggard. Zero
+	// defaults to 250ms.
+	StallTimeout time.Duration
 }
 
 func (c Config) ackInterval() time.Duration {
@@ -101,6 +125,13 @@ func (c Config) nackDelay() time.Duration {
 		return c.NackDelay
 	}
 	return 25 * time.Millisecond
+}
+
+func (c Config) stallTimeout() time.Duration {
+	if c.StallTimeout > 0 {
+		return c.StallTimeout
+	}
+	return 250 * time.Millisecond
 }
 
 // Delivered describes one message handed to the application.
@@ -196,6 +227,18 @@ type Member struct {
 	// buffer, losing it forever.
 	contig vclock.VC
 
+	// Flow control (atomic mode with a limited Budget; see
+	// flowcontrol.go).
+	window  flowcontrol.Budget // this sender's admission share
+	blocked []blockedCast      // casts parked at the admission window
+	// lastAdmit is when the admission window last accepted a cast; the
+	// Suspect policy's stall clock runs from max(head parked, lastAdmit)
+	// so a steadily draining queue — or one carried across a view
+	// change — is progress, not a stall.
+	lastAdmit     time.Duration
+	detector      *PhiDetector // Suspect policy only
+	suspectedByMe map[vclock.ProcessID]bool
+
 	// Instrumentation.
 	Latency        metrics.Histogram // delivery latency (seconds)
 	HoldbackGauge  metrics.Gauge     // delay-queue occupancy over time
@@ -203,7 +246,10 @@ type Member struct {
 	SentCount      metrics.Counter
 	CtrlMsgs       metrics.Counter // protocol (non-data) messages sent
 	Duplicates     metrics.Counter // duplicate data copies discarded
-	trace          *obs.Tracer     // nil when tracing is disabled
+	AdmissionStall metrics.Histogram // Block/Suspect admission stall (seconds)
+	ShedCount      metrics.Counter   // casts rejected by the Shed policy
+	SuspectCount   metrics.Counter   // suspicions this member raised
+	trace          *obs.Tracer       // nil when tracing is disabled
 }
 
 // suppressedSend is an outbox entry.
@@ -266,6 +312,18 @@ func NewMember(net transport.Network, nodes []transport.NodeID, rank vclock.Proc
 		m.known = vclock.New(len(nodes))
 		if cfg.Ordering != FIFO && cfg.Ordering != Causal {
 			m.contig = vclock.New(len(nodes))
+		}
+		if cfg.Budget.Limited() {
+			m.stab.SetBudget(cfg.Budget)
+			m.window = cfg.Budget.Share(len(nodes))
+			switch cfg.Overflow {
+			case flowcontrol.Spill:
+				m.stab.SetSpill(wal.NewSpillStore(cfg.SpillDevice))
+			case flowcontrol.Suspect:
+				m.detector = NewPhiDetector(len(nodes), cfg.PhiThreshold)
+				m.detector.Start(net.Now())
+				m.suspectedByMe = make(map[vclock.ProcessID]bool)
+			}
 		}
 	}
 	m.trace = cfg.Tracer
@@ -340,6 +398,14 @@ func (m *Member) PendingCount() int {
 // Stability returns the atomic-mode stability tracker, or nil.
 func (m *Member) Stability() *stability.Tracker { return m.stab }
 
+// updateHoldbackGauge publishes the occupancy of whichever delay queue
+// the ordering mode actually uses. Every insertion and removal path —
+// including force-delivery during a view-change flush — must funnel
+// through this, or the gauge reads stale values after pruning.
+func (m *Member) updateHoldbackGauge() {
+	m.HoldbackGauge.Set(int64(m.PendingCount()))
+}
+
 // Close permanently silences the member: no further sends, deliveries,
 // or timer re-arms. Used at the end of experiments so the simulation
 // quiesces.
@@ -380,9 +446,10 @@ func (m *Member) Resume() {
 	}
 	// Deliveries frozen during the window drain now (relevant when a
 	// suppression ends without a view change; a view change clears the
-	// queues instead).
+	// queues instead), as do casts parked at the admission window.
 	m.drainHoldback()
 	m.drainTotal()
+	m.drainBlocked()
 }
 
 // Suppressed reports whether the member is in a suppression window.
@@ -411,7 +478,9 @@ func (m *Member) sendAll(msg any) {
 // Multicast sends payload (with an approximate encoded size in bytes)
 // to the whole group under the configured ordering. It returns the
 // message id. The sender's own copy is delivered through the network
-// like everyone else's, so latency and ordering are uniform.
+// like everyone else's, so latency and ordering are uniform. Under a
+// limited Budget the cast may instead be parked (Block/Suspect) or
+// rejected (Shed) by the admission window; both return the zero id.
 func (m *Member) Multicast(payload any, size int) MsgID {
 	if m.closed {
 		return MsgID{}
@@ -423,6 +492,16 @@ func (m *Member) Multicast(payload any, size int) MsgID {
 		m.pendingMulticasts = append(m.pendingMulticasts, pendingMulticast{payload: payload, size: size})
 		return MsgID{}
 	}
+	if !m.admitCast(payload, size) {
+		return MsgID{}
+	}
+	return m.multicastNow(payload, size)
+}
+
+// multicastNow stamps and transmits a cast the admission window has
+// cleared (or that no window governs).
+func (m *Member) multicastNow(payload any, size int) MsgID {
+	m.lastAdmit = m.net.Now()
 	m.sendSeq++
 	msg := &DataMsg{
 		Group:       m.cfg.Group,
@@ -440,7 +519,7 @@ func (m *Member) Multicast(payload any, size int) MsgID {
 	}
 	if m.cfg.Atomic {
 		msg.DeliveredVC = m.stabilityClock().Clone()
-		m.stab.Buffer(stability.Key{Sender: msg.Sender, Seq: msg.Seq}, msg)
+		m.stab.Buffer(stability.Key{Sender: msg.Sender, Seq: msg.Seq}, msg, msg.ApproxSize())
 		m.known.Set(m.rank, m.sendSeq)
 		m.armAck()
 	}
@@ -491,6 +570,7 @@ func (m *Member) Handle(from transport.NodeID, payload any) {
 		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
 			return
 		}
+		m.observeLiveness(msg.Sender)
 		m.onData(msg)
 	case *OrderMsg:
 		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
@@ -557,7 +637,7 @@ func (m *Member) onData(msg *DataMsg) {
 		if msg.Seq > m.known.Get(msg.Sender) {
 			m.known.Set(msg.Sender, msg.Seq)
 		}
-		m.stab.Buffer(stability.Key{Sender: msg.Sender, Seq: msg.Seq}, msg)
+		m.stab.Buffer(stability.Key{Sender: msg.Sender, Seq: msg.Seq}, msg, msg.ApproxSize())
 		m.armAck()
 	}
 	switch m.cfg.Ordering {
@@ -572,7 +652,7 @@ func (m *Member) onData(msg *DataMsg) {
 			return
 		}
 		m.pending[msg.ID()] = msg
-		m.HoldbackGauge.Set(int64(len(m.pending)))
+		m.updateHoldbackGauge()
 		m.drainHoldback()
 		if m.cfg.Ordering == Causal {
 			m.traceHoldback(msg, "awaiting causal predecessors")
@@ -588,7 +668,7 @@ func (m *Member) onData(msg *DataMsg) {
 			return
 		}
 		m.dataByID[msg.ID()] = msg
-		m.HoldbackGauge.Set(int64(len(m.dataByID)))
+		m.updateHoldbackGauge()
 		if m.rank == m.cfg.SequencerRank && !m.orderKnown[msg.ID()] {
 			m.assignOrder(msg.ID())
 		}
@@ -603,7 +683,7 @@ func (m *Member) onData(msg *DataMsg) {
 			return
 		}
 		m.dataByID[msg.ID()] = msg
-		m.HoldbackGauge.Set(int64(len(m.dataByID)))
+		m.updateHoldbackGauge()
 		if m.rank == m.cfg.SequencerRank {
 			m.seqPending[msg.ID()] = msg
 			m.drainSequencer()
@@ -699,7 +779,7 @@ func (m *Member) drainHoldback() {
 			return
 		}
 		delete(m.pending, next.ID())
-		m.HoldbackGauge.Set(int64(len(m.pending)))
+		m.updateHoldbackGauge()
 		m.doDeliver(next)
 	}
 }
@@ -737,7 +817,7 @@ func (m *Member) drainTotal() {
 			return
 		}
 		delete(m.dataByID, id)
-		m.HoldbackGauge.Set(int64(len(m.dataByID)))
+		m.updateHoldbackGauge()
 		delete(m.orderOf, m.nextGlobal)
 		m.nextGlobal++
 		m.doDeliver(msg)

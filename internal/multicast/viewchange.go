@@ -60,8 +60,19 @@ func (m *Member) ForceDeliver(msg *DataMsg) {
 	if m.closed || m.isDuplicate(msg) {
 		return
 	}
-	delete(m.pending, msg.ID())
-	m.HoldbackGauge.Set(int64(len(m.pending)))
+	// Prune the delay queue the ordering mode actually uses. Deleting
+	// from m.pending unconditionally (as this once did) left the total
+	// orderings' holdback entries — and their gauge — stale after a
+	// flush.
+	switch m.cfg.Ordering {
+	case TotalSeq, TotalCausal:
+		delete(m.dataByID, msg.ID())
+	case TotalAgree:
+		delete(m.agree.entries, msg.ID())
+	default:
+		delete(m.pending, msg.ID())
+	}
+	m.updateHoldbackGauge()
 	m.doDeliver(msg)
 }
 
@@ -115,4 +126,18 @@ func (m *Member) InstallView(nodes []transport.NodeID, rank vclock.ProcessID, ep
 			m.contig = vclock.New(len(nodes))
 		}
 	}
+	if m.cfg.Budget.Limited() && m.cfg.Atomic {
+		m.window = m.cfg.Budget.Share(len(nodes))
+	}
+	if m.detector != nil {
+		m.detector.Resize(len(nodes))
+		m.detector.Start(m.net.Now())
+		m.suspectedByMe = make(map[vclock.ProcessID]bool)
+	}
+	// Casts parked under the old view get a fresh stall clock: the new
+	// view must earn its own stall before anyone else is accused.
+	m.lastAdmit = m.net.Now()
+	// The stability reset emptied the admission window; casts parked
+	// under the old view re-issue now, stamped with the new epoch.
+	m.drainBlocked()
 }

@@ -238,6 +238,8 @@ func (m *Member) onLinkAck(from transport.NodeID, ack *LinkAck) {
 	if ack.Cum > l.outAcked {
 		l.outAcked = ack.Cum
 	}
+	// Pruned logs may have widened the ingress admission window.
+	m.drainBlockedLocked()
 }
 
 // onLinkNack retransmits the requested range from the send log.

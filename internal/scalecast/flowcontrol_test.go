@@ -1,0 +1,88 @@
+package scalecast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/flowcontrol"
+	"catocs/internal/transport"
+)
+
+// TestScalecastBlockPolicyBoundsRetransBuffer checks the overlay
+// ingress window: with a byte/message budget and Block overflow, an
+// origin's retransmission log (own casts plus the relay copies it must
+// hold for its overlay children) never exceeds the budget, parked casts
+// drain as link-level acks prune the log, and nothing is lost.
+func TestScalecastBlockPolicyBoundsRetransBuffer(t *testing.T) {
+	const (
+		n     = 8
+		casts = 40
+	)
+	g := newTestGroup(t, n, 7,
+		transport.LinkConfig{BaseDelay: time.Millisecond, Jitter: time.Millisecond},
+		Config{
+			Group:    "fc",
+			Budget:   flowcontrol.Budget{MaxMsgs: 16},
+			Overflow: flowcontrol.Block,
+		})
+	origin := g.members[0]
+	high := 0
+	for i := 0; i < casts; i++ {
+		i := i
+		g.k.At(time.Duration(i)*time.Millisecond, func() {
+			origin.Multicast(fmt.Sprintf("m%d", i), 64)
+			if occ := origin.RetransCount(); occ > high {
+				high = occ
+			}
+		})
+	}
+	g.k.RunUntil(time.Minute)
+
+	if high > 16 {
+		t.Fatalf("retrans log reached %d entries, budget 16", high)
+	}
+	if origin.BlockedCount() != 0 {
+		t.Fatalf("%d casts still parked after quiescence", origin.BlockedCount())
+	}
+	if origin.AdmissionStall.Count() == 0 {
+		t.Fatal("window never parked a cast; budget too loose to test anything")
+	}
+	g.assertAllDelivered(t, casts)
+	g.assertPerOriginFIFO(t)
+}
+
+// TestScalecastShedPolicyCountsDrops checks Shed: over-budget casts
+// are dropped at the ingress, counted, and everything admitted still
+// reaches every member exactly once.
+func TestScalecastShedPolicyCountsDrops(t *testing.T) {
+	const (
+		n     = 8
+		casts = 40
+	)
+	g := newTestGroup(t, n, 7,
+		transport.LinkConfig{BaseDelay: time.Millisecond, Jitter: time.Millisecond},
+		Config{
+			Group:    "fc",
+			Budget:   flowcontrol.Budget{MaxMsgs: 16},
+			Overflow: flowcontrol.Shed,
+		})
+	origin := g.members[0]
+	for i := 0; i < casts; i++ {
+		i := i
+		g.k.At(time.Duration(i)*time.Millisecond, func() {
+			origin.Multicast(fmt.Sprintf("m%d", i), 64)
+		})
+	}
+	g.k.RunUntil(time.Minute)
+
+	shed := int(origin.ShedCount.Value())
+	if shed == 0 {
+		t.Fatal("nothing shed; budget too loose to test anything")
+	}
+	if shed >= casts {
+		t.Fatalf("all %d casts shed; window never admitted anything", casts)
+	}
+	g.assertAllDelivered(t, casts-shed)
+	g.assertPerOriginFIFO(t)
+}

@@ -46,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"catocs/internal/flowcontrol"
 	"catocs/internal/metrics"
 	"catocs/internal/multicast"
 	"catocs/internal/obs"
@@ -81,6 +82,18 @@ type Config struct {
 	// scalecast analogue of CBCAST's vector clock. Nil disables
 	// tracing at nil-check cost.
 	Tracer *obs.Tracer
+	// Budget bounds the member's total link retransmission buffer (the
+	// hybrid buffer E16 measures), counted across all links. Zero is
+	// unlimited.
+	Budget flowcontrol.Budget
+	// Overflow selects the overlay-ingress reaction when the budget is
+	// reached: Block parks this member's own casts until link acks
+	// prune the logs; Shed rejects them counted and traced. Spill and
+	// Suspect degrade to Block — scalecast keeps no group-wide
+	// stability matrix to spill against or accuse from. Relayed
+	// traffic is always admitted: forwarding is mandatory for causal
+	// order, so only the origin's own offered load is throttled.
+	Overflow flowcontrol.Policy
 }
 
 func (c Config) ackInterval() time.Duration {
@@ -163,6 +176,10 @@ type Member struct {
 	nackArmed bool
 	hbArmed   bool
 
+	// blocked holds this member's own casts parked at the ingress
+	// admission window (flowcontrol.go).
+	blocked []blockedFlood
+
 	// Instrumentation; field names mirror multicast.Member so the
 	// harness reads either substrate identically.
 	Latency        metrics.Histogram // delivery latency (seconds)
@@ -172,6 +189,8 @@ type Member struct {
 	CtrlMsgs       metrics.Counter // protocol (non-data) messages sent
 	Duplicates     metrics.Counter // duplicate data copies discarded
 	ForwardedMsgs  metrics.Counter // data copies relayed for other origins
+	AdmissionStall metrics.Histogram // ingress-window stall (seconds)
+	ShedCount      metrics.Counter   // casts rejected by the Shed policy
 
 	trace *obs.Tracer // optional lifecycle recorder (Config.Tracer)
 }
@@ -383,6 +402,18 @@ func (m *Member) Multicast(payload any, size int) multicast.MsgID {
 		m.mu.Unlock()
 		return multicast.MsgID{}
 	}
+	if !m.admitLocked(payload, size) {
+		m.mu.Unlock()
+		return multicast.MsgID{}
+	}
+	id := m.multicastLocked(payload, size)
+	m.flushUnlock()
+	return id
+}
+
+// multicastLocked stamps and floods a cast the ingress window has
+// cleared (or that no window governs). Caller holds the lock.
+func (m *Member) multicastLocked(payload any, size int) multicast.MsgID {
 	m.originSeq++
 	fm := &FloodMsg{
 		Group:       m.cfg.Group,
@@ -401,9 +432,7 @@ func (m *Member) Multicast(payload any, size int) multicast.MsgID {
 	// reaction, which is the invariant causal order rests on.
 	m.forwardFlood(fm, m.self)
 	m.deliverLocal(fm)
-	id := fm.ID()
-	m.flushUnlock()
-	return id
+	return fm.ID()
 }
 
 // forwardFlood relays a first-received message to every overlay link

@@ -24,6 +24,9 @@ type LiveNet struct {
 	// islands cannot communicate. nil means fully connected. Same
 	// semantics as SimNet so chaos schedules run identically on both.
 	partition map[NodeID]int
+	// slow adds per-destination consumer lag; same semantics as
+	// SimNet.Slow.
+	slow map[NodeID]time.Duration
 	rng       *rand.Rand
 	start     time.Time
 	stats     Stats
@@ -140,6 +143,28 @@ func (n *LiveNet) Heal() {
 	n.mu.Unlock()
 }
 
+// Slow adds lag to every delivery into node id — a slow consumer whose
+// outbound traffic stays timely. Same semantics as SimNet.Slow.
+func (n *LiveNet) Slow(id NodeID, lag time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if lag <= 0 {
+		delete(n.slow, id)
+		return
+	}
+	if n.slow == nil {
+		n.slow = make(map[NodeID]time.Duration)
+	}
+	n.slow[id] = lag
+}
+
+// Fast clears a node's consumer lag.
+func (n *LiveNet) Fast(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.slow, id)
+}
+
 // reachableLocked applies crash and partition filters. Like SimNet,
 // the check runs at send time and again at delivery time, so a crash
 // or partition that lands while a packet is in flight drops it.
@@ -168,6 +193,9 @@ func (n *LiveNet) Send(from, to NodeID, payload any) {
 	d := n.def.BaseDelay
 	if n.def.Jitter > 0 {
 		d += time.Duration(n.rng.Int63n(int64(n.def.Jitter)))
+	}
+	if lag := n.slow[to]; lag > 0 {
+		d += lag
 	}
 	n.mu.Unlock()
 	if drop {

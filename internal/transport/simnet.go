@@ -40,6 +40,8 @@ type SimNet struct {
 	// partition assigns nodes to partition islands; nodes in different
 	// islands cannot communicate. nil means fully connected.
 	partition map[NodeID]int
+	// slow adds per-destination consumer lag (see Slow).
+	slow map[NodeID]time.Duration
 	stats     Stats
 	perNode   map[NodeID]*NodeStats
 	sink      obsSink
@@ -108,6 +110,25 @@ func (n *SimNet) Partition(islands ...[]NodeID) {
 
 // Heal removes any partition.
 func (n *SimNet) Heal() { n.partition = nil }
+
+// Slow adds lag to every delivery INTO node id — a slow consumer, not
+// a slow link: the node keeps sending (acks, heartbeats) on time while
+// its inbound processing falls behind. This is the §5 failure mode the
+// flow-control layer exists for, and it is deliberately invisible to
+// silence-based failure detectors.
+func (n *SimNet) Slow(id NodeID, lag time.Duration) {
+	if lag <= 0 {
+		n.Fast(id)
+		return
+	}
+	if n.slow == nil {
+		n.slow = make(map[NodeID]time.Duration)
+	}
+	n.slow[id] = lag
+}
+
+// Fast clears a node's consumer lag.
+func (n *SimNet) Fast(id NodeID) { delete(n.slow, id) }
 
 // Stats returns a copy of the accumulated counters.
 func (n *SimNet) Stats() Stats { return n.stats }
@@ -182,6 +203,9 @@ func (n *SimNet) deliverAfter(cfg LinkConfig, from, to NodeID, payload any) {
 	}
 	if cfg.Bandwidth > 0 {
 		d += time.Duration(float64(ApproxSize(payload)) / float64(cfg.Bandwidth) * float64(time.Second))
+	}
+	if lag := n.slow[to]; lag > 0 {
+		d += lag
 	}
 	n.k.After(d, func() {
 		if !n.reachable(from, to) {

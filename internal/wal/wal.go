@@ -198,3 +198,108 @@ func Recover(dev *Device) (*state.Store, int, error) {
 	}
 	return s, applied, nil
 }
+
+// SpillKey identifies one spilled unstable message: the seq'th
+// multicast from a sender. It mirrors stability.Key without importing
+// it (wal sits below the protocol stacks).
+type SpillKey struct {
+	Sender int64
+	Seq    uint64
+}
+
+// SpillStore is the overflow side of the Spill flow-control policy: a
+// keyed store of unstable messages pushed out of a member's in-memory
+// stability buffer onto the stable-storage device. Each spill pays one
+// modeled device append; a Get models the NACK-path reload and is
+// counted, since reload traffic is the price Spill trades for bounded
+// memory. Entries are dropped once the message stabilizes (Drop).
+//
+// Like Device, the store is an in-memory model: the messages live in a
+// map standing in for the log, and what the model preserves is the
+// accounting — bytes written, spill/reload/drop counts — that
+// experiment E19 reports.
+type SpillStore struct {
+	dev     *Device
+	items   map[SpillKey]any
+	sizes   map[SpillKey]int
+	spills  uint64
+	reloads uint64
+	drops   uint64
+}
+
+// NewSpillStore returns an empty spill store over dev (a fresh device
+// when nil).
+func NewSpillStore(dev *Device) *SpillStore {
+	if dev == nil {
+		dev = NewDevice()
+	}
+	return &SpillStore{
+		dev:   dev,
+		items: make(map[SpillKey]any),
+		sizes: make(map[SpillKey]int),
+	}
+}
+
+// Put spills msg (with its approximate encoded size) under k,
+// returning the modeled append latency. Re-spilling a held key is a
+// no-op costing nothing.
+func (s *SpillStore) Put(k SpillKey, msg any, size int) time.Duration {
+	if _, ok := s.items[k]; ok {
+		return 0
+	}
+	s.items[k] = msg
+	s.sizes[k] = size
+	s.spills++
+	return s.dev.AppendRaw(size)
+}
+
+// Get reloads a spilled message, counting the reload. The entry stays
+// in the store (the message is still unstable; it may be NACKed
+// again).
+func (s *SpillStore) Get(k SpillKey) (any, bool) {
+	msg, ok := s.items[k]
+	if ok {
+		s.reloads++
+	}
+	return msg, ok
+}
+
+// Contains reports whether k is spilled, without counting a reload.
+func (s *SpillStore) Contains(k SpillKey) bool {
+	_, ok := s.items[k]
+	return ok
+}
+
+// Drop discards a spilled entry (the message stabilized or its epoch
+// ended). Unknown keys are ignored.
+func (s *SpillStore) Drop(k SpillKey) {
+	if _, ok := s.items[k]; !ok {
+		return
+	}
+	delete(s.items, k)
+	delete(s.sizes, k)
+	s.drops++
+}
+
+// Len returns the number of currently spilled messages.
+func (s *SpillStore) Len() int { return len(s.items) }
+
+// Bytes returns the total bytes currently spilled.
+func (s *SpillStore) Bytes() int {
+	var n int
+	for _, sz := range s.sizes {
+		n += sz
+	}
+	return n
+}
+
+// Spills, Reloads, and Drops return the lifetime operation counts.
+func (s *SpillStore) Spills() uint64  { return s.spills }
+func (s *SpillStore) Reloads() uint64 { return s.reloads }
+func (s *SpillStore) Drops() uint64   { return s.drops }
+
+// Device exposes the backing device (for byte accounting).
+func (s *SpillStore) Device() *Device { return s.dev }
+
+// Size returns the recorded size of a spilled entry (0 when absent).
+func (s *SpillStore) Size(k SpillKey) int { return s.sizes[k] }

@@ -127,3 +127,37 @@ func TestRecoverEmptyLog(t *testing.T) {
 		t.Fatalf("empty recover: %v %d", err, n)
 	}
 }
+
+func TestSpillStoreLifecycle(t *testing.T) {
+	s := NewSpillStore(nil)
+	k := SpillKey{Sender: 2, Seq: 7}
+	s.Put(k, "payload", 100)
+	if s.Len() != 1 || s.Bytes() != 100 || s.Spills() != 1 {
+		t.Fatalf("after put: len=%d bytes=%d spills=%d", s.Len(), s.Bytes(), s.Spills())
+	}
+	// Re-spilling the same key is free.
+	s.Put(k, "payload2", 100)
+	if s.Spills() != 1 || s.Device().Appends() != 1 {
+		t.Fatalf("duplicate spill appended: spills=%d appends=%d", s.Spills(), s.Device().Appends())
+	}
+	if got, ok := s.Get(k); !ok || got != "payload" {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	if s.Reloads() != 1 {
+		t.Fatalf("reloads = %d, want 1", s.Reloads())
+	}
+	if !s.Contains(k) || s.Reloads() != 1 {
+		t.Fatal("Contains must not count a reload")
+	}
+	s.Drop(k)
+	if s.Len() != 0 || s.Drops() != 1 {
+		t.Fatalf("after drop: len=%d drops=%d", s.Len(), s.Drops())
+	}
+	s.Drop(k) // idempotent
+	if s.Drops() != 1 {
+		t.Fatal("double drop counted")
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("dropped key still readable")
+	}
+}

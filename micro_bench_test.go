@@ -82,7 +82,7 @@ func BenchmarkStabilityObserveAck(b *testing.B) {
 			tr := stability.New(n)
 			for s := 0; s < n; s++ {
 				for q := uint64(1); q <= 4; q++ {
-					tr.Buffer(stability.Key{Sender: vclock.ProcessID(s), Seq: q}, q)
+					tr.Buffer(stability.Key{Sender: vclock.ProcessID(s), Seq: q}, q, 64)
 				}
 			}
 			ack := vclock.New(n)
