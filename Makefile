@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench experiments e17-smoke chaos-smoke slow-consumer-smoke
+.PHONY: verify vet build test race bench experiments e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke
 
-verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke
+verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,8 +35,28 @@ chaos-smoke:
 slow-consumer-smoke:
 	$(GO) test ./internal/experiments -run 'TestE19' -count=1 -v
 
+# The multi-group multicast smoke gate: a small E20 (both arms must be
+# violation-free and mgcast must carry less per-node load), plus a
+# seeded mgcast chaos batch with the cross-group acyclicity and
+# destination-liveness oracles armed.
+mgcast-smoke:
+	$(GO) test ./internal/experiments -run 'TestE20' -count=1 -v
+	$(GO) run ./cmd/chaos -substrate mgcast -n 8 -msgs 15 -episodes 5 -seed 1
+
+# bench appends a machine-readable snapshot BENCH_<n>.json (next free
+# n): every Go benchmark at -benchtime=1x plus the scalecast and
+# mgcast sweeps in JSON form, all run from fixed seeds so regenerating
+# a snapshot from an unchanged tree is byte-identical. Compare
+# snapshots across PRs with a plain diff.
 bench:
-	$(GO) test -bench=. -benchmem
+	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	out=BENCH_$$n.json; \
+	{ $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . | $(GO) run ./cmd/benchsnap -kind gobench; \
+	  $(GO) run ./cmd/scalebench -exp scalecast -sizes 8,32 -json | $(GO) run ./cmd/benchsnap -kind scalecast; \
+	  $(GO) run ./cmd/scalebench -exp latbreak -sizes 8,32 -msgs 20 -json | $(GO) run ./cmd/benchsnap -kind latbreak; \
+	  $(GO) run ./cmd/scalebench -exp mgcast -sizes 8,32 -ks 1,2,4 -msgs 10 -json | $(GO) run ./cmd/benchsnap -kind mgcast; \
+	} > $$out; \
+	echo "wrote $$out ($$(wc -l < $$out) lines)"
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -247,6 +247,27 @@ func BenchmarkAblationPiggyback(b *testing.B) {
 	b.ReportMetric(amp, "piggyback-amplification-pct")
 }
 
+func BenchmarkE20MGCast(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		pts := experiments.RunE20(16, []int{2}, 8, int64(i+1))
+		var mg, big float64
+		for _, pt := range pts {
+			if pt.Violations != 0 {
+				b.Fatalf("%s: %d ordering violations", pt.Substrate, pt.Violations)
+			}
+			switch pt.Substrate {
+			case "mgcast":
+				mg = pt.LatMean
+			case "biggroup":
+				big = pt.LatMean
+			}
+		}
+		speedup = big / mg
+	}
+	b.ReportMetric(speedup, "biggroup/mgcast-latency-ratio")
+}
+
 // Micro-benchmarks of the protocol hot paths, for the §3.4 point that
 // CATOCS "imposes overhead on every message transmission and
 // reception".

@@ -1,0 +1,156 @@
+// Command benchsnap converts benchmark output on stdin into JSON
+// lines, so `make bench` can accrete machine-readable BENCH_<n>.json
+// snapshots that diff cleanly across PRs.
+//
+// Two modes:
+//
+//	-kind gobench   parse `go test -bench` text output: one JSON line
+//	                per Benchmark result, with ns/op, B/op, allocs/op
+//	                and any custom ReportMetric values.
+//	-kind <label>   stdin is already JSON lines (e.g. scalebench
+//	                -json); tag each line with "kind":"<label>".
+//
+// Output carries no timestamps or host details, deliberately: a
+// snapshot regenerated from the same tree and seed is byte-identical,
+// so `diff BENCH_1.json BENCH_2.json` shows only real changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// goBenchResult is one parsed `go test -bench` line.
+type goBenchResult struct {
+	Kind     string             `json:"kind"`
+	Name     string             `json:"name"`
+	Procs    int                `json:"procs,omitempty"`
+	Iters    uint64             `json:"iters"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BPerOp   *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseGoBench parses one benchmark output line, returning ok=false
+// for non-benchmark lines (headers, PASS, ok, etc.).
+func parseGoBench(line string) (goBenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return goBenchResult{}, false
+	}
+	r := goBenchResult{Kind: "gobench", Name: strings.TrimPrefix(fields[0], "Benchmark")}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return goBenchResult{}, false
+	}
+	r.Iters = iters
+	// The remainder is value/unit pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return goBenchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp, sawNs = v, true
+		case "B/op":
+			b := v
+			r.BPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	if !sawNs {
+		return goBenchResult{}, false
+	}
+	return r, true
+}
+
+// tagJSONLine injects "kind":label into an existing JSON object line.
+// Keys are re-emitted sorted, so output is deterministic.
+func tagJSONLine(line, label string) (string, error) {
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		return "", err
+	}
+	obj["kind"] = label
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		kb, _ := json.Marshal(k)
+		vb, err := json.Marshal(obj[k])
+		if err != nil {
+			return "", err
+		}
+		sb.Write(kb)
+		sb.WriteByte(':')
+		sb.Write(vb)
+	}
+	sb.WriteByte('}')
+	return sb.String(), nil
+}
+
+// run processes in→out with the given kind; factored out for testing.
+func run(in io.Reader, out io.Writer, kind string) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if kind == "gobench" {
+			if r, ok := parseGoBench(line); ok {
+				b, err := json.Marshal(r)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(out, string(b))
+			}
+			continue
+		}
+		tagged, err := tagJSONLine(line, kind)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", line, err)
+		}
+		fmt.Fprintln(out, tagged)
+	}
+	return sc.Err()
+}
+
+func main() {
+	kind := flag.String("kind", "gobench", `"gobench" to parse go test -bench output, any other label to tag JSON lines`)
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *kind); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

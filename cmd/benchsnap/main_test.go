@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGoBench(t *testing.T) {
+	r, ok := parseGoBench("BenchmarkE1CausalDelivery-8   \t     100\t  10431906 ns/op\t    0.95 causal-order-held")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Name != "E1CausalDelivery" || r.Procs != 8 || r.Iters != 100 {
+		t.Errorf("bad header fields: %+v", r)
+	}
+	if r.NsPerOp != 10431906 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if got := r.Metrics["causal-order-held"]; got != 0.95 {
+		t.Errorf("custom metric = %v", got)
+	}
+
+	r, ok = parseGoBench("BenchmarkVCMerge-4 \t 2000000 \t 612 ns/op \t 128 B/op \t 3 allocs/op")
+	if !ok {
+		t.Fatal("benchmem line not recognised")
+	}
+	if r.BPerOp == nil || *r.BPerOp != 128 || r.AllocsOp == nil || *r.AllocsOp != 3 {
+		t.Errorf("benchmem fields: %+v", r)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tcatocs\t42.1s",
+		"",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+	} {
+		if _, ok := parseGoBench(line); ok {
+			t.Errorf("line %q wrongly accepted", line)
+		}
+	}
+}
+
+func TestTagJSONLine(t *testing.T) {
+	got, err := tagJSONLine(`{"substrate":"mgcast","n":8}`, "mgcast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"mgcast","n":8,"substrate":"mgcast"}`
+	if got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+	if _, err := tagJSONLine("not json", "x"); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkA-2	10	5 ns/op
+PASS
+`)
+	var out strings.Builder
+	if err := run(in, &out, "gobench"); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"gobench","name":"A","procs":2,"iters":10,"ns_per_op":5}` + "\n"
+	if out.String() != want {
+		t.Errorf("got %q want %q", out.String(), want)
+	}
+
+	in = strings.NewReader(`{"a":1}` + "\n" + `{"b":2}` + "\n")
+	out.Reset()
+	if err := run(in, &out, "e20"); err != nil {
+		t.Fatal(err)
+	}
+	wantTagged := `{"a":1,"kind":"e20"}` + "\n" + `{"b":2,"kind":"e20"}` + "\n"
+	if out.String() != wantTagged {
+		t.Errorf("got %q want %q", out.String(), wantTagged)
+	}
+}

@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		substrate  = flag.String("substrate", "all", "cbcast | abcast | scalecast | all")
+		substrate  = flag.String("substrate", "all", "cbcast | abcast | scalecast | mgcast | all")
 		n          = flag.Int("n", 6, "group size")
 		senders    = flag.Int("senders", 0, "sending ranks (0 = min(n, 4))")
 		msgs       = flag.Int("msgs", 30, "messages per sender")
@@ -47,6 +47,8 @@ func main() {
 		policy     = flag.String("policy", "", "overflow policy with -budget: block | shed | spill")
 		clean      = flag.Bool("clean", false, "disable the background drop/dup/delay mix")
 		noShrink   = flag.Bool("no-shrink", false, "report failures without minimising them")
+		groups     = flag.Int("groups", 0, "mgcast: overlapping destination groups (0 = 4)")
+		k          = flag.Int("k", 0, "mgcast: destination groups per cast (0 = 2)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,7 @@ func main() {
 			cfg := chaos.Config{
 				Substrate: sub, N: *n, Senders: *senders, MsgsPer: *msgs,
 				Seed: *seed, Script: s,
+				Groups: *groups, K: *k,
 				Budget: fcBudget, Overflow: fcPolicy,
 			}
 			if !*clean {
@@ -96,6 +99,7 @@ func main() {
 				Substrate: sub, N: *n, Senders: *senders, MsgsPer: *msgs,
 				Episodes: *episodes, Seed: *seed,
 				NoFaults: *clean, Shrink: !*noShrink,
+				Groups: *groups, K: *k,
 				Budget: fcBudget, Overflow: fcPolicy,
 			}
 			rc.Gen.Crashes = *crashes

@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E19 plus the
+// Command experiments runs the full reproduction suite E1–E20 plus the
 // ablations and prints every table. With -md it emits the tables in
 // the Markdown layout used by EXPERIMENTS.md.
 //
@@ -26,6 +26,7 @@ func main() {
 	e17sizes := []int{8, 32, 128}
 	e18episodes, e18n := 50, 6
 	e19casts, e19episodes := 150, 100
+	e20sizes, e20ks, e20msgs := []int{8, 32, 128}, []int{1, 2, 4, 8}, 20
 	if *quick {
 		trials, sizes, msgs = 10, []int{4, 8}, 20
 		e8procs = []int{4}
@@ -33,6 +34,7 @@ func main() {
 		e17sizes = []int{8, 32}
 		e18episodes, e18n = 5, 5
 		e19casts, e19episodes = 60, 10
+		e20sizes, e20ks, e20msgs = []int{8, 32}, []int{1, 2}, 8
 	}
 
 	tables := []*experiments.Table{
@@ -60,6 +62,7 @@ func main() {
 		experiments.TableE17(e17sizes, msgs/2, *seed),
 		experiments.TableE18(e18episodes, e18n, 30, *seed),
 		experiments.TableE19(5, e19casts, e19episodes, *seed),
+		experiments.TableE20(e20sizes, e20ks, e20msgs, *seed),
 		experiments.TableAblationTotal(sizes, msgs/2, *seed),
 	}
 

@@ -8,9 +8,9 @@
 // Usage:
 //
 //	scalebench [-exp buffer|false-causality|viewchange|partition|totalorder|
-//	            traffic|join|durability|namesvc|scalecast|latbreak|all]
+//	            traffic|join|durability|namesvc|scalecast|latbreak|mgcast|all]
 //	           [-sizes 4,8,16,32] [-msgs 40] [-loss 0.05] [-seed 1] [-json]
-//	           [-trace out.trace.json]
+//	           [-ks 1,2,4,8] [-trace out.trace.json]
 //
 // The scalecast sweep (-exp scalecast) compares vector-clock CBCAST
 // against the constant-metadata flood substrate head-to-head; with
@@ -25,6 +25,13 @@
 // chrome://tracing or Perfetto:
 //
 //	scalebench -exp latbreak -json -trace latbreak.trace.json
+//
+// The multi-group sweep (-exp mgcast) compares Skeen-style genuine
+// multicast against the one-big-group ABCAST fallback across k
+// destination groups per cast (default sizes 8,32,128; -ks sets the k
+// sweep); -json emits one JSON line per (substrate, N, k):
+//
+//	scalebench -exp mgcast -sizes 8,32,128 -ks 1,2,4,8 -json
 package main
 
 import (
@@ -52,8 +59,9 @@ func parseSizes(s string) []int {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: buffer, false-causality, viewchange, partition, totalorder, traffic, join, durability, namesvc, scalecast, latbreak, all")
-	jsonOut := flag.Bool("json", false, "emit JSON lines instead of tables (scalecast/latbreak sweeps)")
+	exp := flag.String("exp", "all", "experiment: buffer, false-causality, viewchange, partition, totalorder, traffic, join, durability, namesvc, scalecast, latbreak, mgcast, all")
+	jsonOut := flag.Bool("json", false, "emit JSON lines instead of tables (scalecast/latbreak/mgcast sweeps)")
+	ksFlag := flag.String("ks", "1,2,4,8", "comma-separated destination-group counts per cast (mgcast sweep)")
 	sizesFlag := flag.String("sizes", "4,8,16,24", "comma-separated group sizes")
 	msgs := flag.Int("msgs", 40, "messages per sender")
 	loss := flag.Float64("loss", 0.05, "link loss probability (buffer sweep)")
@@ -145,6 +153,30 @@ func main() {
 				f.Close()
 				fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
 			}
+		case "mgcast":
+			// Multi-group atomic multicast vs one big group (E20). The
+			// issue's reference sweep is N ∈ {8,32,128}; -sizes overrides.
+			mgSizes := []int{8, 32, 128}
+			if sizesSet {
+				mgSizes = sizes
+			}
+			var ks []int
+			for _, part := range strings.Split(*ksFlag, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || v < 1 {
+					fmt.Fprintf(os.Stderr, "bad k %q\n", part)
+					os.Exit(2)
+				}
+				ks = append(ks, v)
+			}
+			pts := experiments.RunE20Sweep(mgSizes, ks, *msgs, *seed)
+			if *jsonOut {
+				for _, pt := range pts {
+					fmt.Println(pt.JSON())
+				}
+			} else {
+				fmt.Println(experiments.TableE20From(pts).Render())
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -152,7 +184,7 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, name := range []string{"false-causality", "buffer", "viewchange", "partition",
-			"totalorder", "traffic", "join", "durability", "scalecast", "latbreak"} {
+			"totalorder", "traffic", "join", "durability", "scalecast", "latbreak", "mgcast"} {
 			run(name)
 		}
 		return

@@ -354,3 +354,96 @@ func TestWALDurabilityOracle(t *testing.T) {
 		t.Fatalf("durability trial failed: %v", v)
 	}
 }
+
+func TestAcyclicOrderOracleCatchesCrossGroupCycle(t *testing.T) {
+	// Three messages, three nodes, each node seeing a different pair in
+	// a consistent order — yet the pairs compose into a 3-cycle
+	// m1 < m2 < m3 < m1. Pairwise total order cannot catch this: no
+	// two nodes share two messages.
+	m1, m2, m3 := ref(0, 1), ref(1, 1), ref(2, 1)
+	orders := map[int][]obs.MsgRef{
+		0: {m1, m2},
+		1: {m2, m3},
+		2: {m3, m1},
+	}
+	if v := CheckTotalOrder(orders); len(v) != 0 {
+		t.Fatalf("pairwise oracle unexpectedly fired: %v", v)
+	}
+	v := CheckAcyclicOrder(orders)
+	if len(v) != 1 || v[0].Oracle != "acyclic-order" {
+		t.Fatalf("acyclicity violations = %v, want exactly one cycle", v)
+	}
+
+	// Flip node 2 into the global order: clean.
+	orders[2] = []obs.MsgRef{m1, m3}
+	if v := CheckAcyclicOrder(orders); len(v) != 0 {
+		t.Fatalf("clean orders flagged: %v", v)
+	}
+}
+
+func TestAcyclicOrderSubsumesPairwiseDisagreement(t *testing.T) {
+	a, b := ref(0, 1), ref(1, 1)
+	orders := map[int][]obs.MsgRef{
+		2: {a, b},
+		3: {b, a},
+	}
+	if v := CheckAcyclicOrder(orders); len(v) != 1 {
+		t.Fatalf("2-cycle not caught: %v", v)
+	}
+}
+
+func TestDestLivenessOracle(t *testing.T) {
+	m := ref(0, 1)
+	events := []obs.Event{
+		{T: 0, Node: 0, Kind: obs.KSend, Msg: m},
+		{T: 1, Node: 0, Kind: obs.KDeliver, Msg: m},
+		{T: 1, Node: 1, Kind: obs.KDeliver, Msg: m},
+		// destination node 2 never delivers; node 3 is not a destination
+		{T: 2, Node: 3, Kind: obs.KDeliver, Msg: m},
+	}
+	dests := func(sender int64, seq uint64) []int {
+		if sender == 0 && seq == 1 {
+			return []int{0, 1, 2}
+		}
+		return nil
+	}
+	v := CheckDestLiveness(events, dests, nil)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want missing-dest and non-dest delivery", v)
+	}
+	// A message with unrecorded destinations is skipped entirely.
+	events = append(events, obs.Event{T: 3, Node: 5, Kind: obs.KSend, Msg: ref(5, 9)})
+	if got := CheckDestLiveness(events, dests, nil); len(got) != 2 {
+		t.Fatalf("unrecorded message changed the verdict: %v", got)
+	}
+	// Crashed sender with zero deliveries anywhere: all-or-nothing loss.
+	lost := []obs.Event{{T: 0, Node: 4, Kind: obs.KSend, Msg: ref(4, 1)}}
+	allDests := func(int64, uint64) []int { return []int{0, 1} }
+	if got := CheckDestLiveness(lost, allDests, []int{4}); len(got) != 0 {
+		t.Fatalf("crashed-sender loss flagged: %v", got)
+	}
+	if got := CheckDestLiveness(lost, allDests, nil); len(got) != 2 {
+		t.Fatalf("live-sender loss not flagged: %v", got)
+	}
+}
+
+func TestMgcastEpisodesCleanAndDeterministic(t *testing.T) {
+	rc := RunnerConfig{
+		Substrate: "mgcast",
+		N:         8,
+		MsgsPer:   10,
+		Episodes:  4,
+		Seed:      7,
+	}
+	sum := RunEpisodes(rc)
+	if len(sum.Failures) != 0 {
+		t.Fatalf("mgcast episodes violated oracles: %v (repro: %s)",
+			sum.Failures[0].Result.Violations, sum.Failures[0].Repro)
+	}
+	if sum.Delivered == 0 {
+		t.Fatalf("no deliveries across %d episodes", rc.Episodes)
+	}
+	if again := RunEpisodes(rc); again.Digest != sum.Digest {
+		t.Fatalf("digest %x != %x: mgcast episodes are not deterministic", again.Digest, sum.Digest)
+	}
+}

@@ -174,6 +174,165 @@ func CheckTotalOrder(orders map[int][]obs.MsgRef) []Violation {
 	return out
 }
 
+// CheckAcyclicOrder is the cross-group generalisation of
+// CheckTotalOrder: build the union of every node's delivery order and
+// reject cycles. Within one group the two oracles agree (a pairwise
+// disagreement between two nodes is exactly a 2-cycle), but only the
+// acyclicity formulation extends to overlapping destination sets,
+// where three nodes can each see a consistent pair yet compose into
+// m1 < m2 < m3 < m1 — the ordering anomaly genuine multi-group
+// multicast exists to prevent.
+//
+// Each node's order contributes its consecutive-pair edges; a cycle in
+// the union of the full (transitive) per-node orders exists iff one
+// exists in this edge union, since every per-node precedence is a path
+// along that node's consecutive edges.
+func CheckAcyclicOrder(orders map[int][]obs.MsgRef) []Violation {
+	idx := make(map[msgKey]int)
+	var refs []obs.MsgRef
+	adj := make(map[int][]int)
+	type edge [2]int
+	witness := make(map[edge]int) // edge -> a node whose order induced it
+	for _, n := range sortedNodes(orders) {
+		prev := -1
+		seen := make(map[msgKey]bool, len(orders[n]))
+		for _, r := range orders[n] {
+			k := keyOf(r)
+			if seen[k] {
+				continue // duplicate delivery; other oracles flag it
+			}
+			seen[k] = true
+			i, ok := idx[k]
+			if !ok {
+				i = len(refs)
+				idx[k] = i
+				refs = append(refs, r)
+			}
+			if prev >= 0 {
+				if _, dup := witness[edge{prev, i}]; !dup {
+					witness[edge{prev, i}] = n
+					adj[prev] = append(adj[prev], i)
+				}
+			}
+			prev = i
+		}
+	}
+
+	// DFS with gray/black colouring; extract the first cycle found.
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make([]int, len(refs))
+	parent := make([]int, len(refs))
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range adj[u] {
+			if color[v] == gray {
+				cycle = append(cycle, v)
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				return true
+			}
+			if color[v] == white {
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range refs {
+		if color[u] == white && dfs(u) {
+			break
+		}
+	}
+	if cycle == nil {
+		return nil
+	}
+	// cycle is [v, u, parent(u), ...] — reverse the tail for forward
+	// edge direction v -> ... -> u -> v.
+	fwd := []int{cycle[0]}
+	for i := len(cycle) - 1; i >= 1; i-- {
+		fwd = append(fwd, cycle[i])
+	}
+	detail := "delivery orders form a cycle: "
+	for i, u := range fwd {
+		if i > 0 {
+			detail += fmt.Sprintf(" -> (node %d) ", witness[edge{fwd[i-1], u}])
+		}
+		detail += fmt.Sprint(refs[u])
+	}
+	detail += fmt.Sprintf(" -> (node %d) %v", witness[edge{fwd[len(fwd)-1], fwd[0]}], refs[fwd[0]])
+	return []Violation{{Oracle: "acyclic-order", Detail: detail}}
+}
+
+// CheckDestLiveness verifies destination-restricted liveness and
+// genuineness for multi-group multicast: every node in a sent
+// message's destination set delivers it, and no node outside the set
+// does. dests maps an application message to its destination node set;
+// messages it returns nil for are skipped (control traffic, or casts
+// whose destinations the caller did not record). faulty carries the
+// same all-or-nothing crashed-sender exemption as CheckLiveness.
+func CheckDestLiveness(events []obs.Event, dests func(sender int64, seq uint64) []int, faulty []int) []Violation {
+	crashed := make(map[int64]bool, len(faulty))
+	for _, n := range faulty {
+		crashed[int64(n)] = true
+	}
+	sent := make(map[msgKey]obs.MsgRef)
+	got := make(map[msgKey]map[int]bool)
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KSend:
+			sent[keyOf(e.Msg)] = e.Msg
+		case obs.KDeliver:
+			k := keyOf(e.Msg)
+			if got[k] == nil {
+				got[k] = make(map[int]bool)
+			}
+			got[k][e.Node] = true
+		}
+	}
+	var out []Violation
+	for k, r := range sent {
+		want := dests(k.Sender, k.Seq)
+		if want == nil {
+			continue
+		}
+		isDest := make(map[int]bool, len(want))
+		for _, n := range want {
+			isDest[n] = true
+		}
+		if crashed[k.Sender] && len(got[k]) == 0 {
+			continue // all-or-nothing loss at a crashed sender
+		}
+		for _, n := range want {
+			if !got[k][n] {
+				out = append(out, Violation{
+					Oracle: "dest-liveness",
+					Detail: fmt.Sprintf("destination node %d never delivered %v", n, r),
+				})
+			}
+		}
+		for n := range got[k] {
+			if !isDest[n] {
+				out = append(out, Violation{
+					Oracle: "dest-liveness",
+					Detail: fmt.Sprintf("node %d delivered %v without being a destination", n, r),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Detail < out[j].Detail })
+	return out
+}
+
 // CheckSameSet verifies delivery-set agreement (the virtual-synchrony
 // flavour of atomicity for a static view): every listed node delivers
 // exactly the same set of messages.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"catocs/internal/flowcontrol"
+	"catocs/internal/mgcast"
 	"catocs/internal/multicast"
 	"catocs/internal/obs"
 	"catocs/internal/scalecast"
@@ -19,7 +20,7 @@ import (
 
 // Substrates lists the broadcast disciplines the harness exercises,
 // in report order.
-var Substrates = []string{"cbcast", "abcast", "scalecast"}
+var Substrates = []string{"cbcast", "abcast", "scalecast", "mgcast"}
 
 // DefaultFaults is the background fault mix for randomized episodes:
 // light loss, duplication, and reordering on every link, on top of
@@ -34,7 +35,8 @@ var DefaultFaults = LinkFault{
 // Config parameterises one chaos episode.
 type Config struct {
 	// Substrate is "cbcast" (atomic CBCAST), "abcast" (the repo's
-	// causally-consistent fixed sequencer, run atomic), or "scalecast".
+	// causally-consistent fixed sequencer, run atomic), "scalecast", or
+	// "mgcast" (Skeen-style multi-group atomic multicast).
 	Substrate string
 	// N is the group size. Zero defaults to 6.
 	N int
@@ -60,6 +62,13 @@ type Config struct {
 	Faults LinkFault
 	// Degree is the scalecast overlay degree (0 = its default).
 	Degree int
+	// Groups is the number of overlapping destination groups for mgcast
+	// episodes (0 = 4); the WrapGroups topology spreads them over the N
+	// nodes with group size max(2, N/2), so neighbours overlap.
+	Groups int
+	// K is how many destination groups each mgcast cast addresses
+	// (0 = 2, clamped to Groups).
+	K int
 	// Budget bounds per-group buffer memory; the zero value is
 	// unlimited. With a limited budget the bounded-memory oracle runs.
 	Budget flowcontrol.Budget
@@ -87,6 +96,17 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.Settle == 0 {
 		cfg.Settle = 2 * time.Second
+	}
+	if cfg.Substrate == "mgcast" {
+		if cfg.Groups == 0 {
+			cfg.Groups = 4
+		}
+		if cfg.K == 0 {
+			cfg.K = 2
+		}
+		if cfg.K > cfg.Groups {
+			cfg.K = cfg.Groups
+		}
 	}
 }
 
@@ -150,6 +170,9 @@ func Run(cfg Config) Result {
 	var multicastFrom func(rank int, payload any)
 	var holdMax func() int64
 	var stabHigh func() int64
+	// destsFor (mgcast only) maps a sent message to its destination
+	// node set for the dest-liveness oracle.
+	var destsFor func(sender int64, seq uint64) []int
 	switch cfg.Substrate {
 	case "cbcast", "abcast":
 		ordering := multicast.Causal
@@ -218,6 +241,62 @@ func Run(cfg Config) Result {
 				m.Close()
 			}
 		}()
+	case "mgcast":
+		gsize := cfg.N / 2
+		if gsize < 2 {
+			gsize = 2
+		}
+		table := mgcast.WrapGroups(cfg.N, cfg.Groups, gsize)
+		names := mgcast.GroupNames(cfg.Groups)
+		members := mgcast.NewUniverse(ip, nodes, mgcast.Config{
+			Groups:   table,
+			Tracer:   tracer,
+			Budget:   cfg.Budget.Share(cfg.Senders),
+			Overflow: cfg.Overflow,
+		}, func(vclock.ProcessID) mgcast.DeliverFunc {
+			return func(mgcast.Delivered) { delivered++ }
+		})
+		// Destination picks are drawn up front from the episode seed so
+		// the schedule replays bit-identically.
+		pickRng := rand.New(rand.NewSource(cfg.Seed ^ 0x6d67636173)) // "mgcas"
+		picks := make([][][]string, cfg.Senders)
+		for s := range picks {
+			picks[s] = make([][]string, cfg.MsgsPer)
+			for i := range picks[s] {
+				picks[s][i] = pickGroups(pickRng, names, cfg.K)
+			}
+		}
+		dests := make(map[msgKey][]int)
+		multicastFrom = func(rank int, payload any) {
+			i := payload.(int)
+			id := members[rank].Multicast(picks[rank][i], payload, chaosPayloadBytes)
+			if id != (mgcast.MsgID{}) {
+				ranks := members[rank].DestRanks(picks[rank][i])
+				ds := make([]int, len(ranks))
+				for j, r := range ranks {
+					ds[j] = int(r)
+				}
+				dests[msgKey{Sender: int64(id.Sender), Seq: id.Seq}] = ds
+			}
+		}
+		destsFor = func(sender int64, seq uint64) []int {
+			return dests[msgKey{Sender: sender, Seq: seq}]
+		}
+		holdMax = func() int64 {
+			var max int64
+			for _, m := range members {
+				if v := m.HoldbackGauge.Max(); v > max {
+					max = v
+				}
+			}
+			return max
+		}
+		stabHigh = func() int64 { return 0 }
+		defer func() {
+			for _, m := range members {
+				m.Close()
+			}
+		}()
 	default:
 		panic("chaos: unknown substrate " + cfg.Substrate)
 	}
@@ -259,22 +338,53 @@ func Run(cfg Config) Result {
 	}
 	res.UnavailMax, res.UnavailMean = unavailability(events, groupNodes)
 
-	res.Violations = append(res.Violations, CheckCausalOrder(events)...)
 	orders := DeliveryOrders(events)
-	if cfg.Substrate == "abcast" {
-		res.Violations = append(res.Violations, CheckTotalOrder(orders)...)
-	}
-	res.Violations = append(res.Violations, CheckSameSet(orders, groupNodes)...)
-	res.Violations = append(res.Violations, CheckLiveness(events, groupNodes, cfg.Script.CrashedNodes())...)
-	if cfg.Substrate != "scalecast" {
-		res.Violations = append(res.Violations, CheckStabilitySafety(events, groupNodes)...)
-		// Scalecast's budget bounds its retransmission logs, not the
-		// holdback/stability pair this oracle audits; its bound is
-		// asserted by the package's own tests.
-		res.Violations = append(res.Violations, CheckBoundedMemory(res.MaxHoldback, res.StabHighWater, cfg.Budget, cfg.Overflow)...)
+	if cfg.Substrate == "mgcast" {
+		// Skeen's agreement promises a single global timestamp order
+		// across overlapping destination sets — the acyclicity oracle —
+		// plus delivery at exactly the destination members. It does NOT
+		// promise causal (or even per-sender FIFO) order: concurrent
+		// proposals can finalise against send order, so the causal,
+		// same-set, and stability oracles do not apply. Casts parked by
+		// a Block window at episode end have no recorded destinations
+		// and are skipped by the dest oracle.
+		res.Violations = append(res.Violations, CheckAcyclicOrder(orders)...)
+		res.Violations = append(res.Violations, CheckDestLiveness(events, destsFor, cfg.Script.CrashedNodes())...)
+	} else {
+		res.Violations = append(res.Violations, CheckCausalOrder(events)...)
+		if cfg.Substrate == "abcast" {
+			res.Violations = append(res.Violations, CheckTotalOrder(orders)...)
+			// The cross-group acyclicity oracle degenerates to pairwise
+			// total order within one group; run it too so both oracles
+			// audit the same trace.
+			res.Violations = append(res.Violations, CheckAcyclicOrder(orders)...)
+		}
+		res.Violations = append(res.Violations, CheckSameSet(orders, groupNodes)...)
+		res.Violations = append(res.Violations, CheckLiveness(events, groupNodes, cfg.Script.CrashedNodes())...)
+		if cfg.Substrate != "scalecast" {
+			res.Violations = append(res.Violations, CheckStabilitySafety(events, groupNodes)...)
+			// Scalecast's budget bounds its retransmission logs, not the
+			// holdback/stability pair this oracle audits; its bound is
+			// asserted by the package's own tests.
+			res.Violations = append(res.Violations, CheckBoundedMemory(res.MaxHoldback, res.StabHighWater, cfg.Budget, cfg.Overflow)...)
+		}
 	}
 	res.Violations = append(res.Violations, checkWALDurability(cfg.Seed)...)
 	return res
+}
+
+// pickGroups draws k distinct group names from names.
+func pickGroups(rng *rand.Rand, names []string, k int) []string {
+	if k >= len(names) {
+		return append([]string(nil), names...)
+	}
+	idx := rng.Perm(len(names))[:k]
+	sort.Ints(idx)
+	out := make([]string, k)
+	for i, j := range idx {
+		out[i] = names[j]
+	}
+	return out
 }
 
 // chaosPayloadBytes matches the E16/E17 payload model.
@@ -428,6 +538,9 @@ type RunnerConfig struct {
 	// Shrink minimises failing schedules before reporting them.
 	Shrink bool
 	Degree int
+	// Groups / K parameterise mgcast episodes (see Config).
+	Groups int
+	K      int
 	// Budget/Overflow install flow control in every episode; a limited
 	// budget arms the bounded-memory oracle.
 	Budget   flowcontrol.Budget
@@ -524,6 +637,8 @@ func RunEpisodes(rc RunnerConfig) Summary {
 			Script:    script,
 			Faults:    rc.Faults,
 			Degree:    rc.Degree,
+			Groups:    rc.Groups,
+			K:         rc.K,
 			Budget:    rc.Budget,
 			Overflow:  rc.Overflow,
 		}
@@ -555,6 +670,9 @@ func RunEpisodes(rc RunnerConfig) Summary {
 			}
 			f.Repro = fmt.Sprintf("go run ./cmd/chaos -substrate %s -n %d -senders %d -msgs %d -seed %d -script %q",
 				rc.Substrate, rc.N, f.MinConfig.Senders, rc.MsgsPer, seed, f.MinConfig.Script.String())
+			if rc.Substrate == "mgcast" {
+				f.Repro += fmt.Sprintf(" -groups %d -k %d", f.MinConfig.Groups, f.MinConfig.K)
+			}
 			sum.Failures = append(sum.Failures, f)
 		}
 	}

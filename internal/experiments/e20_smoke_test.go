@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE20Smoke runs a small grid of both arms and checks the
+// structural guarantees the table relies on: zero oracle violations,
+// matching relevant-delivery counts between arms at the same k (the
+// destination draw is shared), and the load separation that motivates
+// genuine multicast — the big group makes every node process every
+// cast while mgcast only burdens destinations.
+func TestE20Smoke(t *testing.T) {
+	const (
+		n       = 8
+		msgsPer = 6
+		seed    = int64(11)
+	)
+	pts := RunE20(n, []int{1, 2}, msgsPer, seed)
+	if len(pts) != 4 {
+		t.Fatalf("expected 4 points, got %d", len(pts))
+	}
+	byKey := make(map[[2]interface{}]E20Point)
+	for _, p := range pts {
+		if p.Violations != 0 {
+			t.Errorf("%s N=%d k=%d: %d ordering violations", p.Substrate, p.N, p.K, p.Violations)
+		}
+		if p.Relevant == 0 {
+			t.Errorf("%s N=%d k=%d: no relevant deliveries measured", p.Substrate, p.N, p.K)
+		}
+		if p.LatMean <= 0 || p.LatP99 < p.LatMean {
+			t.Errorf("%s N=%d k=%d: implausible latency mean=%g p99=%g",
+				p.Substrate, p.N, p.K, p.LatMean, p.LatP99)
+		}
+		byKey[[2]interface{}{p.Substrate, p.K}] = p
+	}
+	for _, k := range []int{1, 2} {
+		mg := byKey[[2]interface{}{"mgcast", k}]
+		big := byKey[[2]interface{}{"biggroup", k}]
+		// Same destination draw => same relevant population, modulo
+		// origin-local samples both arms exclude.
+		if mg.Relevant != big.Relevant {
+			t.Errorf("k=%d: relevant mismatch mgcast=%d biggroup=%d", k, mg.Relevant, big.Relevant)
+		}
+		if mg.DelivPerNode >= big.DelivPerNode {
+			t.Errorf("k=%d: mgcast deliv/node %.2f not below biggroup %.2f",
+				k, mg.DelivPerNode, big.DelivPerNode)
+		}
+	}
+	// The big-group arm must deliver every cast at every node.
+	big := byKey[[2]interface{}{"biggroup", 1}]
+	if want := float64(n * msgsPer); big.DelivPerNode != want {
+		t.Errorf("biggroup deliv/node = %.2f, want %.2f", big.DelivPerNode, want)
+	}
+}
+
+// TestE20Deterministic re-runs one point and compares JSON lines —
+// the seeded kernel must make the whole measurement reproducible.
+func TestE20Deterministic(t *testing.T) {
+	a := RunE20MGcast(8, 2, 5, 3).JSON()
+	b := RunE20MGcast(8, 2, 5, 3).JSON()
+	if a != b {
+		t.Fatalf("mgcast point not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestTableE20Renders checks the table pipeline end to end on a tiny
+// grid.
+func TestTableE20Renders(t *testing.T) {
+	tab := TableE20([]int{8}, []int{1}, 4, 5)
+	out := tab.Render()
+	for _, want := range []string{"E20", "mgcast", "biggroup", "violations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("expected 2 rows, got %d", len(tab.Rows))
+	}
+}

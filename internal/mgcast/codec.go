@@ -1,0 +1,244 @@
+package mgcast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"catocs/internal/vclock"
+)
+
+// Wire codec for the four mgcast message types. The in-process
+// transports pass Go values directly, so the protocol never calls this
+// on its hot path; the codec exists so the messages have a defined
+// external representation (for a real network transport or a durable
+// log) and so fuzzing can attack the parse path. Encoding is
+// little-endian with length-prefixed strings; Decode rejects truncated
+// input, oversized length prefixes, and trailing garbage.
+
+// Wire type tags.
+const (
+	wireData    = 0x01
+	wirePropose = 0x02
+	wireCommit  = 0x03
+	wireAck     = 0x04
+)
+
+const (
+	maxGroups   = 1 << 12 // decode guard: destination-set cardinality
+	maxGroupLen = 1 << 10 // decode guard: one group name's length
+	maxPayload  = 1 << 26 // decode guard: payload bytes
+)
+
+// Encode serializes one of *DataMsg, *ProposeMsg, *CommitMsg, *AckMsg.
+// A DataMsg payload must be nil or []byte — the codec defines the wire
+// form, and on the wire a payload is bytes.
+func Encode(msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case *DataMsg:
+		var body []byte
+		switch p := m.Payload.(type) {
+		case nil:
+		case []byte:
+			body = p
+		default:
+			return nil, fmt.Errorf("mgcast: cannot encode payload of type %T (want []byte or nil)", m.Payload)
+		}
+		if len(m.Groups) > maxGroups {
+			return nil, fmt.Errorf("mgcast: %d destination groups exceeds wire limit %d", len(m.Groups), maxGroups)
+		}
+		buf := make([]byte, 0, 64+len(body))
+		buf = append(buf, wireData)
+		buf = appendID(buf, m.ID())
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.SentAt))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.PayloadSize))
+		var flags byte
+		if m.Retrans {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Groups)))
+		for _, g := range m.Groups {
+			if len(g) > maxGroupLen {
+				return nil, fmt.Errorf("mgcast: group name %d bytes exceeds wire limit %d", len(g), maxGroupLen)
+			}
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g)))
+			buf = append(buf, g...)
+		}
+		if len(body) > maxPayload {
+			return nil, fmt.Errorf("mgcast: payload %d bytes exceeds wire limit %d", len(body), maxPayload)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+		buf = append(buf, body...)
+		return buf, nil
+	case *ProposeMsg:
+		buf := make([]byte, 0, 41)
+		buf = append(buf, wirePropose)
+		buf = appendID(buf, m.ID)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.From))
+		buf = appendStamp(buf, m.Priority)
+		return buf, nil
+	case *CommitMsg:
+		buf := make([]byte, 0, 33)
+		buf = append(buf, wireCommit)
+		buf = appendID(buf, m.ID)
+		buf = appendStamp(buf, m.Priority)
+		return buf, nil
+	case *AckMsg:
+		buf := make([]byte, 0, 25)
+		buf = append(buf, wireAck)
+		buf = appendID(buf, m.ID)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.From))
+		return buf, nil
+	}
+	return nil, fmt.Errorf("mgcast: cannot encode %T", msg)
+}
+
+// Decode inverts Encode, returning one of *DataMsg, *ProposeMsg,
+// *CommitMsg, *AckMsg. Every length is validated before use and the
+// input must be consumed exactly.
+func Decode(buf []byte) (any, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("mgcast: empty message")
+	}
+	r := reader{buf: buf[1:]}
+	var msg any
+	switch buf[0] {
+	case wireData:
+		m := &DataMsg{}
+		id := r.id()
+		m.Sender, m.Seq = id.Sender, id.Seq
+		m.SentAt = time.Duration(r.u64())
+		m.PayloadSize = int(r.u32())
+		switch flags := r.u8(); flags {
+		case 0:
+		case 1:
+			m.Retrans = true
+		default:
+			return nil, fmt.Errorf("mgcast: invalid flags byte 0x%02x", flags)
+		}
+		ng := int(r.u16())
+		if ng > maxGroups {
+			return nil, fmt.Errorf("mgcast: %d destination groups exceeds wire limit %d", ng, maxGroups)
+		}
+		if ng > 0 {
+			m.Groups = make([]string, 0, min(ng, 64))
+			for i := 0; i < ng; i++ {
+				gl := int(r.u16())
+				if gl > maxGroupLen {
+					return nil, fmt.Errorf("mgcast: group name %d bytes exceeds wire limit %d", gl, maxGroupLen)
+				}
+				m.Groups = append(m.Groups, string(r.bytes(gl)))
+			}
+		}
+		pl := int(r.u32())
+		if pl > maxPayload {
+			return nil, fmt.Errorf("mgcast: payload %d bytes exceeds wire limit %d", pl, maxPayload)
+		}
+		if pl > 0 {
+			m.Payload = append([]byte(nil), r.bytes(pl)...)
+		}
+		msg = m
+	case wirePropose:
+		m := &ProposeMsg{}
+		m.ID = r.id()
+		m.From = vclock.ProcessID(r.u64())
+		m.Priority = r.stamp()
+		msg = m
+	case wireCommit:
+		m := &CommitMsg{}
+		m.ID = r.id()
+		m.Priority = r.stamp()
+		msg = m
+	case wireAck:
+		m := &AckMsg{}
+		m.ID = r.id()
+		m.From = vclock.ProcessID(r.u64())
+		msg = m
+	default:
+		return nil, fmt.Errorf("mgcast: unknown wire type 0x%02x", buf[0])
+	}
+	if r.err {
+		return nil, fmt.Errorf("mgcast: truncated %#02x message (%d bytes)", buf[0], len(buf))
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("mgcast: %d trailing bytes after %#02x message", len(r.buf), buf[0])
+	}
+	return msg, nil
+}
+
+func appendID(buf []byte, id MsgID) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(id.Sender))
+	return binary.LittleEndian.AppendUint64(buf, id.Seq)
+}
+
+func appendStamp(buf []byte, s vclock.Stamp) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, s.Time)
+	return binary.LittleEndian.AppendUint64(buf, uint64(s.Proc))
+}
+
+// reader consumes a wire buffer with sticky error state: once a read
+// runs past the end, every further read yields zero and err stays set.
+type reader struct {
+	buf []byte
+	err bool
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err || n < 0 || n > len(r.buf) {
+		r.err = true
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) bytes(n int) []byte { return r.take(n) }
+
+func (r *reader) id() MsgID {
+	return MsgID{Sender: vclock.ProcessID(r.u64()), Seq: r.u64()}
+}
+
+func (r *reader) stamp() vclock.Stamp {
+	return vclock.Stamp{Time: r.u64(), Proc: vclock.ProcessID(r.u64())}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package mgcast
+
+import (
+	"fmt"
+	"sort"
+
+	"catocs/internal/vclock"
+)
+
+// ResolveDests resolves a destination-group list against a group table
+// to the sorted union of member ranks. It panics on an unknown group
+// name — addressing a group that does not exist is a programming
+// error, matching the static-group-table model.
+func ResolveDests(table map[string][]int, groups []string) []vclock.ProcessID {
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		members, ok := table[g]
+		if !ok {
+			panic(fmt.Sprintf("mgcast: unknown destination group %q", g))
+		}
+		for _, r := range members {
+			seen[r] = true
+		}
+	}
+	out := make([]vclock.ProcessID, 0, len(seen))
+	for r := range seen {
+		out = append(out, vclock.ProcessID(r))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WrapGroups builds the standard overlapping-group test topology: g
+// groups over n nodes, group j holding size consecutive ranks starting
+// at j*n/g, wrapping around. Neighbouring groups overlap whenever
+// size exceeds the n/g stride, which is the regime the multi-group
+// protocol exists for. Names are "g00", "g01", ... so lexicographic
+// order matches group index.
+func WrapGroups(n, g, size int) map[string][]int {
+	if n <= 0 || g <= 0 {
+		panic(fmt.Sprintf("mgcast: WrapGroups(%d, %d, %d) needs positive node and group counts", n, g, size))
+	}
+	if size < 1 {
+		size = 1
+	}
+	if size > n {
+		size = n
+	}
+	out := make(map[string][]int, g)
+	for j := 0; j < g; j++ {
+		start := j * n / g
+		members := make([]int, size)
+		for i := range members {
+			members[i] = (start + i) % n
+		}
+		out[fmt.Sprintf("g%02d", j)] = members
+	}
+	return out
+}
+
+// GroupNames returns the WrapGroups names for g groups, in index order.
+func GroupNames(g int) []string {
+	out := make([]string, g)
+	for j := range out {
+		out[j] = fmt.Sprintf("g%02d", j)
+	}
+	return out
+}

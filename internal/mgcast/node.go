@@ -1,0 +1,544 @@
+package mgcast
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"catocs/internal/flowcontrol"
+	"catocs/internal/metrics"
+	"catocs/internal/obs"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+)
+
+// Config parameterizes one mgcast universe: a set of nodes and the
+// (static) group table they share.
+type Config struct {
+	// Groups maps a group name to its member node ranks (indices into
+	// the universe's node list). Every node carries the same table; a
+	// message names groups and receivers resolve the members.
+	Groups map[string][]int
+	// RetransInterval is the coordinator's retry period for missing
+	// proposals and unacknowledged commits. Zero defaults to 50ms.
+	RetransInterval time.Duration
+	// Tracer, when non-nil, records the per-message lifecycle (send,
+	// holdback, deliver) into the shared causal trace.
+	Tracer *obs.Tracer
+	// Budget bounds this sender's casts that are still in timestamp
+	// agreement (sent but not yet committed and acknowledged by every
+	// destination). The zero value is unlimited.
+	Budget flowcontrol.Budget
+	// Overflow selects the reaction when the budget is reached: Block
+	// parks new casts FIFO until agreement completes for older ones,
+	// Shed rejects them counted and traced. None and Spill admit
+	// everything (mgcast has no unstable buffer to spill — coordinator
+	// state is already bounded by the window); Suspect degrades to
+	// Block (mgcast runs below the membership layer that excises).
+	Overflow flowcontrol.Policy
+}
+
+func (c Config) retransInterval() time.Duration {
+	if c.RetransInterval > 0 {
+		return c.RetransInterval
+	}
+	return 50 * time.Millisecond
+}
+
+// Delivered describes one message handed to the application.
+type Delivered struct {
+	ID      MsgID
+	Groups  []string
+	Payload any
+	SentAt  time.Duration
+	At      time.Duration
+	Latency time.Duration
+	// Final is the agreed global timestamp; deliveries at every
+	// destination member occur in Final order.
+	Final vclock.Stamp
+}
+
+// DeliverFunc receives ordered deliveries.
+type DeliverFunc func(Delivered)
+
+// entry is one message in the holdback queue, keyed by its current
+// timestamp: the local proposal until the commit arrives, the final
+// agreed stamp afterwards.
+type entry struct {
+	msg       *DataMsg
+	ts        vclock.Stamp
+	committed bool
+	heldAt    time.Duration
+}
+
+// castState is the coordinator's record of one outstanding cast.
+type castState struct {
+	msg       *DataMsg
+	dests     []vclock.ProcessID
+	proposals map[vclock.ProcessID]vclock.Stamp
+	max       vclock.Stamp
+	committed bool
+	acked     map[vclock.ProcessID]bool
+}
+
+// blockedCast is an application cast parked at the admission window.
+type blockedCast struct {
+	groups  []string
+	payload any
+	size    int
+	at      time.Duration
+}
+
+// Node is one endpoint of an mgcast universe. All methods must be
+// called from the network's dispatch context (the simulation kernel or
+// a single driving goroutine); the node performs no locking itself.
+type Node struct {
+	cfg     Config
+	net     transport.Network
+	nodes   []transport.NodeID // rank -> transport address
+	rank    vclock.ProcessID
+	deliver DeliverFunc
+	closed  bool
+
+	lamport vclock.Lamport
+	sendSeq uint64
+
+	// pending is the holdback queue: every message addressed to this
+	// node that is not yet delivered, across all groups. Delivery takes
+	// the minimum-timestamp committed entry; timestamps are globally
+	// unique, so the scan is deterministic.
+	pending map[MsgID]*entry
+	// finals remembers delivered messages' final stamps so duplicate
+	// data or commit copies can be re-acknowledged idempotently.
+	finals map[MsgID]vclock.Stamp
+
+	// Coordinator state for casts this node originated.
+	coord        map[MsgID]*castState
+	coordBytes   int
+	retransArmed bool
+
+	// Admission window (see Config.Budget).
+	window  flowcontrol.Budget
+	blocked []blockedCast
+
+	// Instrumentation.
+	Latency        metrics.Histogram // delivery latency (seconds)
+	HoldbackGauge  metrics.Gauge     // holdback-queue occupancy over time
+	DeliveredCount metrics.Counter
+	SentCount      metrics.Counter
+	CtrlMsgs       metrics.Counter   // protocol (non-data) messages sent
+	Duplicates     metrics.Counter   // duplicate copies discarded
+	Retransmits    metrics.Counter   // coordinator retransmissions sent
+	ShedCount      metrics.Counter   // casts rejected by the Shed policy
+	AdmissionStall metrics.Histogram // Block admission stall (seconds)
+	trace          *obs.Tracer
+}
+
+// NewNode creates one endpoint and registers its handler on the
+// network. nodes lists the universe's transport addresses by rank;
+// rank is this node's index into it.
+func NewNode(net transport.Network, nodes []transport.NodeID, rank vclock.ProcessID, cfg Config, deliver DeliverFunc) *Node {
+	if int(rank) < 0 || int(rank) >= len(nodes) {
+		panic(fmt.Sprintf("mgcast: rank %d out of range for %d nodes", rank, len(nodes)))
+	}
+	for name, members := range cfg.Groups {
+		for _, r := range members {
+			if r < 0 || r >= len(nodes) {
+				panic(fmt.Sprintf("mgcast: group %q member rank %d out of range for %d nodes", name, r, len(nodes)))
+			}
+		}
+	}
+	if deliver == nil {
+		deliver = func(Delivered) {}
+	}
+	n := &Node{
+		cfg:     cfg,
+		net:     net,
+		nodes:   append([]transport.NodeID(nil), nodes...),
+		rank:    rank,
+		deliver: deliver,
+		pending: make(map[MsgID]*entry),
+		finals:  make(map[MsgID]vclock.Stamp),
+		coord:   make(map[MsgID]*castState),
+		window:  cfg.Budget,
+	}
+	n.trace = cfg.Tracer
+	net.Register(nodes[rank], n.Handle)
+	return n
+}
+
+// NewUniverse builds a node per transport address with a shared config.
+// deliverFor supplies each rank's delivery callback (may return nil for
+// a sink).
+func NewUniverse(net transport.Network, nodes []transport.NodeID, cfg Config, deliverFor func(rank vclock.ProcessID) DeliverFunc) []*Node {
+	out := make([]*Node, len(nodes))
+	for i := range nodes {
+		var d DeliverFunc
+		if deliverFor != nil {
+			d = deliverFor(vclock.ProcessID(i))
+		}
+		out[i] = NewNode(net, nodes, vclock.ProcessID(i), cfg, d)
+	}
+	return out
+}
+
+// Rank returns this node's universe-wide rank.
+func (n *Node) Rank() vclock.ProcessID { return n.rank }
+
+// PendingCount returns the holdback-queue occupancy.
+func (n *Node) PendingCount() int { return len(n.pending) }
+
+// OutstandingCasts returns the number of casts this node originated
+// that are still in timestamp agreement.
+func (n *Node) OutstandingCasts() int { return len(n.coord) }
+
+// BlockedCount returns the number of casts parked at the admission
+// window.
+func (n *Node) BlockedCount() int { return len(n.blocked) }
+
+// Close permanently silences the node: no further sends, deliveries,
+// or timer re-arms.
+func (n *Node) Close() { n.closed = true }
+
+// DestRanks resolves a destination-group list against this node's
+// group table (see ResolveDests).
+func (n *Node) DestRanks(groups []string) []vclock.ProcessID {
+	return ResolveDests(n.cfg.Groups, groups)
+}
+
+// Multicast sends payload (with an approximate encoded size in bytes)
+// to every member of the named destination groups and coordinates its
+// timestamp agreement. It returns the message id; under a limited
+// Budget the cast may instead be parked (Block) or rejected (Shed) by
+// the admission window, both returning the zero id. Parked casts are
+// re-issued FIFO as older casts complete agreement, so per-sender send
+// order is preserved.
+func (n *Node) Multicast(groups []string, payload any, size int) MsgID {
+	if n.closed {
+		return MsgID{}
+	}
+	if len(groups) == 0 {
+		panic("mgcast: Multicast needs at least one destination group")
+	}
+	if !n.admitCast(groups, payload, size) {
+		return MsgID{}
+	}
+	return n.multicastNow(groups, payload, size)
+}
+
+// admitCast applies the overflow policy to a new application cast.
+// True means send now; false means parked or shed.
+func (n *Node) admitCast(groups []string, payload any, size int) bool {
+	if !n.window.Limited() || n.cfg.Overflow == flowcontrol.None || n.cfg.Overflow == flowcontrol.Spill {
+		return true
+	}
+	// FIFO within a sender: nothing may overtake an already-parked cast.
+	if len(n.blocked) == 0 && n.window.Admits(len(n.coord), n.coordBytes, size) {
+		return true
+	}
+	if n.cfg.Overflow == flowcontrol.Shed {
+		n.ShedCount.Inc()
+		if n.trace != nil {
+			n.trace.Mark(n.net.Now(), int(n.node()), fmt.Sprintf("shed mgcast size=%dB window=%s", size, n.window))
+		}
+		return false
+	}
+	n.blocked = append(n.blocked, blockedCast{groups: groups, payload: payload, size: size, at: n.net.Now()})
+	return false
+}
+
+// drainBlocked re-admits parked casts in FIFO order as far as the
+// window allows. Called when agreement completes for an outstanding
+// cast (the only event that frees window budget).
+func (n *Node) drainBlocked() {
+	if n.closed {
+		return
+	}
+	now := n.net.Now()
+	for len(n.blocked) > 0 {
+		b := n.blocked[0]
+		if !n.window.Admits(len(n.coord), n.coordBytes, b.size) {
+			return
+		}
+		n.blocked = n.blocked[1:]
+		n.AdmissionStall.Observe((now - b.at).Seconds())
+		n.multicastNow(b.groups, b.payload, b.size)
+	}
+}
+
+// multicastNow stamps and transmits a cast the admission window has
+// cleared.
+func (n *Node) multicastNow(groups []string, payload any, size int) MsgID {
+	sorted := append([]string(nil), groups...)
+	sort.Strings(sorted)
+	dests := n.DestRanks(sorted)
+	n.sendSeq++
+	msg := &DataMsg{
+		Sender:      n.rank,
+		Seq:         n.sendSeq,
+		Groups:      sorted,
+		SentAt:      n.net.Now(),
+		Payload:     payload,
+		PayloadSize: size,
+	}
+	cs := &castState{
+		msg:       msg,
+		dests:     dests,
+		proposals: make(map[vclock.ProcessID]vclock.Stamp, len(dests)),
+		acked:     make(map[vclock.ProcessID]bool, len(dests)),
+	}
+	n.coord[msg.ID()] = cs
+	n.coordBytes += size
+	n.SentCount.Inc()
+	if n.trace != nil {
+		n.trace.Send(n.net.Now(), int(n.node()), msg.TraceRef(), fmt.Sprintf("groups=%v", sorted))
+	}
+	for _, d := range dests {
+		n.net.Send(n.node(), n.nodes[d], msg)
+	}
+	n.armRetrans()
+	return msg.ID()
+}
+
+func (n *Node) node() transport.NodeID { return n.nodes[n.rank] }
+
+// Handle is the node's network receive entry point.
+func (n *Node) Handle(from transport.NodeID, payload any) {
+	if n.closed {
+		return
+	}
+	switch msg := payload.(type) {
+	case *DataMsg:
+		n.onData(msg)
+	case *ProposeMsg:
+		n.onPropose(msg)
+	case *CommitMsg:
+		n.onCommit(msg)
+	case *AckMsg:
+		n.onAck(msg)
+	}
+}
+
+// onData stamps an arriving message with a local timestamp proposal
+// and returns it to the coordinator. Duplicate copies re-send whatever
+// reply the protocol state calls for, making loss recovery idempotent.
+func (n *Node) onData(msg *DataMsg) {
+	id := msg.ID()
+	if final, done := n.finals[id]; done {
+		// Already delivered: the coordinator can only be chasing the
+		// commit acknowledgement.
+		n.Duplicates.Inc()
+		_ = final
+		n.sendCtrl(msg.Sender, &AckMsg{ID: id, From: n.rank})
+		return
+	}
+	if e, held := n.pending[id]; held {
+		n.Duplicates.Inc()
+		if e.committed {
+			n.sendCtrl(msg.Sender, &AckMsg{ID: id, From: n.rank})
+		} else {
+			n.sendCtrl(msg.Sender, &ProposeMsg{ID: id, From: n.rank, Priority: e.ts})
+		}
+		return
+	}
+	prio := vclock.Stamp{Time: n.lamport.Tick(), Proc: n.rank}
+	n.pending[id] = &entry{msg: msg, ts: prio, heldAt: n.net.Now()}
+	n.HoldbackGauge.Set(int64(len(n.pending)))
+	if n.trace != nil {
+		n.trace.Holdback(n.net.Now(), int(n.node()), msg.TraceRef(), "awaiting timestamp agreement")
+	}
+	n.sendCtrl(msg.Sender, &ProposeMsg{ID: id, From: n.rank, Priority: prio})
+}
+
+// onPropose (at the coordinator) accumulates proposals; when every
+// destination has answered, the maximum becomes the final timestamp.
+func (n *Node) onPropose(p *ProposeMsg) {
+	cs, ok := n.coord[p.ID]
+	if !ok {
+		// Cast already retired: the proposer must have missed the
+		// commit; it will be answered by the retransmission path of a
+		// live cast or is a stray duplicate. Re-commit from the final
+		// record if we still have it.
+		if final, done := n.finalFor(p.ID); done {
+			n.sendCtrl(p.From, &CommitMsg{ID: p.ID, Priority: final})
+		}
+		return
+	}
+	if cs.committed {
+		// Late proposal after commit (its first copy was lost, then the
+		// retransmitted data produced this one): answer with the commit.
+		n.sendCtrl(p.From, &CommitMsg{ID: p.ID, Priority: cs.max})
+		return
+	}
+	if _, dup := cs.proposals[p.From]; dup {
+		return
+	}
+	cs.proposals[p.From] = p.Priority
+	cs.max = MaxStamp(cs.max, p.Priority)
+	if len(cs.proposals) == len(cs.dests) {
+		cs.committed = true
+		n.lamport.Observe(cs.max.Time)
+		for _, d := range cs.dests {
+			n.sendCtrl(d, &CommitMsg{ID: p.ID, Priority: cs.max})
+		}
+	}
+}
+
+// finalFor looks up the final stamp of a cast this node coordinated
+// and has already retired (it is also a destination in the common
+// case, so finals usually has it).
+func (n *Node) finalFor(id MsgID) (vclock.Stamp, bool) {
+	final, ok := n.finals[id]
+	return final, ok
+}
+
+// onCommit finalizes a message's timestamp and delivers every entry
+// that has become safe.
+func (n *Node) onCommit(c *CommitMsg) {
+	n.lamport.Observe(c.Priority.Time)
+	n.sendCtrl(c.ID.Sender, &AckMsg{ID: c.ID, From: n.rank})
+	e, held := n.pending[c.ID]
+	if !held {
+		if _, done := n.finals[c.ID]; done {
+			n.Duplicates.Inc()
+		}
+		// A commit for a message whose data we never saw cannot happen
+		// on the happy path (the coordinator commits only after our
+		// proposal), so anything else is a duplicate or stray; the ack
+		// above is all it needs.
+		return
+	}
+	if e.committed {
+		n.Duplicates.Inc()
+		return
+	}
+	e.ts = c.Priority
+	e.committed = true
+	n.drain()
+}
+
+// drain delivers committed entries while the minimum-timestamp pending
+// entry is committed. An uncommitted minimum blocks delivery: its
+// final timestamp is still unknown and can only be >= its proposal, so
+// nothing above it is safe either.
+func (n *Node) drain() {
+	for {
+		var min *entry
+		for _, e := range n.pending {
+			if min == nil || e.ts.Less(min.ts) {
+				min = e
+			}
+		}
+		if min == nil || !min.committed {
+			return
+		}
+		id := min.msg.ID()
+		delete(n.pending, id)
+		n.HoldbackGauge.Set(int64(len(n.pending)))
+		n.finals[id] = min.ts
+		n.doDeliver(min)
+	}
+}
+
+// doDeliver hands one message to the application.
+func (n *Node) doDeliver(e *entry) {
+	now := n.net.Now()
+	lat := now - e.msg.SentAt
+	n.Latency.Observe(lat.Seconds())
+	n.DeliveredCount.Inc()
+	if n.trace != nil {
+		n.trace.Deliver(now, int(n.node()), e.msg.TraceRef(), "final="+e.ts.String())
+	}
+	n.deliver(Delivered{
+		ID:      e.msg.ID(),
+		Groups:  e.msg.Groups,
+		Payload: e.msg.Payload,
+		SentAt:  e.msg.SentAt,
+		At:      now,
+		Latency: lat,
+		Final:   e.ts,
+	})
+}
+
+// onAck (at the coordinator) retires a cast once every destination has
+// acknowledged the commit; the freed admission window re-admits parked
+// casts.
+func (n *Node) onAck(a *AckMsg) {
+	cs, ok := n.coord[a.ID]
+	if !ok || !cs.committed {
+		// Unknown cast or an ack racing ahead of the commit decision
+		// (impossible on the happy path; harmless to ignore — the
+		// retransmission cycle re-collects it).
+		return
+	}
+	if cs.acked[a.From] {
+		return
+	}
+	cs.acked[a.From] = true
+	if len(cs.acked) == len(cs.dests) {
+		delete(n.coord, a.ID)
+		n.coordBytes -= cs.msg.PayloadSize
+		n.drainBlocked()
+	}
+}
+
+// sendCtrl transmits one protocol control message.
+func (n *Node) sendCtrl(to vclock.ProcessID, msg any) {
+	if n.closed {
+		return
+	}
+	n.CtrlMsgs.Inc()
+	n.net.Send(n.node(), n.nodes[to], msg)
+}
+
+// armRetrans schedules the coordinator's retry cycle. The cycle stays
+// armed while any cast is outstanding and re-arms itself; it stops
+// when the node closes or retires its last cast.
+func (n *Node) armRetrans() {
+	if n.retransArmed || n.closed {
+		return
+	}
+	n.retransArmed = true
+	n.net.After(n.cfg.retransInterval(), func() {
+		n.retransArmed = false
+		if n.closed || len(n.coord) == 0 {
+			return
+		}
+		n.retransmit()
+		n.armRetrans()
+	})
+}
+
+// retransmit re-sends whatever each outstanding cast is waiting on:
+// the data to destinations whose proposals are missing, or the commit
+// to destinations that have not acknowledged it. Iteration is in MsgID
+// order so simulated runs stay deterministic.
+func (n *Node) retransmit() {
+	ids := make([]MsgID, 0, len(n.coord))
+	for id := range n.coord {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		cs := n.coord[id]
+		if !cs.committed {
+			retrans := *cs.msg
+			retrans.Retrans = true
+			for _, d := range cs.dests {
+				if _, have := cs.proposals[d]; have {
+					continue
+				}
+				n.Retransmits.Inc()
+				n.net.Send(n.node(), n.nodes[d], &retrans)
+			}
+			continue
+		}
+		for _, d := range cs.dests {
+			if cs.acked[d] {
+				continue
+			}
+			n.Retransmits.Inc()
+			n.sendCtrl(d, &CommitMsg{ID: id, Priority: cs.max})
+		}
+	}
+}

@@ -42,9 +42,14 @@ type SimNet struct {
 	partition map[NodeID]int
 	// slow adds per-destination consumer lag (see Slow).
 	slow map[NodeID]time.Duration
-	stats     Stats
-	perNode   map[NodeID]*NodeStats
-	sink      obsSink
+	// service is the per-message receive processing cost (see
+	// SetServiceTime); busy tracks when each node's receive processor
+	// frees up.
+	service time.Duration
+	busy    map[NodeID]time.Duration
+	stats   Stats
+	perNode map[NodeID]*NodeStats
+	sink    obsSink
 }
 
 // NewSimNet returns a simulated network with the given default link
@@ -129,6 +134,22 @@ func (n *SimNet) Slow(id NodeID, lag time.Duration) {
 
 // Fast clears a node's consumer lag.
 func (n *SimNet) Fast(id NodeID) { delete(n.slow, id) }
+
+// SetServiceTime models per-message receive processing cost: each node
+// handles arriving messages serially, spending d per message, so
+// arrivals queue behind one another. Zero (the default) disables the
+// model entirely and preserves the instantaneous-handler behaviour.
+//
+// This is where the paper's §5 load-coupling argument becomes
+// measurable: a process in "one big group" must spend service time on
+// every message in the system, while genuine multicast charges it only
+// for traffic addressed to it. With d == 0 both look equally free.
+func (n *SimNet) SetServiceTime(d time.Duration) {
+	n.service = d
+	if d > 0 && n.busy == nil {
+		n.busy = make(map[NodeID]time.Duration)
+	}
+}
 
 // Stats returns a copy of the accumulated counters.
 func (n *SimNet) Stats() Stats { return n.stats }
@@ -219,9 +240,36 @@ func (n *SimNet) deliverAfter(cfg LinkConfig, from, to NodeID, payload any) {
 			n.sink.onDrop(to)
 			return
 		}
-		n.stats.Delivered++
-		n.stats.Bytes += uint64(ApproxSize(payload))
-		n.sink.onWireRecv(n.k.Now(), to, payload)
-		h(from, payload)
+		if n.service <= 0 {
+			n.dispatch(h, from, to, payload)
+			return
+		}
+		// Serial receive processing: this arrival waits for the node's
+		// receive processor, then occupies it for one service time.
+		// Queueing delay lands in the wire-to-handler gap, so latency
+		// breakdowns attribute it to the network leg — where a real
+		// kernel socket queue would put it.
+		start := n.k.Now()
+		if b := n.busy[to]; b > start {
+			start = b
+		}
+		done := start + n.service
+		n.busy[to] = done
+		n.k.After(done-n.k.Now(), func() {
+			if !n.reachable(from, to) {
+				n.stats.Dropped++
+				n.sink.onDrop(to)
+				return
+			}
+			n.dispatch(h, from, to, payload)
+		})
 	})
+}
+
+// dispatch hands one payload to its handler, accounting for delivery.
+func (n *SimNet) dispatch(h Handler, from, to NodeID, payload any) {
+	n.stats.Delivered++
+	n.stats.Bytes += uint64(ApproxSize(payload))
+	n.sink.onWireRecv(n.k.Now(), to, payload)
+	h(from, payload)
 }

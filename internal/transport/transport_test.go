@@ -457,3 +457,68 @@ func TestLiveNetControlAndForwardCounters(t *testing.T) {
 		t.Fatalf("live node stats = %+v", ns)
 	}
 }
+
+func TestSimNetServiceTimeQueueing(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewSimNet(k, LinkConfig{BaseDelay: time.Millisecond})
+	n.SetServiceTime(100 * time.Microsecond)
+	var ats []time.Duration
+	n.Register(1, func(NodeID, any) { ats = append(ats, k.Now()) })
+	// Three messages sent together arrive together at 1ms, then the
+	// receive processor serializes them 100µs apart.
+	for i := 0; i < 3; i++ {
+		n.Send(0, 1, i)
+	}
+	k.Run()
+	want := []time.Duration{
+		time.Millisecond + 100*time.Microsecond,
+		time.Millisecond + 200*time.Microsecond,
+		time.Millisecond + 300*time.Microsecond,
+	}
+	if len(ats) != 3 {
+		t.Fatalf("delivered %d, want 3", len(ats))
+	}
+	for i := range want {
+		if ats[i] != want[i] {
+			t.Fatalf("delivery %d at %v, want %v (serialized receive)", i, ats[i], want[i])
+		}
+	}
+	// After an idle gap the processor is free again: no residual delay.
+	ats = nil
+	n.Send(0, 1, "late")
+	k.Run()
+	if len(ats) != 1 || ats[0] != k.Now() {
+		t.Fatalf("idle-processor delivery at %v, want %v", ats, k.Now())
+	}
+}
+
+func TestSimNetServiceTimeZeroIsTransparent(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewSimNet(k, LinkConfig{BaseDelay: 5 * time.Millisecond})
+	n.SetServiceTime(0)
+	var at time.Duration
+	n.Register(1, func(NodeID, any) { at = k.Now() })
+	n.Send(0, 1, "x")
+	k.Run()
+	if at != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want exactly the link delay", at)
+	}
+}
+
+func TestSimNetServiceTimeCrashDuringService(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewSimNet(k, LinkConfig{BaseDelay: time.Millisecond})
+	n.SetServiceTime(500 * time.Microsecond)
+	delivered := 0
+	n.Register(1, func(NodeID, any) { delivered++ })
+	n.Send(0, 1, "x")
+	// Crash the receiver while the message sits in its service queue.
+	k.At(1200*time.Microsecond, func() { n.Crash(1) })
+	k.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d, want 0: crash during receive processing drops the message", delivered)
+	}
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 drop", st)
+	}
+}
