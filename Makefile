@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench experiments e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke
+.PHONY: verify vet build test race bench benchdiff experiments e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke
 
-verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke
+verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -43,20 +43,48 @@ mgcast-smoke:
 	$(GO) test ./internal/experiments -run 'TestE20' -count=1 -v
 	$(GO) run ./cmd/chaos -substrate mgcast -n 8 -msgs 15 -episodes 5 -seed 1
 
+# The observability smoke gate: the live HTTP plane must serve valid
+# Prometheus exposition on /metrics and live holdback depth on
+# /statusz, and a small E21 must show every observation arm delivering
+# the identical workload.
+obs-smoke:
+	$(GO) test ./internal/experiments -run 'TestObsEndpointSmoke|TestE21SmallRun' -count=1 -v
+
+# The bench-trajectory regression gate: compare the two most recent
+# BENCH_<n>.json snapshots and flag any gobench ns/op regression over
+# 20%. Warn-only by default (1x-iteration snapshots are noisy);
+# BENCHDIFF_STRICT=1 makes a flagged regression fail the build. Skips
+# quietly when fewer than two snapshots exist.
+benchdiff:
+	@if [ $$(ls BENCH_*.json 2>/dev/null | wc -l) -lt 2 ]; then \
+		echo "benchdiff: fewer than two BENCH_<n>.json snapshots, skipping"; \
+	elif [ "$(BENCHDIFF_STRICT)" = "1" ]; then \
+		$(GO) run ./cmd/benchdiff; \
+	else \
+		$(GO) run ./cmd/benchdiff || echo "benchdiff: regression flagged (warn-only; set BENCHDIFF_STRICT=1 to enforce)"; \
+	fi
+
 # bench appends a machine-readable snapshot BENCH_<n>.json (next free
 # n): every Go benchmark at -benchtime=1x plus the scalecast and
-# mgcast sweeps in JSON form, all run from fixed seeds so regenerating
-# a snapshot from an unchanged tree is byte-identical. Compare
-# snapshots across PRs with a plain diff.
+# mgcast sweeps in JSON form, all run from fixed seeds. The
+# observability-cost trio is then re-run at 50000x so the sampling
+# budget lands in the snapshot with real signal (benchdiff keeps the
+# last line per name). Apart from the leading provenance line (commit
+# + timestamp) and timing jitter, regenerating a snapshot from an
+# unchanged tree is near-identical. After writing, the new snapshot is
+# diffed against its predecessor (warn-only).
 bench:
 	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	out=BENCH_$$n.json; \
-	{ $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . | $(GO) run ./cmd/benchsnap -kind gobench; \
+	{ $(GO) run ./cmd/benchsnap -header < /dev/null; \
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . | $(GO) run ./cmd/benchsnap -kind gobench; \
+	  $(GO) test -bench 'MulticastThroughputCausalObs' -benchmem -benchtime=50000x -run '^$$' . | $(GO) run ./cmd/benchsnap -kind gobench; \
 	  $(GO) run ./cmd/scalebench -exp scalecast -sizes 8,32 -json | $(GO) run ./cmd/benchsnap -kind scalecast; \
 	  $(GO) run ./cmd/scalebench -exp latbreak -sizes 8,32 -msgs 20 -json | $(GO) run ./cmd/benchsnap -kind latbreak; \
 	  $(GO) run ./cmd/scalebench -exp mgcast -sizes 8,32 -ks 1,2,4 -msgs 10 -json | $(GO) run ./cmd/benchsnap -kind mgcast; \
 	} > $$out; \
-	echo "wrote $$out ($$(wc -l < $$out) lines)"
+	echo "wrote $$out ($$(wc -l < $$out) lines)"; \
+	$(MAKE) --no-print-directory benchdiff
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,229 @@
+// Command benchdiff compares two BENCH_<n>.json snapshots (see `make
+// bench` and cmd/benchsnap) and reports per-benchmark deltas: ns/op,
+// B/op, allocs/op, plus benchmarks added or removed. It is the
+// regression gate for the bench trajectory: with -threshold t (percent),
+// any benchmark whose ns/op grew by more than t fails the diff and the
+// command exits nonzero.
+//
+//	benchdiff                    # latest two BENCH_<n>.json in cwd
+//	benchdiff OLD.json NEW.json  # explicit pair
+//	benchdiff -threshold 10 ...
+//
+// Snapshots are JSON lines. Lines with "kind":"gobench" are compared
+// by benchmark name; "header" lines (benchsnap -header) are shown for
+// provenance and otherwise ignored; other kinds (scalecast, latbreak,
+// mgcast sweeps) are counted but not compared — their numbers are
+// virtual-time simulation results that a plain `diff` already handles,
+// since regenerating them from fixed seeds is deterministic.
+//
+// Caveat for gating: `make bench` records Go benchmarks at
+// -benchtime=1x, so wall-clock fields carry single-iteration noise.
+// `make verify` therefore runs the diff warn-only by default and only
+// fails the build when BENCHDIFF_STRICT=1 is set.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine is one snapshot line; only the fields benchdiff compares.
+type benchLine struct {
+	Kind     string   `json:"kind"`
+	Name     string   `json:"name"`
+	NsPerOp  float64  `json:"ns_per_op"`
+	BPerOp   *float64 `json:"bytes_per_op"`
+	AllocsOp *float64 `json:"allocs_per_op"`
+	// Header provenance (benchsnap -header).
+	Commit    string `json:"commit"`
+	Generated string `json:"generated_utc"`
+}
+
+// snapshot is one parsed BENCH_<n>.json.
+type snapshot struct {
+	path   string
+	header *benchLine           // nil for headerless snapshots
+	bench  map[string]benchLine // gobench lines by name
+	other  int                  // lines of non-compared kinds
+}
+
+func loadSnapshot(path string) (*snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s := &snapshot{path: path, bench: make(map[string]benchLine)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l benchLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		switch l.Kind {
+		case "gobench":
+			s.bench[l.Name] = l
+		case "header":
+			h := l
+			s.header = &h
+		default:
+			s.other++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// latestPair finds the two highest-numbered BENCH_<n>.json in dir:
+// (previous, latest).
+func latestPair(dir string) (older, newer string, err error) {
+	re := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	var ns []int
+	for _, e := range entries {
+		if m := re.FindStringSubmatch(e.Name()); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			ns = append(ns, n)
+		}
+	}
+	if len(ns) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_<n>.json in %s, found %d", dir, len(ns))
+	}
+	sort.Ints(ns)
+	return fmt.Sprintf("BENCH_%d.json", ns[len(ns)-2]),
+		fmt.Sprintf("BENCH_%d.json", ns[len(ns)-1]), nil
+}
+
+// pct returns the percent change from old to new; ok is false when old
+// is zero (no meaningful ratio).
+func pct(oldV, newV float64) (float64, bool) {
+	if oldV == 0 {
+		return 0, false
+	}
+	return (newV - oldV) / oldV * 100, true
+}
+
+func fmtDelta(oldV, newV float64, unit string) string {
+	d, ok := pct(oldV, newV)
+	if !ok {
+		return fmt.Sprintf("%.0f->%.0f %s", oldV, newV, unit)
+	}
+	return fmt.Sprintf("%.0f->%.0f %s (%+.1f%%)", oldV, newV, unit, d)
+}
+
+// diff compares two snapshots, writing a report to w. It returns the
+// names of benchmarks whose ns/op regressed by more than threshold
+// percent.
+func diff(w io.Writer, oldS, newS *snapshot, threshold float64) []string {
+	for _, s := range []*snapshot{oldS, newS} {
+		if s.header != nil {
+			fmt.Fprintf(w, "%s: commit=%s generated=%s\n", s.path, s.header.Commit, s.header.Generated)
+		}
+	}
+	names := make([]string, 0, len(oldS.bench))
+	for name := range oldS.bench {
+		if _, ok := newS.bench[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		o, n := oldS.bench[name], newS.bench[name]
+		line := fmt.Sprintf("%-52s %s", name, fmtDelta(o.NsPerOp, n.NsPerOp, "ns/op"))
+		if o.BPerOp != nil && n.BPerOp != nil {
+			line += "  " + fmtDelta(*o.BPerOp, *n.BPerOp, "B/op")
+		}
+		if o.AllocsOp != nil && n.AllocsOp != nil {
+			line += "  " + fmtDelta(*o.AllocsOp, *n.AllocsOp, "allocs/op")
+		}
+		if d, ok := pct(o.NsPerOp, n.NsPerOp); ok && d > threshold {
+			line += "  REGRESSION"
+			regressions = append(regressions, name)
+		}
+		fmt.Fprintln(w, line)
+	}
+	var added, removed []string
+	for name := range newS.bench {
+		if _, ok := oldS.bench[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	for name := range oldS.bench {
+		if _, ok := newS.bench[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-52s added (%.0f ns/op)\n", name, newS.bench[name].NsPerOp)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-52s removed\n", name)
+	}
+	fmt.Fprintf(w, "compared %d benchmarks (+%d added, -%d removed, %d sweep lines not compared)\n",
+		len(names), len(added), len(removed), oldS.other+newS.other)
+	if len(regressions) > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed more than %.1f%% in ns/op: %v\n",
+			len(regressions), threshold, regressions)
+	}
+	return regressions
+}
+
+func run(w io.Writer, args []string, threshold float64) (failed bool, err error) {
+	var oldPath, newPath string
+	switch len(args) {
+	case 0:
+		oldPath, newPath, err = latestPair(".")
+		if err != nil {
+			return false, err
+		}
+	case 2:
+		oldPath, newPath = args[0], args[1]
+	default:
+		return false, fmt.Errorf("usage: benchdiff [flags] [OLD.json NEW.json]")
+	}
+	oldS, err := loadSnapshot(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newS, err := loadSnapshot(newPath)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(w, "benchdiff %s -> %s\n", oldPath, newPath)
+	return len(diff(w, oldS, newS, threshold)) > 0, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 20, "max allowed ns/op regression in percent before exiting nonzero")
+	flag.Parse()
+	failed, err := run(os.Stdout, flag.Args(), *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

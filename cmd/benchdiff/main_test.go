@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const oldSnap = `{"kind":"gobench","name":"Steady","iters":1,"ns_per_op":1000,"bytes_per_op":64,"allocs_per_op":2}
+{"kind":"gobench","name":"Faster","iters":1,"ns_per_op":2000}
+{"kind":"gobench","name":"Slower","iters":1,"ns_per_op":1000}
+{"kind":"gobench","name":"Gone","iters":1,"ns_per_op":5}
+{"kind":"scalecast","size":8,"ctrl_bytes":123}
+`
+
+const newSnap = `{"kind":"header","commit":"abc1234","generated_utc":"2026-08-08T00:00:00Z"}
+{"kind":"gobench","name":"Steady","iters":1,"ns_per_op":1050,"bytes_per_op":64,"allocs_per_op":2}
+{"kind":"gobench","name":"Faster","iters":1,"ns_per_op":1500}
+{"kind":"gobench","name":"Slower","iters":1,"ns_per_op":1500}
+{"kind":"gobench","name":"Added","iters":1,"ns_per_op":7}
+{"kind":"scalecast","size":8,"ctrl_bytes":125}
+`
+
+func TestDiffReportsDeltasAndRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", oldSnap)
+	newP := write(t, dir, "new.json", newSnap)
+	var sb strings.Builder
+	failed, err := run(&sb, []string{oldP, newP}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Slower grew 50% > 20% threshold: must fail and be marked.
+	if !failed {
+		t.Fatalf("expected regression failure; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"Slower", "REGRESSION",
+		"1000->1050 ns/op (+5.0%)",  // Steady delta
+		"2000->1500 ns/op (-25.0%)", // Faster improvement, not a failure
+		"Added", "removed",          // membership changes reported
+		"commit=abc1234", // header provenance surfaced
+		"sweep lines not compared",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", oldSnap)
+	newP := write(t, dir, "new.json", newSnap)
+	var sb strings.Builder
+	failed, err := run(&sb, []string{oldP, newP}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("no benchmark regressed more than 60%%, but diff failed:\n%s", sb.String())
+	}
+}
+
+func TestLatestPairPicksTwoHighest(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json", "BENCH_notnum.json"} {
+		write(t, dir, n, "")
+	}
+	older, newer, err := latestPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if older != "BENCH_2.json" || newer != "BENCH_10.json" {
+		t.Fatalf("latestPair = (%s, %s), want (BENCH_2.json, BENCH_10.json)", older, newer)
+	}
+}
+
+func TestLatestPairNeedsTwo(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_1.json", "")
+	if _, _, err := latestPair(dir); err == nil {
+		t.Fatal("expected error with a single snapshot")
+	}
+}
+
+func TestHeaderlessOldSnapshot(t *testing.T) {
+	// BENCH_1.json predates benchsnap -header; the diff must tolerate a
+	// headerless old side silently.
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", `{"kind":"gobench","name":"X","iters":1,"ns_per_op":10}`+"\n")
+	newP := write(t, dir, "new.json", newSnap)
+	var sb strings.Builder
+	if _, err := run(&sb, []string{oldP, newP}, 20); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "old.json: commit=") {
+		t.Fatalf("headerless snapshot should print no provenance line:\n%s", sb.String())
+	}
+}
+
+func TestBadArgCount(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, []string{"one.json"}, 20); err == nil {
+		t.Fatal("expected usage error with one positional arg")
+	}
+}

@@ -10,21 +10,31 @@
 //	-kind <label>   stdin is already JSON lines (e.g. scalebench
 //	                -json); tag each line with "kind":"<label>".
 //
-// Output carries no timestamps or host details, deliberately: a
-// snapshot regenerated from the same tree and seed is byte-identical,
-// so `diff BENCH_1.json BENCH_2.json` shows only real changes.
+// Output carries no timestamps or host details by default,
+// deliberately: a snapshot regenerated from the same tree and seed is
+// byte-identical, so `diff BENCH_1.json BENCH_2.json` shows only real
+// changes. -header opts into one provenance line — git commit and UTC
+// generation time — which cmd/benchdiff surfaces and otherwise
+// ignores.
+//
+// -out writes to a file instead of stdout and refuses to overwrite an
+// existing one (snapshots are trajectory points; clobbering one
+// silently would rewrite history). -force overrides.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // goBenchResult is one parsed `go test -bench` line.
@@ -146,11 +156,83 @@ func run(in io.Reader, out io.Writer, kind string) error {
 	return sc.Err()
 }
 
+// header is the optional provenance line (-header): where and when the
+// snapshot was generated. kind "header" keeps it out of benchmark
+// comparisons.
+type header struct {
+	Kind      string `json:"kind"`
+	Commit    string `json:"commit"`
+	Generated string `json:"generated_utc"`
+}
+
+// gitCommit returns the current short commit hash, or "unknown" when
+// git or the repository is unavailable (snapshots can be generated
+// from exported trees).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeHeader emits the provenance line.
+func writeHeader(out io.Writer, commit string, now time.Time) error {
+	b, err := json.Marshal(header{
+		Kind:      "header",
+		Commit:    commit,
+		Generated: now.UTC().Format(time.RFC3339),
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, string(b))
+	return err
+}
+
+// openOut resolves the output destination: stdout for an empty path,
+// else the named file — created fresh, and refused when it already
+// exists unless force is set.
+func openOut(path string, force bool) (io.WriteCloser, error) {
+	if path == "" {
+		return os.Stdout, nil
+	}
+	flags := os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	if force {
+		flags = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if errors.Is(err, os.ErrExist) {
+		return nil, fmt.Errorf("%s exists; snapshots are append-only trajectory points (use -force to overwrite)", path)
+	}
+	return f, err
+}
+
 func main() {
 	kind := flag.String("kind", "gobench", `"gobench" to parse go test -bench output, any other label to tag JSON lines`)
+	withHeader := flag.Bool("header", false, "prepend a provenance line: git commit and UTC generation time")
+	outPath := flag.String("out", "", "write to this file instead of stdout; refuses to overwrite")
+	force := flag.Bool("force", false, "with -out, overwrite an existing file")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *kind); err != nil {
+	out, err := openOut(*outPath, *force)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *withHeader {
+		if err := writeHeader(out, gitCommit(), time.Now()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := run(os.Stdin, out, *kind); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if out != os.Stdout {
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestParseGoBench(t *testing.T) {
@@ -77,5 +80,51 @@ PASS
 	wantTagged := `{"a":1,"kind":"e20"}` + "\n" + `{"b":2,"kind":"e20"}` + "\n"
 	if out.String() != wantTagged {
 		t.Errorf("got %q want %q", out.String(), wantTagged)
+	}
+}
+
+func TestWriteHeader(t *testing.T) {
+	var sb strings.Builder
+	when := time.Date(2026, 8, 8, 12, 30, 0, 0, time.UTC)
+	if err := writeHeader(&sb, "abc1234", when); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(sb.String())
+	want := `{"kind":"header","commit":"abc1234","generated_utc":"2026-08-08T12:30:00Z"}`
+	if got != want {
+		t.Errorf("header = %s, want %s", got, want)
+	}
+}
+
+func TestOpenOutRefusesOverwrite(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "BENCH_9.json")
+	if err := os.WriteFile(p, []byte("existing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openOut(p, false); err == nil {
+		t.Fatal("expected refusal to overwrite an existing snapshot")
+	}
+	w, err := openOut(p, true)
+	if err != nil {
+		t.Fatalf("-force should overwrite: %v", err)
+	}
+	w.Close()
+}
+
+func TestOpenOutCreatesFresh(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "BENCH_9.json")
+	w, err := openOut(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil || string(b) != "x\n" {
+		t.Fatalf("file content = %q, err=%v", b, err)
 	}
 }

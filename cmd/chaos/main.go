@@ -27,6 +27,7 @@ import (
 
 	"catocs/internal/chaos"
 	"catocs/internal/flowcontrol"
+	"catocs/internal/obs/live"
 )
 
 func main() {
@@ -49,8 +50,19 @@ func main() {
 		noShrink   = flag.Bool("no-shrink", false, "report failures without minimising them")
 		groups     = flag.Int("groups", 0, "mgcast: overlapping destination groups (0 = 4)")
 		k          = flag.Int("k", 0, "mgcast: destination groups per cast (0 = 2)")
+		profile    = flag.String("profile", "", `write a pprof profile of the run: "cpu" or "heap" (to cpu.pprof / heap.pprof)`)
 	)
 	flag.Parse()
+
+	stopProfile := func() error { return nil }
+	if *profile != "" {
+		stop, err := live.StartProfile(*profile, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		stopProfile = stop
+	}
 
 	var (
 		fcBudget flowcontrol.Budget
@@ -113,6 +125,11 @@ func main() {
 				failed = true
 			}
 		}
+	}
+	// Finish the profile before the violation exit: a failing batch is
+	// exactly the run worth profiling.
+	if err := stopProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 	if failed {
 		os.Exit(1)

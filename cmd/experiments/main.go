@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E20 plus the
+// Command experiments runs the full reproduction suite E1–E21 plus the
 // ablations and prints every table. With -md it emits the tables in
 // the Markdown layout used by EXPERIMENTS.md.
 //
@@ -27,6 +27,7 @@ func main() {
 	e18episodes, e18n := 50, 6
 	e19casts, e19episodes := 150, 100
 	e20sizes, e20ks, e20msgs := []int{8, 32, 128}, []int{1, 2, 4, 8}, 20
+	e21sizes, e21msgs := []int{8, 32}, 30
 	if *quick {
 		trials, sizes, msgs = 10, []int{4, 8}, 20
 		e8procs = []int{4}
@@ -35,6 +36,7 @@ func main() {
 		e18episodes, e18n = 5, 5
 		e19casts, e19episodes = 60, 10
 		e20sizes, e20ks, e20msgs = []int{8, 32}, []int{1, 2}, 8
+		e21sizes, e21msgs = []int{8}, 10
 	}
 
 	tables := []*experiments.Table{
@@ -63,6 +65,7 @@ func main() {
 		experiments.TableE18(e18episodes, e18n, 30, *seed),
 		experiments.TableE19(5, e19casts, e19episodes, *seed),
 		experiments.TableE20(e20sizes, e20ks, e20msgs, *seed),
+		experiments.TableE21(e21sizes, e21msgs, *seed),
 		experiments.TableAblationTotal(sizes, msgs/2, *seed),
 	}
 

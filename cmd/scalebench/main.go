@@ -11,6 +11,13 @@
 //	            traffic|join|durability|namesvc|scalecast|latbreak|mgcast|all]
 //	           [-sizes 4,8,16,32] [-msgs 40] [-loss 0.05] [-seed 1] [-json]
 //	           [-ks 1,2,4,8] [-trace out.trace.json]
+//	           [-serve :8080] [-linger 5m] [-profile cpu|heap]
+//
+// -serve exposes the live observability plane (internal/obs/live)
+// while the sweeps run: /metrics, /statusz, /tracez (1% sampled
+// lifecycles), and /debug/pprof. -linger keeps the endpoint up after
+// the sweeps finish. -profile captures a cpu or heap pprof profile of
+// the whole invocation, independent of -serve.
 //
 // The scalecast sweep (-exp scalecast) compares vector-clock CBCAST
 // against the constant-metadata flood substrate head-to-head; with
@@ -40,9 +47,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"catocs/internal/experiments"
 	"catocs/internal/obs"
+	"catocs/internal/obs/live"
 )
 
 func parseSizes(s string) []int {
@@ -67,7 +76,43 @@ func main() {
 	loss := flag.Float64("loss", 0.05, "link loss probability (buffer sweep)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	traceOut := flag.String("trace", "", "write the latbreak sweep's causal traces as Chrome trace-event JSON to this file")
+	serve := flag.String("serve", "", "serve the live observability plane (/metrics /statusz /tracez /debug/pprof) on this address while sweeps run, e.g. :8080 or 127.0.0.1:0")
+	linger := flag.Duration("linger", 0, "with -serve, keep the endpoint up this long after the sweeps finish (so a scrape or a browser can catch the final state)")
+	profileKind := flag.String("profile", "", `write a pprof profile of the run: "cpu" or "heap" (to cpu.pprof / heap.pprof)`)
 	flag.Parse()
+
+	if *profileKind != "" {
+		stop, err := live.StartProfile(*profileKind, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s.pprof\n", *profileKind)
+			}
+		}()
+	}
+	if *serve != "" {
+		reg := obs.NewRegistry()
+		tracer := obs.NewSampledTracer(obs.SampleConfig{Rate: 0.01, Seed: uint64(*seed)})
+		srv, err := live.Serve(*serve, live.Options{Registry: reg, Tracer: tracer})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.SetObsHook(&experiments.ObsHook{Registry: reg, Tracer: tracer, Publish: srv.PublishStatus})
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "lingering %s on http://%s/ (ctrl-c to stop early)\n", *linger, srv.Addr())
+				time.Sleep(*linger)
+			}
+			srv.Close()
+		}()
+		fmt.Fprintf(os.Stderr, "observability plane on http://%s/\n", srv.Addr())
+	}
 
 	sizesSet := false
 	flag.Visit(func(f *flag.Flag) {

@@ -6,6 +6,7 @@ import (
 
 	"catocs/internal/metrics"
 	"catocs/internal/multicast"
+	"catocs/internal/obs"
 	"catocs/internal/scalecast"
 	"catocs/internal/sim"
 	"catocs/internal/transport"
@@ -84,6 +85,9 @@ func RunE16(substrate string, n, msgsPer int, seed int64) E16Point {
 		BaseDelay: 2 * time.Millisecond,
 		Jitter:    2 * time.Millisecond,
 	})
+	if reg := obsHookRegistry(); reg != nil {
+		net.Instrument(obsHookTracer(nil), reg, substrate)
+	}
 	nodes := make([]transport.NodeID, n)
 	for i := range nodes {
 		nodes[i] = transport.NodeID(i)
@@ -119,6 +123,7 @@ func RunE16(substrate string, n, msgsPer int, seed int64) E16Point {
 			}
 			return peak
 		}
+		obsHookPublish(k, substrate, multicastIntrospectors(members)...)
 		defer func() {
 			for _, m := range members {
 				m.Close()
@@ -127,6 +132,13 @@ func RunE16(substrate string, n, msgsPer int, seed int64) E16Point {
 	case "scalecast":
 		members := scalecast.NewGroup(net, nodes, scalecast.Config{Group: "e16"},
 			func(rank vclock.ProcessID) multicast.DeliverFunc { return onDeliver })
+		{
+			intros := make([]obs.Introspector, len(members))
+			for i, m := range members {
+				intros[i] = m
+			}
+			obsHookPublish(k, substrate, intros...)
+		}
 		retransPeak := 0
 		sampleRetrans := func() {
 			for _, m := range members {

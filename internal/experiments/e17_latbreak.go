@@ -75,8 +75,8 @@ func RunE17(substrate string, n, msgsPer int, seed int64) (E17Point, *obs.Tracer
 		BaseDelay: 2 * time.Millisecond,
 		Jitter:    2 * time.Millisecond,
 	})
-	tracer := obs.NewTracer()
-	net.Instrument(tracer, nil, substrate)
+	tracer := obsHookTracer(obs.NewTracer())
+	net.Instrument(tracer, obsHookRegistry(), substrate)
 	nodes := make([]transport.NodeID, n)
 	for i := range nodes {
 		nodes[i] = transport.NodeID(i)
@@ -94,6 +94,7 @@ func RunE17(substrate string, n, msgsPer int, seed int64) (E17Point, *obs.Tracer
 		multicastFrom = func(rank int, payload any) {
 			members[rank].Multicast(payload, e16PayloadBytes)
 		}
+		obsHookPublish(k, substrate, multicastIntrospectors(members)...)
 		defer closeAll(members)
 	case "abcast":
 		// Causally-consistent fixed sequencer: the repo's ABCAST. Every
@@ -105,6 +106,7 @@ func RunE17(substrate string, n, msgsPer int, seed int64) (E17Point, *obs.Tracer
 		multicastFrom = func(rank int, payload any) {
 			members[rank].Multicast(payload, e16PayloadBytes)
 		}
+		obsHookPublish(k, substrate, multicastIntrospectors(members)...)
 		defer closeAll(members)
 	case "scalecast":
 		members := scalecast.NewGroup(net, nodes,
@@ -113,6 +115,11 @@ func RunE17(substrate string, n, msgsPer int, seed int64) (E17Point, *obs.Tracer
 		multicastFrom = func(rank int, payload any) {
 			members[rank].Multicast(payload, e16PayloadBytes)
 		}
+		intros := make([]obs.Introspector, len(members))
+		for i, m := range members {
+			intros[i] = m
+		}
+		obsHookPublish(k, substrate, intros...)
 		defer func() {
 			for _, m := range members {
 				m.Close()
@@ -153,6 +160,19 @@ func closeAll(members []*multicast.Member) {
 	for _, m := range members {
 		m.Close()
 	}
+}
+
+// multicastIntrospectors gathers each member and its stability tracker
+// as status publishers for the live observability plane.
+func multicastIntrospectors(members []*multicast.Member) []obs.Introspector {
+	var out []obs.Introspector
+	for _, m := range members {
+		out = append(out, m)
+		if st := m.Stability(); st != nil {
+			out = append(out, st)
+		}
+	}
+	return out
 }
 
 // RunE17Sweep decomposes all three substrates across the size sweep.

@@ -125,8 +125,8 @@ func e20Net(seed int64, substrate string) (*sim.Kernel, *transport.SimNet, *obs.
 		Jitter:    2 * time.Millisecond,
 	})
 	net.SetServiceTime(e20Service)
-	tracer := obs.NewTracer()
-	net.Instrument(tracer, nil, substrate)
+	tracer := obsHookTracer(obs.NewTracer())
+	net.Instrument(tracer, obsHookRegistry(), substrate)
 	return k, net, tracer
 }
 
@@ -203,6 +203,11 @@ func RunE20MGcast(n, k, msgsPer int, seed int64) E20Point {
 	}, func(vclock.ProcessID) mgcast.DeliverFunc {
 		return func(mgcast.Delivered) { delivered++ }
 	})
+	intros := make([]obs.Introspector, len(universe))
+	for i, m := range universe {
+		intros[i] = m
+	}
+	obsHookPublish(kern, "mgcast", intros...)
 	defer func() {
 		for _, m := range universe {
 			m.Close()

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"catocs/internal/obs"
+	"catocs/internal/obs/live"
+)
+
+func TestE21SmallRun(t *testing.T) {
+	pts := RunE21([]int{4}, 4, 1)
+	if len(pts) != len(e21Substrates)*len(e21Modes) {
+		t.Fatalf("got %d points, want %d", len(pts), len(e21Substrates)*len(e21Modes))
+	}
+	byKey := map[string]E21Point{}
+	for _, p := range pts {
+		byKey[p.Substrate+"/"+p.Mode] = p
+		if p.Deliveries == 0 {
+			t.Fatalf("%s/%s delivered nothing", p.Substrate, p.Mode)
+		}
+	}
+	for _, sub := range e21Substrates {
+		off, one, full := byKey[sub+"/off"], byKey[sub+"/sampled1pct"], byKey[sub+"/sampled100pct"]
+		// Identical workload across arms is the experiment's premise.
+		if off.Deliveries != one.Deliveries || off.Deliveries != full.Deliveries {
+			t.Fatalf("%s: deliveries differ across arms: %d/%d/%d",
+				sub, off.Deliveries, one.Deliveries, full.Deliveries)
+		}
+		if off.SampledMsgs != 0 || off.Retained != 0 {
+			t.Fatalf("%s: off arm recorded trace state", sub)
+		}
+		if full.SampledMsgs == 0 || full.Retained == 0 {
+			t.Fatalf("%s: 100%% arm sampled nothing", sub)
+		}
+		if one.SampledMsgs > full.SampledMsgs {
+			t.Fatalf("%s: 1%% arm sampled more than 100%% arm", sub)
+		}
+	}
+	tbl := TableE21From(pts)
+	if len(tbl.Rows) != len(pts) || tbl.ID != "E21" {
+		t.Fatalf("table: %d rows id=%s", len(tbl.Rows), tbl.ID)
+	}
+}
+
+// TestObsEndpointSmoke is the end-to-end acceptance check: a live
+// exposition server attached to a real experiment run serves valid
+// Prometheus text with a counter, gauge, and histogram for the active
+// substrate, and /statusz shows live holdback depth and
+// admission-window occupancy.
+func TestObsEndpointSmoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewSampledTracer(obs.SampleConfig{Rate: 1})
+	srv, err := live.Serve("127.0.0.1:0", live.Options{Registry: reg, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	SetObsHook(&ObsHook{Registry: reg, Tracer: tracer, Publish: srv.PublishStatus})
+	defer SetObsHook(nil)
+	if _, tr := RunE17("cbcast", 4, 6, 1); tr != tracer {
+		t.Fatal("hook tracer not used by the run")
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	metrics := get("/metrics")
+	for what, want := range map[string]string{
+		"counter":   `catocs_sent_total{substrate="cbcast"`,
+		"gauge":     `catocs_multicast_holdback_depth{substrate="cbcast"`,
+		"histogram": `catocs_multicast_holdback_depth_dist{substrate="cbcast",node="0",quantile=`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s series %q:\n%.2000s", what, want, metrics)
+		}
+	}
+
+	statusz := get("/statusz")
+	for _, want := range []string{"multicast", "holdback_depth=", "window_occupancy=", "parked_casts="} {
+		if !strings.Contains(statusz, want) {
+			t.Errorf("/statusz missing %q:\n%s", want, statusz)
+		}
+	}
+
+	if tracez := get("/tracez"); !strings.Contains(tracez, "msg ") {
+		t.Errorf("/tracez has no sampled lifecycles:\n%.1000s", tracez)
+	}
+	if hz := get("/healthz"); hz != "ok\n" {
+		t.Errorf("/healthz = %q", hz)
+	}
+}

@@ -1,0 +1,57 @@
+package flowcontrol
+
+import "catocs/internal/obs"
+
+// WindowState is a point-in-time snapshot of one admission window —
+// the sender-side enforcement site of a Budget — in the shape the live
+// observability plane consumes. Substrates fill one per member when
+// asked for status; it implements obs.Introspector so a window can
+// also be published standalone.
+type WindowState struct {
+	// Node is the reporting endpoint.
+	Node int
+	// Window is this sender's admission share (Budget.Share).
+	Window Budget
+	// Policy is the overflow policy the window enforces.
+	Policy Policy
+	// Msgs and Bytes are the sender's current outstanding unstable
+	// occupancy charged against the window.
+	Msgs, Bytes int
+	// Parked is how many casts are queued at the window (Block/Suspect).
+	Parked int
+}
+
+// Occupancy returns the fraction of the window's tightest limited axis
+// in use, 0 when the window is unlimited. This is the one number a
+// dashboard watches: 1.0 means the paper's trilemma is live — the next
+// cast blocks, sheds, spills, or suspects.
+func (w WindowState) Occupancy() float64 {
+	var frac float64
+	if w.Window.MaxMsgs > 0 {
+		frac = float64(w.Msgs) / float64(w.Window.MaxMsgs)
+	}
+	if w.Window.MaxBytes > 0 {
+		if f := float64(w.Bytes) / float64(w.Window.MaxBytes); f > frac {
+			frac = f
+		}
+	}
+	return frac
+}
+
+// ObsStatus implements obs.Introspector.
+func (w WindowState) ObsStatus() obs.Status {
+	return obs.Status{
+		Component: "flowcontrol",
+		Node:      w.Node,
+		Fields: []obs.StatusField{
+			obs.DistNum("window_occupancy", w.Occupancy()),
+			obs.Num("window_msgs", float64(w.Msgs)),
+			obs.Num("window_bytes", float64(w.Bytes)),
+			obs.DistNum("parked_casts", float64(w.Parked)),
+			obs.Str("policy", w.Policy.String()),
+			obs.Str("window", w.Window.String()),
+		},
+	}
+}
+
+var _ obs.Introspector = WindowState{}

@@ -3,15 +3,21 @@
 // quantiles, and time series for occupancy-over-time plots (e.g. the
 // unstable-buffer census of experiment E6).
 //
-// Everything here is deliberately allocation-light and unsynchronized;
-// the simulation world is single-threaded, and live-transport users
-// wrap access in their own locks.
+// Counters, histograms, and series are deliberately allocation-light
+// and unsynchronized; the simulation world is single-threaded, and
+// live-transport users wrap access in their own locks (the Locked*
+// variants in locked.go). Gauge and Window are the exception: the live
+// observability plane (internal/obs/live) reads instantaneous levels
+// and failure-detector windows from an HTTP goroutine while a run is
+// still recording, so both synchronize internally and are safe to read
+// concurrently with writes.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -30,8 +36,11 @@ func (c *Counter) Add(delta uint64) { c.n += delta }
 func (c *Counter) Value() uint64 { return c.n }
 
 // Gauge tracks an instantaneous level plus its observed maximum, e.g.
-// current unstable-buffer occupancy and its high-water mark.
+// current unstable-buffer occupancy and its high-water mark. Safe to
+// read concurrently with writes: the live observability plane scrapes
+// gauge levels from an HTTP goroutine mid-run.
 type Gauge struct {
+	mu   sync.Mutex
 	cur  int64
 	max  int64
 	seen bool
@@ -39,6 +48,12 @@ type Gauge struct {
 
 // Set assigns the current level.
 func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.setLocked(v)
+	g.mu.Unlock()
+}
+
+func (g *Gauge) setLocked(v int64) {
 	g.cur = v
 	if !g.seen || v > g.max {
 		g.max = v
@@ -47,15 +62,27 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the current level by delta.
-func (g *Gauge) Add(delta int64) { g.Set(g.cur + delta) }
+func (g *Gauge) Add(delta int64) {
+	g.mu.Lock()
+	g.setLocked(g.cur + delta)
+	g.mu.Unlock()
+}
 
 // Value returns the current level.
-func (g *Gauge) Value() int64 { return g.cur }
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
 
 // Max returns the high-water mark, or 0 when no sample was ever set —
 // a gauge that only ever held negative levels reports its true
 // (negative) maximum, not the zero initial value.
-func (g *Gauge) Max() int64 { return g.max }
+func (g *Gauge) Max() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
 
 // Histogram accumulates float64 samples and answers mean/quantile
 // queries. Samples are kept raw (experiments are bounded), which keeps
@@ -66,8 +93,13 @@ type Histogram struct {
 	sum     float64
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN samples are dropped: a single NaN
+// would poison the running sum, and with it every mean and quantile the
+// exposition endpoints report.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	h.samples = append(h.samples, v)
 	h.sum += v
 	h.sorted = false
@@ -107,9 +139,10 @@ func (h *Histogram) StdDev() float64 {
 }
 
 // Quantile returns the q'th quantile (0 <= q <= 1) by
-// nearest-rank on the sorted samples; 0 for an empty histogram.
+// nearest-rank on the sorted samples; 0 for an empty histogram or a
+// NaN q (never NaN — summary endpoints render the result directly).
 func (h *Histogram) Quantile(q float64) float64 {
-	if len(h.samples) == 0 {
+	if len(h.samples) == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if !h.sorted {
@@ -258,8 +291,11 @@ func (s *Series) Peak() float64 {
 // mean and standard-deviation queries — the inter-arrival model a
 // phi-accrual failure detector maintains per peer. Statistics are
 // recomputed over the (small, bounded) window on demand, which keeps
-// the arithmetic drift-free.
+// the arithmetic drift-free. Safe for concurrent use: the live
+// observability plane reads phi (and thus the window statistics) from
+// an HTTP goroutine while the detector keeps observing arrivals.
 type Window struct {
+	mu   sync.Mutex
 	buf  []float64
 	cap  int
 	next int
@@ -277,6 +313,8 @@ func NewWindow(capacity int) *Window {
 
 // Push records one sample, evicting the oldest beyond capacity.
 func (w *Window) Push(v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if len(w.buf) < w.cap {
 		w.buf = append(w.buf, v)
 		return
@@ -287,10 +325,20 @@ func (w *Window) Push(v float64) {
 }
 
 // Count returns the number of samples currently held.
-func (w *Window) Count() int { return len(w.buf) }
+func (w *Window) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
 
 // Mean returns the window mean, or 0 when empty.
 func (w *Window) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.meanLocked()
+}
+
+func (w *Window) meanLocked() float64 {
 	if len(w.buf) == 0 {
 		return 0
 	}
@@ -304,11 +352,13 @@ func (w *Window) Mean() float64 {
 // StdDev returns the window's population standard deviation, or 0
 // with fewer than two samples.
 func (w *Window) StdDev() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	n := len(w.buf)
 	if n < 2 {
 		return 0
 	}
-	m := w.Mean()
+	m := w.meanLocked()
 	var ss float64
 	for _, v := range w.buf {
 		d := v - m
@@ -319,6 +369,8 @@ func (w *Window) StdDev() float64 {
 
 // Reset discards all samples.
 func (w *Window) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.buf = w.buf[:0]
 	w.next = 0
 	w.full = false

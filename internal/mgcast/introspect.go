@@ -1,0 +1,43 @@
+package mgcast
+
+import (
+	"catocs/internal/flowcontrol"
+	"catocs/internal/obs"
+)
+
+// WindowState snapshots the node's admission window (the budget over
+// its own casts still in timestamp agreement) for the live
+// observability plane.
+func (n *Node) WindowState() flowcontrol.WindowState {
+	return flowcontrol.WindowState{
+		Node:   int(n.nodes[n.rank]),
+		Window: n.window,
+		Policy: n.cfg.Overflow,
+		Msgs:   len(n.coord),
+		Bytes:  n.coordBytes,
+		Parked: len(n.blocked),
+	}
+}
+
+// ObsStatus implements obs.Introspector: the Skeen-style node's live
+// state — holdback depth, casts still in timestamp agreement,
+// admission-window occupancy, parked casts. Call from the node's
+// execution context (the node performs no locking); the live plane
+// consumes published copies.
+func (n *Node) ObsStatus() obs.Status {
+	ws := n.WindowState()
+	return obs.Status{
+		Component: "mgcast",
+		Node:      int(n.nodes[n.rank]),
+		Fields: []obs.StatusField{
+			obs.DistNum("holdback_depth", float64(len(n.pending))),
+			obs.DistNum("outstanding_casts", float64(len(n.coord))),
+			obs.DistNum("window_occupancy", ws.Occupancy()),
+			obs.DistNum("parked_casts", float64(ws.Parked)),
+			obs.Num("groups", float64(len(n.cfg.Groups))),
+			obs.Str("policy", n.cfg.Overflow.String()),
+		},
+	}
+}
+
+var _ obs.Introspector = (*Node)(nil)

@@ -290,8 +290,8 @@ func (n *Node) multicastNow(groups []string, payload any, size int) MsgID {
 	n.coord[msg.ID()] = cs
 	n.coordBytes += size
 	n.SentCount.Inc()
-	if n.trace != nil {
-		n.trace.Send(n.net.Now(), int(n.node()), msg.TraceRef(), fmt.Sprintf("groups=%v", sorted))
+	if ref := msg.TraceRef(); n.trace.Wants(ref) {
+		n.trace.Send(n.net.Now(), int(n.node()), ref, fmt.Sprintf("groups=%v", sorted))
 	}
 	for _, d := range dests {
 		n.net.Send(n.node(), n.nodes[d], msg)
@@ -446,8 +446,8 @@ func (n *Node) doDeliver(e *entry) {
 	lat := now - e.msg.SentAt
 	n.Latency.Observe(lat.Seconds())
 	n.DeliveredCount.Inc()
-	if n.trace != nil {
-		n.trace.Deliver(now, int(n.node()), e.msg.TraceRef(), "final="+e.ts.String())
+	if ref := e.msg.TraceRef(); n.trace.Wants(ref) {
+		n.trace.Deliver(now, int(n.node()), ref, "final="+e.ts.String())
 	}
 	n.deliver(Delivered{
 		ID:      e.msg.ID(),

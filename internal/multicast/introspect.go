@@ -1,0 +1,69 @@
+package multicast
+
+import (
+	"catocs/internal/flowcontrol"
+	"catocs/internal/obs"
+	"catocs/internal/vclock"
+)
+
+// WindowState snapshots the member's admission window for the live
+// observability plane.
+func (m *Member) WindowState() flowcontrol.WindowState {
+	ws := flowcontrol.WindowState{
+		Node:   int(m.Node()),
+		Window: m.window,
+		Policy: m.cfg.Overflow,
+		Parked: m.BlockedCount(),
+	}
+	if m.stab != nil {
+		ws.Msgs = m.stab.PerSender(m.rank)
+		ws.Bytes = m.stab.PerSenderBytes(m.rank)
+	}
+	return ws
+}
+
+// ObsStatus implements obs.Introspector: the member's live ordering
+// and buffering state — holdback depth, admission-window occupancy,
+// parked casts, phi-accrual suspicion, WAL spill bytes, view epoch.
+// Call from the member's execution context (the sim kernel or the
+// LiveNet dispatcher); the live plane receives published copies.
+func (m *Member) ObsStatus() obs.Status {
+	ws := m.WindowState()
+	fields := []obs.StatusField{
+		obs.DistNum("holdback_depth", float64(m.PendingCount())),
+		obs.Num("epoch", float64(m.epoch)),
+		obs.DistNum("window_occupancy", ws.Occupancy()),
+		obs.DistNum("parked_casts", float64(ws.Parked)),
+	}
+	if m.stab != nil {
+		fields = append(fields,
+			obs.DistNum("unstable", float64(m.stab.Unstable())))
+		if sp := m.stab.Spill(); sp != nil {
+			fields = append(fields,
+				obs.Num("spill_bytes", float64(sp.Bytes())))
+		}
+	}
+	if m.detector != nil {
+		// The worst phi across peers is the member's suspicion level:
+		// how close the Suspect policy is to excising someone.
+		now := m.net.Now()
+		var phiMax float64
+		for i := range m.nodes {
+			p := vclock.ProcessID(i)
+			if vp := m.detector.Phi(p, now); p != m.rank && vp > phiMax {
+				phiMax = vp
+			}
+		}
+		fields = append(fields,
+			obs.DistNum("phi_max", phiMax),
+			obs.Num("phi_threshold", m.detector.Threshold()))
+	}
+	fields = append(fields, obs.Str("policy", m.cfg.Overflow.String()))
+	return obs.Status{
+		Component: "multicast",
+		Node:      int(m.Node()),
+		Fields:    fields,
+	}
+}
+
+var _ obs.Introspector = (*Member)(nil)

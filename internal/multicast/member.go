@@ -244,8 +244,8 @@ type Member struct {
 	HoldbackGauge  metrics.Gauge     // delay-queue occupancy over time
 	DeliveredCount metrics.Counter
 	SentCount      metrics.Counter
-	CtrlMsgs       metrics.Counter // protocol (non-data) messages sent
-	Duplicates     metrics.Counter // duplicate data copies discarded
+	CtrlMsgs       metrics.Counter   // protocol (non-data) messages sent
+	Duplicates     metrics.Counter   // duplicate data copies discarded
 	AdmissionStall metrics.Histogram // Block/Suspect admission stall (seconds)
 	ShedCount      metrics.Counter   // casts rejected by the Shed policy
 	SuspectCount   metrics.Counter   // suspicions this member raised
@@ -525,7 +525,13 @@ func (m *Member) multicastNow(payload any, size int) MsgID {
 	}
 	m.SentCount.Inc()
 	if m.trace != nil {
-		m.trace.Send(m.net.Now(), int(m.Node()), msg.TraceRef(), m.causalCtx(msg))
+		if ref := msg.TraceRef(); m.trace.Wants(ref) {
+			msg.traceWant = 1
+			msg.traceCtx = m.causalCtx(msg)
+			m.trace.Send(m.net.Now(), int(m.Node()), ref, msg.traceCtx)
+		} else {
+			msg.traceWant = -1
+		}
 	}
 	m.sendAll(msg)
 	return msg.ID()
@@ -545,7 +551,7 @@ func (m *Member) causalCtx(msg *DataMsg) string {
 // if it is still undeliverable after the drain attempt that followed
 // its arrival.
 func (m *Member) traceHoldback(msg *DataMsg, reason string) {
-	if m.trace == nil {
+	if !m.msgWants(msg) {
 		return
 	}
 	held := false
@@ -558,6 +564,18 @@ func (m *Member) traceHoldback(msg *DataMsg, reason string) {
 	if held {
 		m.trace.Holdback(m.net.Now(), int(m.Node()), msg.TraceRef(), reason)
 	}
+}
+
+// msgWants reports whether trace events for msg should be built,
+// reading the sender's cached sampling decision before hashing.
+func (m *Member) msgWants(msg *DataMsg) bool {
+	if m.trace == nil {
+		return false
+	}
+	if msg.traceWant != 0 {
+		return msg.traceWant > 0
+	}
+	return m.trace.Wants(msg.TraceRef())
 }
 
 // Handle is the member's network receive entry point.
@@ -868,8 +886,12 @@ func (m *Member) doDeliver(msg *DataMsg) {
 	lat := now - msg.SentAt
 	m.Latency.Observe(lat.Seconds())
 	m.DeliveredCount.Inc()
-	if m.trace != nil {
-		m.trace.Deliver(now, int(m.Node()), msg.TraceRef(), m.causalCtx(msg))
+	if m.msgWants(msg) {
+		ctx := msg.traceCtx
+		if ctx == "" { // not stamped at send (e.g. untraced origin member)
+			ctx = m.causalCtx(msg)
+		}
+		m.trace.Deliver(now, int(m.Node()), msg.TraceRef(), ctx)
 	}
 	m.deliver(Delivered{ID: msg.ID(), Payload: msg.Payload, SentAt: msg.SentAt, At: now, Latency: lat, VC: msg.VC})
 }

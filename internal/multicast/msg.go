@@ -49,6 +49,18 @@ type DataMsg struct {
 	DeliveredVC vclock.VC
 	Payload     any
 	PayloadSize int
+	// traceWant caches the sender's head-sampling decision (+1 wanted,
+	// -1 unwanted, 0 undecided): every node's wire-receive, holdback,
+	// and delivery events for this broadcast reuse it instead of
+	// rehashing the ref. Written once before the first send, read-only
+	// after; unexported because it never crosses a process boundary
+	// (both networks pass payloads in-memory).
+	traceWant int8
+	// traceCtx caches the rendered causal context for sampled messages:
+	// the send event and every node's delivery event of one broadcast
+	// share the message's own clock, so the string is built once at the
+	// send site. Same write-before-send discipline as traceWant.
+	traceCtx string
 }
 
 // ID returns the message's identity.
@@ -58,6 +70,11 @@ func (m *DataMsg) ID() MsgID { return MsgID{Sender: m.Sender, Seq: m.Seq} }
 // record wire-receive events for the causal trace recorder.
 func (m *DataMsg) TraceRef() obs.MsgRef {
 	return obs.MsgRef{Sender: int64(m.Sender), Seq: m.Seq}
+}
+
+// TraceWanted implements obs.TraceHinted.
+func (m *DataMsg) TraceWanted() (wanted, known bool) {
+	return m.traceWant > 0, m.traceWant != 0
 }
 
 // ApproxSize implements transport.Sizer: a fixed header, 8 bytes per
@@ -172,3 +189,6 @@ func (m *RetransMsg) ControlSize() int { return 16 + m.Data.ControlSize() }
 // TraceRef implements obs.Referable: a retransmitted copy arrives on
 // the wire as the original message.
 func (m *RetransMsg) TraceRef() obs.MsgRef { return m.Data.TraceRef() }
+
+// TraceWanted implements obs.TraceHinted via the wrapped message.
+func (m *RetransMsg) TraceWanted() (wanted, known bool) { return m.Data.TraceWanted() }

@@ -1,0 +1,143 @@
+package live
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"catocs/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("cbcast", 0, "sent").Add(2)
+	tr := obs.NewSampledTracer(obs.SampleConfig{Rate: 1})
+	ref := obs.MsgRef{Sender: 0, Seq: 1}
+	tr.Send(0, 0, ref, "")
+	tr.Deliver(time.Millisecond, 1, ref, "")
+
+	s := &Server{opts: Options{Registry: reg, Tracer: tr}}
+	h := s.Handler()
+
+	if code, body := get(t, h, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/metrics"); code != 200 ||
+		!strings.Contains(body, `catocs_sent_total{substrate="cbcast",node="0"} 2`) {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/statusz"); code != 200 ||
+		!strings.Contains(body, "no status published yet") {
+		t.Fatalf("/statusz before publish = %d %q", code, body)
+	}
+
+	s.PublishStatus([]obs.Status{{
+		Component: "multicast", Substrate: "cbcast", Node: 0,
+		Fields: []obs.StatusField{obs.DistNum("holdback_depth", 3)},
+	}})
+	if _, body := get(t, h, "/statusz"); !strings.Contains(body, "holdback_depth=3") {
+		t.Fatalf("/statusz after publish: %q", body)
+	}
+	// Publication mirrors into the registry.
+	if _, body := get(t, h, "/metrics"); !strings.Contains(body, "catocs_multicast_holdback_depth") {
+		t.Fatalf("/metrics missing mirrored gauge: %q", body)
+	}
+
+	if _, body := get(t, h, "/tracez"); !strings.Contains(body, "msg 0:1") {
+		t.Fatalf("/tracez: %q", body)
+	}
+	if code, body := get(t, h, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, _ := get(t, h, "/"); code != 200 {
+		t.Fatalf("index = %d", code)
+	}
+	if code, _ := get(t, h, "/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestHealthzUnhealthy(t *testing.T) {
+	s := &Server{opts: Options{Health: func() error { return errors.New("wedged") }}}
+	if code, body := get(t, s.Handler(), "/healthz"); code != 503 || !strings.Contains(body, "wedged") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestTracezModes(t *testing.T) {
+	s := &Server{}
+	if _, body := get(t, s.Handler(), "/tracez"); !strings.Contains(body, "tracing disabled") {
+		t.Fatalf("nil tracer: %q", body)
+	}
+	s = &Server{opts: Options{Tracer: obs.NewTracer()}}
+	if _, body := get(t, s.Handler(), "/tracez"); !strings.Contains(body, "unsampled") {
+		t.Fatalf("full tracer: %q", body)
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("abcast", 1, "delivered").Inc()
+	s, err := Serve("127.0.0.1:0", Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "catocs_delivered_total") {
+		t.Fatalf("scrape = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestStartProfile(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartProfile("cpu", cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1e5; i++ {
+		_ = i * i
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile: %v size=%v", err, fi)
+	}
+
+	heap := filepath.Join(dir, "heap.pprof")
+	stop, err = StartProfile("heap", heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile: %v", err)
+	}
+
+	if _, err := StartProfile("flame", ""); err == nil {
+		t.Fatal("unknown profile kind accepted")
+	}
+}

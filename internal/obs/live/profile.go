@@ -1,0 +1,48 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfile begins a profile capture for the -profile flag of
+// cmd/scalebench and cmd/chaos. kind is "cpu" or "heap"; the profile
+// is written to path ("<kind>.pprof" when empty). The returned stop
+// function finishes the capture and must be called exactly once, after
+// the workload completes.
+func StartProfile(kind, path string) (stop func() error, err error) {
+	if path == "" {
+		path = kind + ".pprof"
+	}
+	switch kind {
+	case "cpu":
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		}, nil
+	case "heap":
+		// Heap profiles are snapshots: nothing to start, the capture
+		// happens at stop, after a GC settles live objects.
+		return func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			return pprof.WriteHeapProfile(f)
+		}, nil
+	default:
+		return nil, fmt.Errorf("profile: unknown kind %q (want cpu or heap)", kind)
+	}
+}

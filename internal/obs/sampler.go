@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sampled tracing: the always-on mode of the trace recorder. A full
+// Tracer retains every event of every message — exactly right for an
+// experiment that analyzes the complete execution, and exactly wrong
+// for a live system, where tracing would otherwise be all-or-nothing:
+// either unbounded memory growth under load or no visibility at all.
+//
+// A sampled tracer keeps tracing affordable enough to leave enabled:
+//
+//   - Head sampling, per message: the sampling decision is made once
+//     per broadcast (conceptually at its send) and every lifecycle
+//     event of a sampled message is kept, so a retained message shows
+//     its complete send→recv→holdback→deliver→stabilize story rather
+//     than a random subset of events. The decision is a deterministic
+//     hash of the message ref, so every node of a distributed run
+//     samples the *same* messages with no coordination — and an
+//     unsampled message costs one hash per event, no state.
+//   - Ring-buffer retention: only the most recent Retain sampled
+//     message lifecycles are kept; older ones are evicted whole. Memory
+//     is bounded by Retain regardless of run length.
+//
+// The /tracez endpoint of internal/obs/live renders the ring's
+// contents. Span and mark events (view changes, overlay rewires) are
+// not message-scoped and are dropped in sampled mode; use a full
+// Tracer when those matter.
+
+// SampleConfig parameterizes a sampled tracer.
+type SampleConfig struct {
+	// Rate is the per-message head-sampling probability in [0, 1].
+	// 0 samples nothing; >= 1 samples every message (retention still
+	// bounds memory).
+	Rate float64
+	// Retain is how many sampled message lifecycles the ring keeps.
+	// Zero defaults to 128.
+	Retain int
+	// Seed perturbs the deterministic sampling hash, so repeated runs
+	// can sample different message subsets while every node within one
+	// run agrees.
+	Seed uint64
+}
+
+func (c SampleConfig) retain() int {
+	if c.Retain > 0 {
+		return c.Retain
+	}
+	return 128
+}
+
+// sampler is the state behind a sampled tracer; guarded by the owning
+// Tracer's mutex.
+type sampler struct {
+	threshold uint64 // sample iff hash(msg) < threshold
+	retain    int
+	seed      uint64
+
+	lifecycles map[MsgRef][]Event
+	order      []MsgRef  // sampled refs, oldest first, for ring eviction
+	free       [][]Event // evicted lifecycle slices recycled for new admissions
+	sampled    uint64    // distinct messages admitted by the head decision
+	evicted    uint64    // lifecycles pushed out of the ring
+	seq        int       // insertion order across all retained events
+}
+
+// NewSampledTracer returns a tracer that head-samples message
+// lifecycles at cfg.Rate and retains the last cfg.Retain of them in a
+// ring. It is used exactly like a full tracer — substrates cannot tell
+// the difference — but Events() returns only the retained lifecycles.
+func NewSampledTracer(cfg SampleConfig) *Tracer {
+	rate := cfg.Rate
+	if rate < 0 {
+		rate = 0
+	}
+	var threshold uint64
+	if rate >= 1 {
+		threshold = math.MaxUint64
+	} else {
+		threshold = uint64(rate * float64(math.MaxUint64))
+	}
+	t := NewTracer()
+	t.s = &sampler{
+		threshold:  threshold,
+		retain:     cfg.retain(),
+		seed:       cfg.Seed,
+		lifecycles: make(map[MsgRef][]Event),
+	}
+	return t
+}
+
+// Sampling reports whether the tracer is in sampled mode.
+func (t *Tracer) Sampling() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.s != nil
+}
+
+// SampleStats returns the number of distinct messages the head
+// decision admitted and the number of lifecycles evicted from the
+// ring; zeros for a nil or unsampled tracer.
+func (t *Tracer) SampleStats() (sampled, evicted uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.s == nil {
+		return 0, 0
+	}
+	return t.s.sampled, t.s.evicted
+}
+
+// sampleHash mixes the message ref with the seed (splitmix64-style
+// finalizers): allocation-free, a handful of multiplies, and identical
+// on every node for the same message. This is the whole per-event cost
+// of an unsampled message, so it sits on every instrumented hot path.
+func (s *sampler) sampleHash(r MsgRef) uint64 {
+	if r.IsZero() {
+		// Spans and marks are not message-scoped: hash to the one value
+		// no threshold admits (rate >= 1 sets threshold = MaxUint64 and
+		// admission is a strict less-than).
+		return math.MaxUint64
+	}
+	h := s.seed ^ 0x9e3779b97f4a7c15
+	h = mix64(h ^ uint64(r.Sender))
+	h = mix64(h ^ r.Seq)
+	for i := 0; i < len(r.Label); i++ { // labels are rare and short
+		h = mix64(h ^ uint64(r.Label[i]))
+	}
+	return h
+}
+
+// mix64 is the splitmix64 output permutation.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// wants is the head-sampling decision for one message (false for zero
+// refs — spans and marks). It touches only fields immutable after
+// construction (threshold, seed), so callers may invoke it without the
+// tracer mutex.
+func (s *sampler) wants(r MsgRef) bool {
+	return s.sampleHash(r) < s.threshold
+}
+
+// record applies head sampling and ring retention to one event. Called
+// under the tracer mutex.
+func (s *sampler) record(e Event) {
+	if !s.wants(e.Msg) {
+		return // unsampled, or a span/mark; see package note
+	}
+	lc, ok := s.lifecycles[e.Msg]
+	if !ok {
+		s.sampled++
+		s.order = append(s.order, e.Msg)
+		if len(s.order) > s.retain {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			// Recycle the evicted lifecycle's backing array: at steady
+			// state (ring full, admissions evicting one-for-one) new
+			// lifecycles then append without allocating, keeping the
+			// sampled hot path off the garbage collector's books.
+			if old := s.lifecycles[oldest]; cap(old) > 0 && len(s.free) < 16 {
+				s.free = append(s.free, old[:0])
+			}
+			delete(s.lifecycles, oldest)
+			s.evicted++
+		}
+		if n := len(s.free); n > 0 {
+			lc = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			// A lifecycle is one event per (kind, node): ~3 kinds x group
+			// size. Sized so typical lifecycles never regrow.
+			lc = make([]Event, 0, 16)
+		}
+	}
+	e.seq = s.seq
+	s.seq++
+	s.lifecycles[e.Msg] = append(lc, e)
+}
+
+// events flattens the retained lifecycles, for Tracer.Events.
+func (s *sampler) events() []Event {
+	var out []Event
+	for _, lc := range s.lifecycles {
+		out = append(out, lc...)
+	}
+	return out
+}
+
+// Lifecycle is one sampled message's retained event sequence, oldest
+// event first.
+type Lifecycle struct {
+	Msg    MsgRef
+	Events []Event
+}
+
+// SampledLifecycles returns the ring's contents, oldest sampled
+// message first, each lifecycle's events in (time, insertion) order.
+// Nil for a nil or unsampled tracer.
+func (t *Tracer) SampledLifecycles() []Lifecycle {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.s == nil {
+		return nil
+	}
+	out := make([]Lifecycle, 0, len(t.s.order))
+	for _, ref := range t.s.order {
+		evs := append([]Event(nil), t.s.lifecycles[ref]...)
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].T != evs[j].T {
+				return evs[i].T < evs[j].T
+			}
+			return evs[i].seq < evs[j].seq
+		})
+		out = append(out, Lifecycle{Msg: ref, Events: evs})
+	}
+	return out
+}
+
+// RenderLifecycles renders sampled lifecycles as text, one block per
+// message — the /tracez body. Each event line carries the offset from
+// the lifecycle's first event, so holdback windows read directly.
+func RenderLifecycles(labels map[int]string, lcs []Lifecycle) string {
+	var b strings.Builder
+	if len(lcs) == 0 {
+		b.WriteString("no sampled lifecycles\n")
+		return b.String()
+	}
+	for _, lc := range lcs {
+		fmt.Fprintf(&b, "msg %s\n", lc.Msg)
+		var t0 time.Duration
+		if len(lc.Events) > 0 {
+			t0 = lc.Events[0].T
+		}
+		for _, e := range lc.Events {
+			fmt.Fprintf(&b, "  %10.3fms +%8.3fms %-5s node=%s",
+				float64(e.T.Microseconds())/1000.0,
+				float64((e.T-t0).Microseconds())/1000.0,
+				e.Kind, nodeLabel(labels, e.Node))
+			if e.Name != "" {
+				fmt.Fprintf(&b, " %s", e.Name)
+			}
+			if e.Ctx != "" {
+				fmt.Fprintf(&b, " [%s]", e.Ctx)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

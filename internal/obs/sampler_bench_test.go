@@ -1,0 +1,31 @@
+package obs
+
+import "testing"
+
+// The sampling decision sits on every instrumented hot path — once per
+// trace event for unsampled messages — so its cost is the floor under
+// the "always-on" claim. Benchmarked at both outcomes: the common miss
+// (unwanted ref) and the rare hit.
+
+func BenchmarkWantsMiss(b *testing.B) {
+	t := NewSampledTracer(SampleConfig{Rate: 1e-9, Seed: 42})
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if t.Wants(MsgRef{Sender: int64(i & 7), Seq: uint64(i + 1)}) {
+			n++
+		}
+	}
+	if n > b.N/1000 {
+		b.Fatalf("sampled %d of %d at rate 1e-9", n, b.N)
+	}
+}
+
+func BenchmarkRecordUnwanted(b *testing.B) {
+	t := NewSampledTracer(SampleConfig{Rate: 1e-9, Seed: 42})
+	for i := 0; i < b.N; i++ {
+		t.Deliver(0, 1, MsgRef{Sender: int64(i & 7), Seq: uint64(i + 1)}, "")
+	}
+	if got := t.Len(); got > b.N/1000 {
+		b.Fatalf("retained %d events at rate 1e-9", got)
+	}
+}

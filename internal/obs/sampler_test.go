@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func emitLifecycle(t *Tracer, sender int64, seq uint64, at time.Duration) {
+	ref := MsgRef{Sender: sender, Seq: seq}
+	t.Send(at, int(sender), ref, "")
+	t.WireRecv(at+time.Millisecond, 1, ref)
+	t.Holdback(at+time.Millisecond, 1, ref, "vc")
+	t.Deliver(at+2*time.Millisecond, 1, ref, "")
+	t.Stabilize(at+3*time.Millisecond, 1, ref, "")
+}
+
+func TestSamplerRateZeroKeepsNothing(t *testing.T) {
+	tr := NewSampledTracer(SampleConfig{Rate: 0})
+	for i := 0; i < 50; i++ {
+		emitLifecycle(tr, 0, uint64(i+1), time.Duration(i)*time.Millisecond)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("rate 0 retained %d events", tr.Len())
+	}
+	if s, _ := tr.SampleStats(); s != 0 {
+		t.Fatalf("rate 0 sampled %d messages", s)
+	}
+}
+
+func TestSamplerRateOneKeepsCompleteLifecycles(t *testing.T) {
+	tr := NewSampledTracer(SampleConfig{Rate: 1})
+	const msgs = 20
+	for i := 0; i < msgs; i++ {
+		// Seq starts at 1: the zero MsgRef means "no message" by
+		// package convention, matching the substrates' 1-based seqs.
+		emitLifecycle(tr, 0, uint64(i+1), time.Duration(i)*time.Millisecond)
+	}
+	lcs := tr.SampledLifecycles()
+	if len(lcs) != msgs {
+		t.Fatalf("rate 1 retained %d lifecycles, want %d", len(lcs), msgs)
+	}
+	for _, lc := range lcs {
+		if len(lc.Events) != 5 {
+			t.Fatalf("msg %s: %d events, want complete 5-event lifecycle", lc.Msg, len(lc.Events))
+		}
+		want := []Kind{KSend, KWireRecv, KHoldback, KDeliver, KStabilize}
+		for i, e := range lc.Events {
+			if e.Kind != want[i] {
+				t.Fatalf("msg %s event %d kind = %s, want %s", lc.Msg, i, e.Kind, want[i])
+			}
+		}
+	}
+	if s, ev := tr.SampleStats(); s != msgs || ev != 0 {
+		t.Fatalf("stats sampled=%d evicted=%d, want %d/0", s, ev, msgs)
+	}
+}
+
+func TestSamplerRingEvictsOldestWholeLifecycles(t *testing.T) {
+	tr := NewSampledTracer(SampleConfig{Rate: 1, Retain: 4})
+	const msgs = 10
+	for i := 0; i < msgs; i++ {
+		emitLifecycle(tr, 0, uint64(i+1), time.Duration(i)*time.Millisecond)
+	}
+	lcs := tr.SampledLifecycles()
+	if len(lcs) != 4 {
+		t.Fatalf("retained %d lifecycles, want 4", len(lcs))
+	}
+	// The survivors must be the newest 4 messages, oldest first.
+	for i, lc := range lcs {
+		want := uint64(msgs - 4 + i + 1)
+		if lc.Msg.Seq != want {
+			t.Fatalf("slot %d holds seq %d, want %d", i, lc.Msg.Seq, want)
+		}
+	}
+	if _, ev := tr.SampleStats(); ev != msgs-4 {
+		t.Fatalf("evicted = %d, want %d", ev, msgs-4)
+	}
+}
+
+func TestSamplerPartialRateIsPerMessageAndDeterministic(t *testing.T) {
+	const msgs = 400
+	run := func() map[MsgRef]int {
+		tr := NewSampledTracer(SampleConfig{Rate: 0.25, Retain: msgs, Seed: 7})
+		for i := 0; i < msgs; i++ {
+			emitLifecycle(tr, int64(i%3), uint64(i+1), time.Duration(i)*time.Millisecond)
+		}
+		got := map[MsgRef]int{}
+		for _, lc := range tr.SampledLifecycles() {
+			got[lc.Msg] = len(lc.Events)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == msgs {
+		t.Fatalf("rate 0.25 sampled %d of %d messages — not probabilistic", len(a), msgs)
+	}
+	// Head sampling: every sampled message keeps its complete lifecycle.
+	for ref, n := range a {
+		if n != 5 {
+			t.Fatalf("sampled msg %s has %d events, want all 5", ref, n)
+		}
+	}
+	// Deterministic: identical run, identical sample set.
+	if len(a) != len(b) {
+		t.Fatalf("two identical runs sampled %d vs %d messages", len(a), len(b))
+	}
+	for ref := range a {
+		if _, ok := b[ref]; !ok {
+			t.Fatalf("msg %s sampled in first run only", ref)
+		}
+	}
+	// Sanity: the empirical rate is in a generous band around 25%.
+	if frac := float64(len(a)) / msgs; frac < 0.10 || frac > 0.45 {
+		t.Fatalf("empirical sample rate %.2f too far from 0.25", frac)
+	}
+}
+
+func TestSamplerDropsSpansAndMarks(t *testing.T) {
+	tr := NewSampledTracer(SampleConfig{Rate: 1})
+	tr.SpanBegin(0, 0, "view-change")
+	tr.Mark(time.Millisecond, 0, "rewire")
+	tr.SpanEnd(2*time.Millisecond, 0, "view-change")
+	if tr.Len() != 0 {
+		t.Fatalf("sampled tracer retained %d non-message events", tr.Len())
+	}
+}
+
+func TestSampledEventsSortedByTime(t *testing.T) {
+	tr := NewSampledTracer(SampleConfig{Rate: 1})
+	// Record out of time order across two messages.
+	tr.Deliver(5*time.Millisecond, 1, MsgRef{Sender: 0, Seq: 1}, "")
+	tr.Send(1*time.Millisecond, 0, MsgRef{Sender: 0, Seq: 2}, "")
+	tr.Send(0, 0, MsgRef{Sender: 0, Seq: 1}, "")
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatalf("Events() out of order at %d: %v after %v", i, evs[i].T, evs[i-1].T)
+		}
+	}
+}
+
+func TestUnsampledTracerUnchanged(t *testing.T) {
+	tr := NewTracer()
+	if tr.Sampling() {
+		t.Fatal("plain tracer reports sampling")
+	}
+	emitLifecycle(tr, 0, 1, 0)
+	tr.Mark(time.Millisecond, 0, "m")
+	if tr.Len() != 6 {
+		t.Fatalf("plain tracer retained %d events, want 6", tr.Len())
+	}
+	if tr.SampledLifecycles() != nil {
+		t.Fatal("plain tracer returned sampled lifecycles")
+	}
+	var nilT *Tracer
+	if nilT.Sampling() || nilT.SampledLifecycles() != nil {
+		t.Fatal("nil tracer sampling accessors not nil-safe")
+	}
+}
+
+func TestRenderLifecycles(t *testing.T) {
+	if got := RenderLifecycles(nil, nil); !strings.Contains(got, "no sampled lifecycles") {
+		t.Fatalf("empty render = %q", got)
+	}
+	tr := NewSampledTracer(SampleConfig{Rate: 1})
+	tr.SetNodeLabel(0, "P")
+	emitLifecycle(tr, 0, 1, 2*time.Millisecond)
+	out := RenderLifecycles(tr.Labels(), tr.SampledLifecycles())
+	for _, want := range []string{"msg 0:1", "send", "dlvr", "node=P", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -118,6 +118,20 @@ func RefOf(payload any) (MsgRef, bool) {
 	return MsgRef{}, false
 }
 
+// TraceHinted is implemented by wire payloads whose sender cached its
+// head-sampling decision on the message. Every downstream event of one
+// broadcast — wire receives, holdbacks, deliveries at each node —
+// shares the sender's decision, so the hint replaces a hash per event
+// with a field read. The recorder still applies its own admission gate
+// when recording, so a hint computed by a differently-configured
+// tracer can cost a dropped event's construction but never a wrong
+// retention.
+type TraceHinted interface {
+	// TraceWanted returns the cached decision and whether the sender
+	// made one.
+	TraceWanted() (wanted, known bool)
+}
+
 // Event is one captured occurrence.
 type Event struct {
 	T    time.Duration
@@ -141,6 +155,10 @@ type Tracer struct {
 	mu     sync.Mutex
 	events []Event
 	labels map[int]string
+	// s, when non-nil, switches the tracer into sampled mode: events
+	// route through head sampling and ring retention (sampler.go)
+	// instead of the unbounded events slice.
+	s *sampler
 }
 
 // NewTracer returns an empty recorder.
@@ -180,10 +198,58 @@ func (t *Tracer) record(e Event) {
 	if t == nil {
 		return
 	}
+	// Sampled mode: decide admission before taking the lock. The
+	// decision reads only immutable sampler fields, so the unwanted
+	// path — the overwhelming majority at low rates — costs one hash
+	// and no synchronization.
+	if s := t.s; s != nil && !s.wants(e.Msg) {
+		return
+	}
 	t.mu.Lock()
-	e.seq = len(t.events)
-	t.events = append(t.events, e)
+	if t.s != nil {
+		t.s.record(e)
+	} else {
+		e.seq = len(t.events)
+		t.events = append(t.events, e)
+	}
 	t.mu.Unlock()
+}
+
+// Wants reports whether events for msg would be retained: always true
+// for a plain (record-everything) tracer, the head-sampling decision in
+// sampled mode, false for a nil tracer. Instrumented hot paths use it
+// to skip building expensive event context — vector-clock strings,
+// stability frontiers — for messages the sampler would drop anyway; the
+// check reads only immutable state and takes no lock.
+func (t *Tracer) Wants(msg MsgRef) bool {
+	if t == nil {
+		return false
+	}
+	s := t.s
+	return s == nil || s.sampleHash(msg) < s.threshold
+}
+
+// WantsWire reports whether events for a wire payload should be built,
+// without extracting its ref on the unwanted path: the sender's cached
+// decision (TraceHinted) is read first, the sampling hash is the
+// fallback. A plain tracer ignores hints — it wants everything a ref
+// can name; payloads without refs (acks, heartbeats) are never wanted.
+func (t *Tracer) WantsWire(payload any) bool {
+	if t == nil {
+		return false
+	}
+	s := t.s
+	if s == nil {
+		_, ok := payload.(Referable)
+		return ok
+	}
+	if h, ok := payload.(TraceHinted); ok {
+		if w, known := h.TraceWanted(); known {
+			return w
+		}
+	}
+	ref, ok := RefOf(payload)
+	return ok && s.wants(ref)
 }
 
 // Send records a broadcast origination.
@@ -227,13 +293,21 @@ func (t *Tracer) Mark(at time.Duration, node int, name string) {
 	t.record(Event{T: at, Node: node, Kind: KMark, Name: name})
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of recorded events (retained events, in
+// sampled mode).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.s != nil {
+		n := 0
+		for _, lc := range t.s.lifecycles {
+			n += len(lc)
+		}
+		return n
+	}
 	return len(t.events)
 }
 
@@ -244,8 +318,13 @@ func (t *Tracer) Events() []Event {
 		return nil
 	}
 	t.mu.Lock()
-	out := make([]Event, len(t.events))
-	copy(out, t.events)
+	var out []Event
+	if t.s != nil {
+		out = t.s.events()
+	} else {
+		out = make([]Event, len(t.events))
+		copy(out, t.events)
+	}
 	t.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].T != out[j].T {

@@ -1,0 +1,49 @@
+package scalecast
+
+import (
+	"catocs/internal/flowcontrol"
+	"catocs/internal/obs"
+)
+
+// WindowState snapshots the member's ingress admission window (the
+// budget over its link retransmission logs) for the live observability
+// plane.
+func (m *Member) WindowState() flowcontrol.WindowState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	msgs, bytes := m.retransLocked()
+	return flowcontrol.WindowState{
+		Node:   int(m.self),
+		Window: m.cfg.Budget,
+		Policy: m.cfg.Overflow,
+		Msgs:   msgs,
+		Bytes:  bytes,
+		Parked: len(m.blocked),
+	}
+}
+
+// ObsStatus implements obs.Introspector: the flood member's live
+// state — link holdback depth, retransmission-buffer occupancy,
+// ingress-window occupancy, parked casts, overlay degree, barrier
+// epoch. The member locks internally, so this is safe from any
+// context, but the live plane still consumes published copies.
+func (m *Member) ObsStatus() obs.Status {
+	ws := m.WindowState()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return obs.Status{
+		Component: "scalecast",
+		Node:      int(m.self),
+		Fields: []obs.StatusField{
+			obs.DistNum("holdback_depth", float64(m.pendingCountLocked())),
+			obs.DistNum("retrans_buffer", float64(ws.Msgs)),
+			obs.DistNum("window_occupancy", ws.Occupancy()),
+			obs.DistNum("parked_casts", float64(ws.Parked)),
+			obs.Num("degree", float64(len(m.order))),
+			obs.Num("epoch", float64(m.sessionNo)),
+			obs.Str("policy", m.cfg.Overflow.String()),
+		},
+	}
+}
+
+var _ obs.Introspector = (*Member)(nil)

@@ -186,9 +186,9 @@ type Member struct {
 	HoldbackGauge  metrics.Gauge     // link holdback + reconfig buffers
 	DeliveredCount metrics.Counter
 	SentCount      metrics.Counter
-	CtrlMsgs       metrics.Counter // protocol (non-data) messages sent
-	Duplicates     metrics.Counter // duplicate data copies discarded
-	ForwardedMsgs  metrics.Counter // data copies relayed for other origins
+	CtrlMsgs       metrics.Counter   // protocol (non-data) messages sent
+	Duplicates     metrics.Counter   // duplicate data copies discarded
+	ForwardedMsgs  metrics.Counter   // data copies relayed for other origins
 	AdmissionStall metrics.Histogram // ingress-window stall (seconds)
 	ShedCount      metrics.Counter   // casts rejected by the Shed policy
 
@@ -424,8 +424,8 @@ func (m *Member) multicastLocked(payload any, size int) multicast.MsgID {
 		PayloadSize: size,
 	}
 	m.SentCount.Inc()
-	if m.trace != nil {
-		m.trace.Send(fm.SentAt, int(m.self), fm.TraceRef(), m.barrierCtx())
+	if ref := fm.TraceRef(); m.trace.Wants(ref) {
+		m.trace.Send(fm.SentAt, int(m.self), ref, m.barrierCtx())
 	}
 	// Forward before delivering: the origin's copy goes onto every
 	// link ahead of anything the delivery callback may broadcast in
@@ -521,8 +521,8 @@ func (m *Member) deliverLocal(fm *FloodMsg) {
 	lat := now - fm.SentAt
 	m.Latency.Observe(lat.Seconds())
 	m.DeliveredCount.Inc()
-	if m.trace != nil {
-		m.trace.Deliver(now, int(m.self), fm.TraceRef(), m.barrierCtx())
+	if ref := fm.TraceRef(); m.trace.Wants(ref) {
+		m.trace.Deliver(now, int(m.self), ref, m.barrierCtx())
 	}
 	m.outbox = append(m.outbox, multicast.Delivered{
 		ID:      fm.ID(),

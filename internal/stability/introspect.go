@@ -1,0 +1,31 @@
+package stability
+
+import "catocs/internal/obs"
+
+// ObsStatus implements obs.Introspector: the unstable-buffer census as
+// a live snapshot — the quantity the paper's §5 buffering argument is
+// about, readable from /statusz while a run is in flight. Call it from
+// the tracker's owning context (the tracker is not internally
+// synchronized); the live plane only ever sees published copies.
+func (t *Tracker) ObsStatus() obs.Status {
+	spillBytes, spillLen := 0, 0
+	if t.spill != nil {
+		spillBytes = t.spill.Bytes()
+		spillLen = t.spill.Len()
+	}
+	return obs.Status{
+		Component: "stability",
+		Node:      t.traceNode,
+		Fields: []obs.StatusField{
+			obs.DistNum("occupancy", float64(len(t.buf))),
+			obs.Num("occupancy_bytes", float64(t.memBytes)),
+			obs.Num("unstable", float64(t.Unstable())),
+			obs.Num("high_water", float64(t.HighWater())),
+			obs.Num("spilled_msgs", float64(spillLen)),
+			obs.DistNum("spill_bytes", float64(spillBytes)),
+			obs.Str("budget", t.budget.String()),
+		},
+	}
+}
+
+var _ obs.Introspector = (*Tracker)(nil)

@@ -1,0 +1,49 @@
+package stability
+
+import (
+	"testing"
+
+	"catocs/internal/flowcontrol"
+	"catocs/internal/obs"
+)
+
+func TestObsStatus(t *testing.T) {
+	tr := New(3)
+	tr.SetBudget(flowcontrol.Budget{MaxMsgs: 8})
+	tr.Buffer(Key{Sender: 0, Seq: 1}, "a", 100)
+	tr.Buffer(Key{Sender: 1, Seq: 1}, "b", 50)
+
+	st := tr.ObsStatus()
+	if st.Component != "stability" {
+		t.Fatalf("component = %q", st.Component)
+	}
+	fields := map[string]obs.StatusField{}
+	for _, f := range st.Fields {
+		fields[f.Name] = f
+	}
+	if v := fields["occupancy"].V; v != 2 {
+		t.Fatalf("occupancy = %v, want 2", v)
+	}
+	if v := fields["occupancy_bytes"].V; v != 150 {
+		t.Fatalf("occupancy_bytes = %v, want 150", v)
+	}
+	if !fields["occupancy"].Dist {
+		t.Fatal("occupancy should be a Dist field")
+	}
+	if s := fields["budget"].S; s != "8msgs" {
+		t.Fatalf("budget = %q", s)
+	}
+
+	tr.Remove(Key{Sender: 0, Seq: 1})
+	if v := mapOf(tr.ObsStatus())["occupancy"].V; v != 1 {
+		t.Fatalf("occupancy after remove = %v, want 1", v)
+	}
+}
+
+func mapOf(st obs.Status) map[string]obs.StatusField {
+	out := map[string]obs.StatusField{}
+	for _, f := range st.Fields {
+		out[f.Name] = f
+	}
+	return out
+}

@@ -215,7 +215,7 @@ func (t *Tracker) ObserveAck(p vclock.ProcessID, delivered vclock.VC) int {
 			t.memBytes -= e.size
 			t.bumpSender(k.Sender, -1, -e.size)
 			evicted++
-			if t.trace != nil {
+			if t.trace.Wants(obs.MsgRef{Sender: int64(k.Sender), Seq: k.Seq}) {
 				gone = append(gone, k)
 			}
 		}
@@ -227,7 +227,7 @@ func (t *Tracker) ObserveAck(p vclock.ProcessID, delivered vclock.VC) int {
 			t.spill.Drop(k.spillKey())
 			t.bumpSender(k.Sender, -1, -sz)
 			evicted++
-			if t.trace != nil {
+			if t.trace.Wants(obs.MsgRef{Sender: int64(k.Sender), Seq: k.Seq}) {
 				gone = append(gone, k)
 			}
 		}

@@ -26,14 +26,14 @@ type LiveNet struct {
 	partition map[NodeID]int
 	// slow adds per-destination consumer lag; same semantics as
 	// SimNet.Slow.
-	slow map[NodeID]time.Duration
-	rng       *rand.Rand
-	start     time.Time
-	stats     Stats
-	perNode   map[NodeID]*NodeStats
-	sink      obsSink
-	wg        sync.WaitGroup
-	closed    bool
+	slow    map[NodeID]time.Duration
+	rng     *rand.Rand
+	start   time.Time
+	stats   Stats
+	perNode map[NodeID]*NodeStats
+	sink    obsSink
+	wg      sync.WaitGroup
+	closed  bool
 }
 
 type packet struct {

@@ -148,7 +148,7 @@ func (s *obsSink) instrument(tr *obs.Tracer, reg *obs.Registry, substrate, fallb
 // wire-receive event (when the payload can name its message) and the
 // delivered/bytes registry counters.
 func (s *obsSink) onWireRecv(at time.Duration, to NodeID, payload any) {
-	if s.tracer != nil {
+	if s.tracer != nil && s.tracer.WantsWire(payload) {
 		if ref, ok := obs.RefOf(payload); ok {
 			s.tracer.WireRecv(at, int(to), ref)
 		}

@@ -19,6 +19,7 @@ package vclock
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -273,16 +274,20 @@ func (v VC) Sum() uint64 {
 
 // String renders the clock as "[t0 t1 ...]".
 func (v VC) String() string {
-	var b strings.Builder
-	b.WriteByte('[')
+	// strconv, not fmt: this renders on the sampled-tracing path, where
+	// per-entry fmt machinery dominated the sampled-message cost. The
+	// capacity covers 11-digit entries so long-running clocks don't
+	// regrow the buffer mid-render.
+	buf := make([]byte, 0, 2+12*len(v))
+	buf = append(buf, '[')
 	for i, t := range v {
 		if i > 0 {
-			b.WriteByte(' ')
+			buf = append(buf, ' ')
 		}
-		fmt.Fprintf(&b, "%d", t)
+		buf = strconv.AppendUint(buf, t, 10)
 	}
-	b.WriteByte(']')
-	return b.String()
+	buf = append(buf, ']')
+	return string(buf)
 }
 
 // Matrix is a matrix clock: row i is process i's vector clock as last
