@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench benchdiff experiments e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke
+.PHONY: verify vet build test race bench benchdiff experiments e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke
 
-verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke benchdiff
+verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,13 @@ mgcast-smoke:
 obs-smoke:
 	$(GO) test ./internal/experiments -run 'TestObsEndpointSmoke|TestE21SmallRun' -count=1 -v
 
+# The real-network smoke gate: build cmd/node and cmd/loadgen, stand
+# up a 3-OS-process fleet per substrate over TCP, drive it with
+# loadgen, and require zero causal/total-order oracle violations on
+# the merged cross-process obs trace.
+net-smoke:
+	$(GO) test ./internal/experiments -run 'TestE22' -count=1 -v
+
 # The bench-trajectory regression gate: compare the two most recent
 # BENCH_<n>.json snapshots and flag any gobench ns/op regression over
 # 20%. Warn-only by default (1x-iteration snapshots are noisy);
@@ -69,10 +76,13 @@ benchdiff:
 # mgcast sweeps in JSON form, all run from fixed seeds. The
 # observability-cost trio is then re-run at 50000x so the sampling
 # budget lands in the snapshot with real signal (benchdiff keeps the
-# last line per name). Apart from the leading provenance line (commit
-# + timestamp) and timing jitter, regenerating a snapshot from an
-# unchanged tree is near-identical. After writing, the new snapshot is
-# diffed against its predecessor (warn-only).
+# last line per name). A real-network loadgen fleet run (cmd/netbench)
+# closes the snapshot, so the trajectory tracks real TCP latency
+# quantiles alongside the simulator's numbers. Apart from the leading
+# provenance line (commit + timestamp), timing jitter, and the
+# wall-clock loadgen lines, regenerating a snapshot from an unchanged
+# tree is near-identical. After writing, the new snapshot is diffed
+# against its predecessor (warn-only).
 bench:
 	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	out=BENCH_$$n.json; \
@@ -82,6 +92,7 @@ bench:
 	  $(GO) run ./cmd/scalebench -exp scalecast -sizes 8,32 -json | $(GO) run ./cmd/benchsnap -kind scalecast; \
 	  $(GO) run ./cmd/scalebench -exp latbreak -sizes 8,32 -msgs 20 -json | $(GO) run ./cmd/benchsnap -kind latbreak; \
 	  $(GO) run ./cmd/scalebench -exp mgcast -sizes 8,32 -ks 1,2,4 -msgs 10 -json | $(GO) run ./cmd/benchsnap -kind mgcast; \
+	  $(GO) run ./cmd/netbench | $(GO) run ./cmd/benchsnap -kind loadgen; \
 	} > $$out; \
 	echo "wrote $$out ($$(wc -l < $$out) lines)"; \
 	$(MAKE) --no-print-directory benchdiff

@@ -1,15 +1,20 @@
 // Command experiments runs the full reproduction suite E1–E21 plus the
 // ablations and prints every table. With -md it emits the tables in
-// the Markdown layout used by EXPERIMENTS.md.
+// the Markdown layout used by EXPERIMENTS.md. With -net it also runs
+// E22, the real-network fleet: unlike everything else here it spawns
+// OS processes (cmd/node, cmd/loadgen) and measures wall-clock time,
+// so it is opt-in and not seed-deterministic.
 //
 // Usage:
 //
-//	experiments [-seed 1] [-quick] [-md]
+//	experiments [-seed 1] [-quick] [-md] [-net]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"catocs/internal/experiments"
 )
@@ -18,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "smaller parameterizations (CI-sized)")
 	md := flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md layout)")
+	netFleet := flag.Bool("net", false, "also run E22: real OS-process fleet over TCP (spawns processes)")
 	flag.Parse()
 
 	trials, sizes, msgs := 50, []int{4, 8, 16, 24}, 40
@@ -69,6 +75,15 @@ func main() {
 		experiments.TableAblationTotal(sizes, msgs/2, *seed),
 	}
 
+	if *netFleet {
+		t, err := runE22(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: E22:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
+	}
+
 	for _, t := range tables {
 		if *md {
 			fmt.Println(t.RenderMarkdown())
@@ -76,4 +91,58 @@ func main() {
 			fmt.Println(t.Render())
 		}
 	}
+}
+
+// runE22 builds the fleet binaries and runs the real-network arms: a
+// traced ordering-audit fleet per substrate, then an untraced
+// throughput fleet at full client count.
+func runE22(quick bool) (*experiments.Table, error) {
+	bin, err := os.MkdirTemp("", "catocs-net-bin")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(bin)
+	if err := experiments.BuildNetBinaries(bin); err != nil {
+		return nil, err
+	}
+	auditClients, auditRate, auditDur := 5000, 500.0, 4*time.Second
+	loadNodes, loadClients, loadRate, loadDur := 5, 100_000, 1200.0, 10*time.Second
+	if quick {
+		auditClients, auditRate, auditDur = 1000, 300, 1500*time.Millisecond
+		loadNodes, loadClients, loadRate, loadDur = 3, 10_000, 1500, 3*time.Second
+	}
+	var pts []experiments.E22Point
+	for _, substrate := range []string{"cbcast", "abcast"} {
+		work, err := os.MkdirTemp("", "catocs-net-run")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(work)
+		pt, err := experiments.RunE22(experiments.E22Config{
+			Substrate: substrate, Nodes: 3, Workers: 1,
+			Clients: auditClients, Rate: auditRate, MsgSize: 64,
+			Duration: auditDur, Trace: true, BinDir: bin, WorkDir: work,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(os.Stderr, "E22:", pt.JSON())
+		pts = append(pts, pt)
+	}
+	work, err := os.MkdirTemp("", "catocs-net-run")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(work)
+	pt, err := experiments.RunE22(experiments.E22Config{
+		Substrate: "abcast", Nodes: loadNodes, Workers: 2,
+		Clients: loadClients, Rate: loadRate, MsgSize: 64,
+		Duration: loadDur, BinDir: bin, WorkDir: work,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr, "E22:", pt.JSON())
+	pts = append(pts, pt)
+	return experiments.TableE22From(pts), nil
 }

@@ -1,0 +1,59 @@
+// Command netbench runs one real-network fleet benchmark and prints
+// the E22 measurement as JSON lines, ready for the bench-snapshot
+// pipeline (`netbench | benchsnap -kind loadgen`). It builds cmd/node
+// and cmd/loadgen into a temporary directory, stands up the fleet as
+// OS processes, drives it with simulated clients, and tears it down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"catocs/internal/experiments"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 3, "fleet processes")
+		workers  = flag.Int("workers", 2, "loadgen shards")
+		clients  = flag.Int("clients", 20000, "simulated clients")
+		rate     = flag.Float64("rate", 1000, "target publishes/sec")
+		size     = flag.Int("size", 64, "payload bytes")
+		duration = flag.Duration("duration", 4*time.Second, "send phase")
+	)
+	flag.Parse()
+	if err := realMain(*nodes, *workers, *clients, *rate, *size, *duration); err != nil {
+		fmt.Fprintln(os.Stderr, "netbench:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(nodes, workers, clients int, rate float64, size int, duration time.Duration) error {
+	bin, err := os.MkdirTemp("", "catocs-net-bin")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bin)
+	if err := experiments.BuildNetBinaries(bin); err != nil {
+		return err
+	}
+	for _, substrate := range []string{"cbcast", "abcast"} {
+		work, err := os.MkdirTemp("", "catocs-net-run")
+		if err != nil {
+			return err
+		}
+		pt, err := experiments.RunE22(experiments.E22Config{
+			Substrate: substrate, Nodes: nodes, Workers: workers,
+			Clients: clients, Rate: rate, MsgSize: size,
+			Duration: duration, BinDir: bin, WorkDir: work,
+		})
+		os.RemoveAll(work)
+		if err != nil {
+			return err
+		}
+		fmt.Println(pt.JSON())
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command node runs one fleet member: an ordered-multicast group
+// member plus a pubsub ingress endpoint, hosted on a real TCP
+// transport so independent OS processes form the group.
+//
+// Quickstart (3-node abcast fleet plus one loadgen worker):
+//
+//	FLEET="0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002"
+//	WORKERS="100=127.0.0.1:7100"
+//	EPOCH=$(date +%s%N)
+//	for i in 0 1 2; do
+//	  node -id $i -nodes "$FLEET" -workers "$WORKERS" \
+//	       -substrate abcast -epoch $EPOCH -stats node$i.json &
+//	done
+//	loadgen -nodes "$FLEET" -workers "$WORKERS" -epoch $EPOCH \
+//	        -clients 100000 -rate 5000 -duration 10s
+//
+// The process runs until SIGINT/SIGTERM (or -run elapses), then writes
+// its stats snapshot (and, with -trace, its obs trace as JSON lines —
+// merge the fleet's traces with obs.MergeEvents and feed the chaos
+// oracles to audit ordering) and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"catocs/internal/netharness"
+	"catocs/internal/obs"
+	"catocs/internal/obs/live"
+	"catocs/internal/transport"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "this node's fleet NodeID")
+		nodesFlag = flag.String("nodes", "", "fleet topology: id=host:port,...")
+		workers   = flag.String("workers", "", "loadgen worker endpoints: id=host:port,...")
+		substrate = flag.String("substrate", "abcast", "ordering substrate: cbcast|abcast")
+		epoch     = flag.Int64("epoch", 0, "shared wall-clock epoch (unix nanos; 0 = process start)")
+		obsAddr   = flag.String("obs", "", "serve /metrics /healthz /tracez on this address")
+		traceOut  = flag.String("trace", "", "write the obs trace (JSON lines) here on shutdown")
+		statsOut  = flag.String("stats", "", "write the stats snapshot JSON here on shutdown (default stdout)")
+		run       = flag.Duration("run", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
+	)
+	flag.Parse()
+	if err := realMain(*id, *nodesFlag, *workers, *substrate, *epoch, *obsAddr, *traceOut, *statsOut, *run); err != nil {
+		fmt.Fprintln(os.Stderr, "node:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(id int, nodesFlag, workersFlag, substrate string, epoch int64, obsAddr, traceOut, statsOut string, run time.Duration) error {
+	nodes, err := netharness.ParseNodeMap(nodesFlag)
+	if err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("-nodes is required")
+	}
+	workers, err := netharness.ParseNodeMap(workersFlag)
+	if err != nil {
+		return err
+	}
+
+	var tracer *obs.Tracer
+	if traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	registry := obs.NewRegistry()
+
+	node, err := netharness.StartFleetNode(netharness.NodeConfig{
+		ID:         transport.NodeID(id),
+		Nodes:      nodes,
+		Workers:    workers,
+		Substrate:  substrate,
+		EpochNanos: epoch,
+		Tracer:     tracer,
+		Registry:   registry,
+	})
+	if err != nil {
+		return err
+	}
+
+	if obsAddr != "" {
+		srv, err := live.Serve(obsAddr, live.Options{Registry: registry, Tracer: tracer})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "node %d: observability on http://%s\n", id, srv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if run > 0 {
+		select {
+		case <-sig:
+		case <-time.After(run):
+		}
+	} else {
+		<-sig
+	}
+
+	snap := node.Snapshot()
+	node.Close()
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteEventsJSON(f, tracer.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	out := os.Stdout
+	if statsOut != "" {
+		f, err := os.Create(statsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(snap)
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"catocs/internal/chaos"
+	"catocs/internal/netharness"
+	"catocs/internal/obs"
+)
+
+// E22 — the reproduction leaves the simulator. Every table so far runs
+// on virtual time inside one process; E22 stands up a fleet of real OS
+// processes (cmd/node) joined over TCP (internal/transport/tcpnet) and
+// drives them with cmd/loadgen's simulated clients. The measurement is
+// twofold: the throughput/latency arm runs untraced at full load and
+// reports sustained msgs/s, delivery quantiles, and wire bytes per
+// message; the audit arm runs a smaller traced fleet, merges each
+// process's obs trace on the shared wall-clock epoch, and feeds the
+// merged timeline to the chaos oracles — the same causal- and
+// total-order checks the simulator answers to, now answered by real
+// sockets, real schedulers, and real packet interleavings.
+
+// E22Config parameterizes one fleet run.
+type E22Config struct {
+	Substrate string        // cbcast | abcast
+	Nodes     int           // fleet processes (3..8)
+	Workers   int           // loadgen shards (each is one pubsub endpoint)
+	Clients   int           // simulated clients across all shards
+	Rate      float64       // target publishes/sec across all shards
+	MsgSize   int           // payload bytes
+	Duration  time.Duration // send phase
+	Trace     bool          // collect per-process obs traces and audit ordering
+	BinDir    string        // directory holding the node and loadgen binaries
+	WorkDir   string        // scratch directory for stats/trace/report files
+}
+
+// E22Point is one fleet measurement.
+type E22Point struct {
+	Substrate  string  `json:"substrate"`
+	Nodes      int     `json:"nodes"`
+	Workers    int     `json:"workers"`
+	Clients    int     `json:"clients"`
+	Rate       float64 `json:"target_rate"`
+	Sent       uint64  `json:"sent"`
+	Done       uint64  `json:"done"`
+	Lost       uint64  `json:"lost"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	P999Ms     float64 `json:"p999_ms"`
+	BytesMsg   float64 `json:"bytes_per_msg"`
+	// Audited is true when the run was traced and the oracles ran.
+	Audited bool `json:"audited"`
+	// TraceEvents is the merged cross-process timeline's length.
+	TraceEvents int `json:"trace_events"`
+	// CausalViolations / TotalViolations report the oracles; Total is
+	// only meaningful for total-order substrates (-1 = not checked).
+	CausalViolations int `json:"causal_violations"`
+	TotalViolations  int `json:"total_violations"`
+	// MinDelivered/MaxDelivered summarize per-node delivery counts:
+	// with atomic mode on, every node should deliver every multicast.
+	MinDelivered uint64 `json:"min_delivered"`
+	MaxDelivered uint64 `json:"max_delivered"`
+}
+
+// JSON renders the point as one JSON line.
+func (p E22Point) JSON() string {
+	b, _ := json.Marshal(p)
+	return string(b)
+}
+
+// BuildNetBinaries compiles cmd/node and cmd/loadgen into dir using
+// the module's own toolchain. The fleet runner execs the results, so
+// E22 measures separate OS processes, not goroutines sharing a heap.
+func BuildNetBinaries(dir string) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command("go", "build", "-o", dir, "./cmd/node", "./cmd/loadgen")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("build net binaries: %v\n%s", err, out)
+	}
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// reservePorts grabs n distinct loopback addresses by binding and
+// releasing ephemeral listeners.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// RunE22 stands up the fleet, drives it, tears it down, and audits the
+// result. Node processes are SIGTERMed after loadgen completes; each
+// writes its stats snapshot (and trace, when tracing) on the way out.
+func RunE22(cfg E22Config) (E22Point, error) {
+	pt := E22Point{
+		Substrate: cfg.Substrate, Nodes: cfg.Nodes, Workers: cfg.Workers,
+		Clients: cfg.Clients, Rate: cfg.Rate, TotalViolations: -1,
+	}
+	if cfg.Nodes < 1 || cfg.Workers < 1 {
+		return pt, fmt.Errorf("e22: need at least one node and one worker")
+	}
+	addrs, err := reservePorts(cfg.Nodes + cfg.Workers)
+	if err != nil {
+		return pt, err
+	}
+	fleet := make(map[int]string, cfg.Nodes)
+	var fleetSpec, workerSpec string
+	for i := 0; i < cfg.Nodes; i++ {
+		fleet[i] = addrs[i]
+		if i > 0 {
+			fleetSpec += ","
+		}
+		fleetSpec += fmt.Sprintf("%d=%s", i, addrs[i])
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		if i > 0 {
+			workerSpec += ","
+		}
+		workerSpec += fmt.Sprintf("%d=%s", 100+i, addrs[cfg.Nodes+i])
+	}
+	epoch := time.Now().UnixNano()
+
+	// Launch the fleet. Every process gets the same epoch so their
+	// trace timestamps land on one comparable timeline.
+	nodeBin := filepath.Join(cfg.BinDir, "node")
+	procs := make([]*exec.Cmd, cfg.Nodes)
+	statsFiles := make([]string, cfg.Nodes)
+	traceFiles := make([]string, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		statsFiles[i] = filepath.Join(cfg.WorkDir, fmt.Sprintf("node%d.stats.json", i))
+		args := []string{
+			"-id", fmt.Sprint(i),
+			"-nodes", fleetSpec,
+			"-workers", workerSpec,
+			"-substrate", cfg.Substrate,
+			"-epoch", fmt.Sprint(epoch),
+			"-stats", statsFiles[i],
+		}
+		if cfg.Trace {
+			traceFiles[i] = filepath.Join(cfg.WorkDir, fmt.Sprintf("node%d.trace.jsonl", i))
+			args = append(args, "-trace", traceFiles[i])
+		}
+		cmd := exec.Command(nodeBin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			killAll(procs)
+			return pt, fmt.Errorf("start node %d: %w", i, err)
+		}
+		procs[i] = cmd
+	}
+	defer killAll(procs)
+
+	// Drive it. tcpnet queues outbound frames while dials are in
+	// flight, so loadgen can start immediately.
+	reportPath := filepath.Join(cfg.WorkDir, "loadgen.json")
+	lg := exec.Command(filepath.Join(cfg.BinDir, "loadgen"),
+		"-nodes", fleetSpec,
+		"-workers", workerSpec,
+		"-clients", fmt.Sprint(cfg.Clients),
+		"-rate", fmt.Sprint(cfg.Rate),
+		"-size", fmt.Sprint(cfg.MsgSize),
+		"-duration", cfg.Duration.String(),
+		"-epoch", fmt.Sprint(epoch),
+		"-substrate", cfg.Substrate,
+		"-out", reportPath,
+	)
+	lg.Stderr = os.Stderr
+	if err := lg.Run(); err != nil {
+		return pt, fmt.Errorf("loadgen: %w", err)
+	}
+
+	// Tear down: SIGTERM makes each node snapshot its stats and trace.
+	for _, p := range procs {
+		p.Process.Signal(syscall.SIGTERM)
+	}
+	for i, p := range procs {
+		if err := waitFor(p, 10*time.Second); err != nil {
+			return pt, fmt.Errorf("node %d exit: %w", i, err)
+		}
+		procs[i] = nil
+	}
+
+	// Harvest the loadgen report.
+	var report netharness.LoadReport
+	if err := readJSON(reportPath, &report); err != nil {
+		return pt, err
+	}
+	pt.Sent, pt.Done, pt.Lost = report.Sent, report.Done, report.Lost
+	pt.MsgsPerSec = report.MsgsPerSec
+	pt.P50Ms, pt.P99Ms, pt.P999Ms = report.Latency.P50Ms, report.Latency.P99Ms, report.Latency.P999Ms
+	pt.BytesMsg = report.BytesPerMsg
+
+	// Harvest the fleet snapshots.
+	for i := range statsFiles {
+		var snap netharness.NodeSnapshot
+		if err := readJSON(statsFiles[i], &snap); err != nil {
+			return pt, err
+		}
+		if i == 0 || snap.Delivered < pt.MinDelivered {
+			pt.MinDelivered = snap.Delivered
+		}
+		if snap.Delivered > pt.MaxDelivered {
+			pt.MaxDelivered = snap.Delivered
+		}
+	}
+
+	// Audit: merge the per-process traces on the shared epoch and run
+	// the simulator's own ordering oracles over the real-network run.
+	if cfg.Trace {
+		traces := make([][]obs.Event, 0, len(traceFiles))
+		for _, path := range traceFiles {
+			f, err := os.Open(path)
+			if err != nil {
+				return pt, err
+			}
+			evs, err := obs.ReadEventsJSON(f)
+			f.Close()
+			if err != nil {
+				return pt, fmt.Errorf("read trace %s: %w", path, err)
+			}
+			traces = append(traces, evs)
+		}
+		merged := obs.MergeEvents(traces...)
+		pt.Audited = true
+		pt.TraceEvents = len(merged)
+		pt.CausalViolations = len(chaos.CheckCausalOrder(merged))
+		if cfg.Substrate == "abcast" {
+			pt.TotalViolations = len(chaos.CheckTotalOrder(chaos.DeliveryOrders(merged)))
+		}
+	}
+	return pt, nil
+}
+
+// killAll hard-kills any still-running fleet process.
+func killAll(procs []*exec.Cmd) {
+	for _, p := range procs {
+		if p != nil && p.Process != nil {
+			p.Process.Kill()
+			p.Wait()
+		}
+	}
+}
+
+// waitFor waits for a process with a deadline.
+func waitFor(p *exec.Cmd, d time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- p.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		p.Process.Kill()
+		return fmt.Errorf("timeout after %v", d)
+	}
+}
+
+// readJSON decodes one JSON document from a file.
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
+
+// TableE22From renders already-computed points.
+func TableE22From(pts []E22Point) *Table {
+	t := &Table{
+		ID:    "E22",
+		Title: "Real-network fleet: OS processes over TCP under loadgen",
+		Claim: "the ordering guarantees the simulator certifies must survive real sockets: a multi-process cbcast/abcast fleet delivers loadgen traffic with zero causal/total-order oracle violations, at measured real-wire cost",
+		Headers: []string{"substrate", "procs", "clients", "sent", "done", "lost",
+			"msgs/s", "p50 ms", "p99 ms", "p99.9 ms", "bytes/msg",
+			"causal viol", "total viol"},
+	}
+	for _, p := range pts {
+		tot := "-"
+		if p.TotalViolations >= 0 {
+			tot = fmtI(p.TotalViolations)
+		}
+		cv := "-"
+		if p.Audited {
+			cv = fmtI(p.CausalViolations)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Substrate, fmtI(p.Nodes), fmtI(p.Clients),
+			fmtU(p.Sent), fmtU(p.Done), fmtU(p.Lost),
+			fmtF(p.MsgsPerSec), fmtF(p.P50Ms), fmtF(p.P99Ms), fmtF(p.P999Ms),
+			fmtF(p.BytesMsg), cv, tot,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"each proc is a separate OS process (cmd/node) on a TCP transport; loadgen drives simulated clients through the pubsub ingress",
+		"latency is the full path: worker publish -> ingress multicast -> ordered delivery at the origin -> \"done\" echo back to the worker, on the wall clock",
+		"audited rows merge every process's obs trace on a shared epoch and run the chaos causal/total-order oracles over the real interleaving",
+		"bytes/msg counts loadgen-side wire bytes both directions, frame headers included; '-' = arm ran untraced (throughput arms skip tracing to avoid observer cost)")
+	return t
+}

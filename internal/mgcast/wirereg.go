@@ -1,0 +1,37 @@
+package mgcast
+
+import (
+	"fmt"
+
+	"catocs/internal/wire"
+)
+
+// Registry bridge: mgcast already had its own self-tagging binary
+// codec (codec.go) before the shared wire registry existed. These
+// registrations adapt it so the TCP transport can carry mgcast
+// traffic: each message type encodes through mgcast.Encode (whose
+// output carries its own leading type tag) and every kind decodes
+// through mgcast.Decode, which dispatches on that tag. Decode rejects
+// a frame whose inner tag disagrees with the registry kind, so a
+// corrupted kind field cannot smuggle one message type as another.
+
+func init() {
+	reg := func(kind wire.Kind, zero any, tag byte) {
+		wire.Register(kind, zero,
+			func(payload any) ([]byte, error) { return Encode(payload) },
+			func(buf []byte) (any, error) {
+				msg, err := Decode(buf)
+				if err != nil {
+					return nil, err
+				}
+				if len(buf) > 0 && buf[0] != tag {
+					return nil, fmt.Errorf("mgcast: wire kind expects tag 0x%02x, frame carries 0x%02x", tag, buf[0])
+				}
+				return msg, nil
+			})
+	}
+	reg(wire.KindMGCast+0, &DataMsg{}, wireData)
+	reg(wire.KindMGCast+1, &ProposeMsg{}, wirePropose)
+	reg(wire.KindMGCast+2, &CommitMsg{}, wireCommit)
+	reg(wire.KindMGCast+3, &AckMsg{}, wireAck)
+}

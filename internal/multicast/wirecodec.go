@@ -1,0 +1,365 @@
+package multicast
+
+import (
+	"fmt"
+	"time"
+
+	"catocs/internal/vclock"
+	"catocs/internal/wire"
+)
+
+// Wire codec registrations for the eight CBCAST/ABCAST message types,
+// so the TCP transport can carry a group across OS processes. The
+// in-process networks never call these; tcpnet calls them on every
+// frame. On the wire a DataMsg payload must be nil or []byte — the
+// codec defines the external representation, and externally a payload
+// is bytes. The unexported trace hint fields do not travel: a decoded
+// copy arrives with no sampling decision, which the tracer treats as
+// "undecided" and resolves locally.
+
+// Decode guards. A hostile or corrupt frame must not make us allocate
+// unbounded memory before validation.
+const (
+	wireMaxGroup   = 1 << 10 // group name bytes
+	wireMaxVC      = 1 << 20 // vector clock entries
+	wireMaxPayload = 1 << 26 // payload bytes
+	wireMaxWant    = 1 << 16 // NACK want-list entries
+)
+
+func init() {
+	wire.Register(wire.KindMulticast+0, &DataMsg{}, encDataMsg, decDataMsg)
+	wire.Register(wire.KindMulticast+1, &OrderMsg{}, encOrderMsg, decOrderMsg)
+	wire.Register(wire.KindMulticast+2, &ProposeMsg{}, encProposeMsg, decProposeMsg)
+	wire.Register(wire.KindMulticast+3, &CommitMsg{}, encCommitMsg, decCommitMsg)
+	wire.Register(wire.KindMulticast+4, &AckMsg{}, encAckMsg, decAckMsg)
+	wire.Register(wire.KindMulticast+5, &NackMsg{}, encNackMsg, decNackMsg)
+	wire.Register(wire.KindMulticast+6, &OrderNack{}, encOrderNack, decOrderNack)
+	wire.Register(wire.KindMulticast+7, &RetransMsg{}, encRetransMsg, decRetransMsg)
+}
+
+// wirePayloadBytes validates the nil-or-bytes payload constraint.
+func wirePayloadBytes(payload any) ([]byte, error) {
+	switch p := payload.(type) {
+	case nil:
+		return nil, nil
+	case []byte:
+		if len(p) > wireMaxPayload {
+			return nil, fmt.Errorf("multicast: payload %d bytes exceeds wire limit %d", len(p), wireMaxPayload)
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("multicast: cannot encode payload of type %T (want []byte or nil)", payload)
+	}
+}
+
+func appendVC(w *wire.Writer, vc vclock.VC) error {
+	if len(vc) > wireMaxVC {
+		return fmt.Errorf("multicast: vector clock of %d entries exceeds wire limit %d", len(vc), wireMaxVC)
+	}
+	w.U32(uint32(len(vc)))
+	for _, v := range vc {
+		w.U64(v)
+	}
+	return nil
+}
+
+func readVC(r *wire.Reader) vclock.VC {
+	n := int(r.U32())
+	if n > wireMaxVC {
+		// Poison the reader: the decoder's Finish rejects the frame.
+		r.Take(wireMaxVC + 1)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	vc := make(vclock.VC, 0, n)
+	for i := 0; i < n; i++ {
+		vc = append(vc, r.U64())
+	}
+	if r.Err() {
+		return nil
+	}
+	return vc
+}
+
+func appendMsgID(w *wire.Writer, id MsgID) {
+	w.I64(int64(id.Sender))
+	w.U64(id.Seq)
+}
+
+func readMsgID(r *wire.Reader) MsgID {
+	return MsgID{Sender: vclock.ProcessID(r.I64()), Seq: r.U64()}
+}
+
+func appendStamp(w *wire.Writer, s vclock.Stamp) {
+	w.U64(s.Time)
+	w.I64(int64(s.Proc))
+}
+
+func readStamp(r *wire.Reader) vclock.Stamp {
+	return vclock.Stamp{Time: r.U64(), Proc: vclock.ProcessID(r.I64())}
+}
+
+func encDataMsg(payload any) ([]byte, error) {
+	m := payload.(*DataMsg)
+	body, err := wirePayloadBytes(m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Group) > wireMaxGroup {
+		return nil, fmt.Errorf("multicast: group name %d bytes exceeds wire limit %d", len(m.Group), wireMaxGroup)
+	}
+	w := wire.NewWriter(64 + 8*(len(m.VC)+len(m.DeliveredVC)) + len(body))
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	w.I64(int64(m.Sender))
+	w.U64(m.Seq)
+	w.I64(int64(m.SentAt))
+	w.U32(uint32(m.PayloadSize))
+	if err := appendVC(w, m.VC); err != nil {
+		return nil, err
+	}
+	if err := appendVC(w, m.DeliveredVC); err != nil {
+		return nil, err
+	}
+	w.Bytes32(body)
+	return w.Bytes(), nil
+}
+
+func decDataMsg(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &DataMsg{
+		Group:  r.String(wireMaxGroup),
+		Epoch:  r.U64(),
+		Sender: vclock.ProcessID(r.I64()),
+		Seq:    r.U64(),
+		SentAt: time.Duration(r.I64()),
+	}
+	m.PayloadSize = int(r.U32())
+	m.VC = readVC(r)
+	m.DeliveredVC = readVC(r)
+	if b := r.Bytes32(wireMaxPayload); b != nil {
+		m.Payload = b
+	}
+	if err := r.Finish("multicast.DataMsg"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encOrderMsg(payload any) ([]byte, error) {
+	m := payload.(*OrderMsg)
+	w := wire.NewWriter(48 + len(m.Group))
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	w.U64(m.GlobalSeq)
+	appendMsgID(w, m.ID)
+	return w.Bytes(), nil
+}
+
+func decOrderMsg(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &OrderMsg{
+		Group:     r.String(wireMaxGroup),
+		Epoch:     r.U64(),
+		GlobalSeq: r.U64(),
+		ID:        readMsgID(r),
+	}
+	if err := r.Finish("multicast.OrderMsg"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encProposeMsg(payload any) ([]byte, error) {
+	m := payload.(*ProposeMsg)
+	w := wire.NewWriter(56 + len(m.Group))
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	appendMsgID(w, m.ID)
+	appendStamp(w, m.Priority)
+	return w.Bytes(), nil
+}
+
+func decProposeMsg(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &ProposeMsg{
+		Group:    r.String(wireMaxGroup),
+		Epoch:    r.U64(),
+		ID:       readMsgID(r),
+		Priority: readStamp(r),
+	}
+	if err := r.Finish("multicast.ProposeMsg"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encCommitMsg(payload any) ([]byte, error) {
+	m := payload.(*CommitMsg)
+	w := wire.NewWriter(56 + len(m.Group))
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	appendMsgID(w, m.ID)
+	appendStamp(w, m.Priority)
+	return w.Bytes(), nil
+}
+
+func decCommitMsg(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &CommitMsg{
+		Group:    r.String(wireMaxGroup),
+		Epoch:    r.U64(),
+		ID:       readMsgID(r),
+		Priority: readStamp(r),
+	}
+	if err := r.Finish("multicast.CommitMsg"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encAckMsg(payload any) ([]byte, error) {
+	m := payload.(*AckMsg)
+	w := wire.NewWriter(40 + len(m.Group) + 8*len(m.Delivered))
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	w.I64(int64(m.From))
+	if err := appendVC(w, m.Delivered); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func decAckMsg(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &AckMsg{
+		Group: r.String(wireMaxGroup),
+		Epoch: r.U64(),
+		From:  vclock.ProcessID(r.I64()),
+	}
+	m.Delivered = readVC(r)
+	if err := r.Finish("multicast.AckMsg"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func appendWant(w *wire.Writer, want []MsgID) error {
+	if len(want) > wireMaxWant {
+		return fmt.Errorf("multicast: want list of %d ids exceeds wire limit %d", len(want), wireMaxWant)
+	}
+	w.U32(uint32(len(want)))
+	for _, id := range want {
+		appendMsgID(w, id)
+	}
+	return nil
+}
+
+func readWant(r *wire.Reader) []MsgID {
+	n := int(r.U32())
+	if n > wireMaxWant {
+		r.Take(wireMaxWant * 16)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	want := make([]MsgID, 0, n)
+	for i := 0; i < n; i++ {
+		want = append(want, readMsgID(r))
+	}
+	if r.Err() {
+		return nil
+	}
+	return want
+}
+
+func encNackMsg(payload any) ([]byte, error) {
+	m := payload.(*NackMsg)
+	w := wire.NewWriter(40 + len(m.Group) + 16*len(m.Want))
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	w.I64(int64(m.From))
+	if err := appendWant(w, m.Want); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func decNackMsg(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &NackMsg{
+		Group: r.String(wireMaxGroup),
+		Epoch: r.U64(),
+		From:  vclock.ProcessID(r.I64()),
+	}
+	m.Want = readWant(r)
+	if err := r.Finish("multicast.NackMsg"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encOrderNack(payload any) ([]byte, error) {
+	m := payload.(*OrderNack)
+	w := wire.NewWriter(48 + len(m.Group) + 16*len(m.Want))
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	w.I64(int64(m.From))
+	w.U64(m.FromGlobal)
+	if err := appendWant(w, m.Want); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func decOrderNack(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &OrderNack{
+		Group: r.String(wireMaxGroup),
+		Epoch: r.U64(),
+		From:  vclock.ProcessID(r.I64()),
+	}
+	m.FromGlobal = r.U64()
+	m.Want = readWant(r)
+	if err := r.Finish("multicast.OrderNack"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encRetransMsg(payload any) ([]byte, error) {
+	m := payload.(*RetransMsg)
+	if m.Data == nil {
+		return nil, fmt.Errorf("multicast: RetransMsg with nil Data")
+	}
+	inner, err := encDataMsg(m.Data)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(24 + len(m.Group) + len(inner))
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	w.Bytes32(inner)
+	return w.Bytes(), nil
+}
+
+func decRetransMsg(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &RetransMsg{
+		Group: r.String(wireMaxGroup),
+		Epoch: r.U64(),
+	}
+	inner := r.Bytes32(wireMaxPayload + wireMaxGroup + 64 + 16*wireMaxVC)
+	if err := r.Finish("multicast.RetransMsg"); err != nil {
+		return nil, err
+	}
+	data, err := decDataMsg(inner)
+	if err != nil {
+		return nil, err
+	}
+	m.Data = data.(*DataMsg)
+	return m, nil
+}

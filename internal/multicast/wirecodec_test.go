@@ -1,0 +1,125 @@
+package multicast
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"catocs/internal/vclock"
+	"catocs/internal/wire"
+)
+
+// sampleMsgs is one of each wire type with representative field
+// values, including the edge cases (nil payload, empty VC, empty want
+// list).
+func sampleMsgs() []any {
+	data := &DataMsg{
+		Group:       "g",
+		Epoch:       3,
+		Sender:      2,
+		Seq:         17,
+		VC:          vclock.VC{4, 17, 9},
+		SentAt:      1500 * time.Millisecond,
+		DeliveredVC: vclock.VC{4, 16, 9},
+		Payload:     []byte("payload-bytes"),
+		PayloadSize: 13,
+	}
+	return []any{
+		data,
+		&DataMsg{Group: "g2", Sender: 0, Seq: 1},
+		&OrderMsg{Group: "g", Epoch: 1, GlobalSeq: 88, ID: MsgID{Sender: 1, Seq: 7}},
+		&ProposeMsg{Group: "g", Epoch: 2, ID: MsgID{Sender: 3, Seq: 9}, Priority: vclock.Stamp{Time: 41, Proc: 3}},
+		&CommitMsg{Group: "g", Epoch: 2, ID: MsgID{Sender: 3, Seq: 9}, Priority: vclock.Stamp{Time: 44, Proc: 1}},
+		&AckMsg{Group: "g", Epoch: 5, From: 1, Delivered: vclock.VC{9, 9, 2}},
+		&NackMsg{Group: "g", Epoch: 5, From: 0, Want: []MsgID{{Sender: 1, Seq: 2}, {Sender: 2, Seq: 8}}},
+		&NackMsg{Group: "g", Epoch: 5, From: 0},
+		&OrderNack{Group: "g", Epoch: 5, From: 2, FromGlobal: 31, Want: []MsgID{{Sender: 0, Seq: 4}}},
+		&RetransMsg{Group: "g", Epoch: 3, Data: data},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, in := range sampleMsgs() {
+		kind, buf, err := wire.Marshal(in)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", in, err)
+		}
+		out, err := wire.Unmarshal(kind, buf)
+		if err != nil {
+			t.Fatalf("Unmarshal(%T): %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip %T:\n in: %+v\nout: %+v", in, in, out)
+		}
+	}
+}
+
+func TestWireRejectsTruncation(t *testing.T) {
+	for _, in := range sampleMsgs() {
+		kind, buf, err := wire.Marshal(in)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", in, err)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := wire.Unmarshal(kind, buf[:cut]); err == nil {
+				t.Fatalf("%T truncated to %d/%d bytes decoded successfully", in, cut, len(buf))
+			}
+		}
+		if _, err := wire.Unmarshal(kind, append(append([]byte(nil), buf...), 0xFF)); err == nil {
+			t.Fatalf("%T with trailing garbage decoded successfully", in)
+		}
+	}
+}
+
+func TestWireRejectsNonByteSlicePayload(t *testing.T) {
+	m := &DataMsg{Group: "g", Sender: 1, Seq: 1, Payload: "a string"}
+	if _, _, err := wire.Marshal(m); err == nil {
+		t.Fatal("Marshal of string payload succeeded; the wire form is bytes")
+	}
+}
+
+// FuzzWireDecode attacks every multicast decoder with arbitrary
+// bytes: no input may panic, and any input that decodes must re-encode
+// and decode to the same value (canonical form round trip).
+func FuzzWireDecode(f *testing.F) {
+	kinds := []wire.Kind{
+		wire.KindMulticast + 0, wire.KindMulticast + 1, wire.KindMulticast + 2,
+		wire.KindMulticast + 3, wire.KindMulticast + 4, wire.KindMulticast + 5,
+		wire.KindMulticast + 6, wire.KindMulticast + 7,
+	}
+	for _, in := range sampleMsgs() {
+		_, buf, err := wire.Marshal(in)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(uint16(0), buf)
+	}
+	f.Add(uint16(3), []byte{0, 0, 1})
+	f.Fuzz(func(t *testing.T, kindSel uint16, buf []byte) {
+		kind := kinds[int(kindSel)%len(kinds)]
+		msg, err := wire.Unmarshal(kind, buf)
+		if err != nil {
+			return
+		}
+		kind2, buf2, err := wire.Marshal(msg)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %T failed: %v", msg, err)
+		}
+		if kind2 != kind {
+			t.Fatalf("re-encode kind %#04x, want %#04x", uint16(kind2), uint16(kind))
+		}
+		msg2, err := wire.Unmarshal(kind2, buf2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(msg, msg2) {
+			t.Fatalf("decode/encode/decode disagrees:\n 1: %+v\n 2: %+v", msg, msg2)
+		}
+		if !bytes.Equal(buf, buf2) && reflect.DeepEqual(msg, msg2) {
+			// Non-canonical inputs (e.g. empty-vs-nil slices) are fine as
+			// long as the value is stable; nothing to assert.
+			_ = msg2
+		}
+	})
+}

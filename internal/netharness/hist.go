@@ -1,0 +1,197 @@
+// Package netharness holds the shared machinery of the real-network
+// harness: the log-bucketed latency histogram, the load payload codec,
+// fleet topology parsing shared by cmd/node and cmd/loadgen, and the
+// loadgen worker core that drives simulated clients through the bus.
+package netharness
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Histogram geometry: values below histLinear nanoseconds get exact
+// unit buckets; above, each power of two splits into histSub
+// logarithmic sub-buckets, bounding relative error at 1/histSub
+// (~3%). 1888 buckets (32 linear + 32 per exponent 5..62) cover the
+// full int64 nanosecond range in under 16 KiB — unlike
+// metrics.Histogram, which keeps every sample and cannot absorb
+// millions of client latencies.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // 32
+	histBuckets = histSub + (62-histSubBits+1)*histSub
+)
+
+// LatencyHist is a fixed-memory log-bucketed histogram of nanosecond
+// latencies. It is not safe for concurrent use: each loadgen worker
+// owns one and the coordinator folds them together with Merge.
+type LatencyHist struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{min: int64(^uint64(0) >> 1)}
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= histSubBits
+	sub := int(v>>(uint(exp-histSubBits))) - histSub
+	idx := histSub + (exp-histSubBits)*histSub + sub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the inclusive lower bound of a bucket.
+func bucketLow(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	exp := (idx-histSub)/histSub + histSubBits
+	sub := (idx - histSub) % histSub
+	return int64(histSub+sub) << uint(exp-histSubBits)
+}
+
+// Record adds one latency observation.
+func (h *LatencyHist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean, or zero when empty.
+func (h *LatencyHist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Max returns the largest observation (exact, not bucketed).
+func (h *LatencyHist) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Min returns the smallest observation (exact, not bucketed).
+func (h *LatencyHist) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Quantile returns the latency at quantile q in [0,1], interpolated to
+// the middle of the owning bucket (its exact bounds for unit buckets).
+// The answer's relative error is bounded by the bucket width, ~3%.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			lo := bucketLow(i)
+			hi := lo + 1
+			if i >= histSub {
+				hi = bucketLow(i + 1)
+			}
+			mid := (lo + hi) / 2
+			if int64(mid) > h.max {
+				mid = h.max
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds another histogram into this one.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Summary is the histogram reduced to the quantiles the experiment
+// tables report, in milliseconds for JSON readability.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summarize reduces the histogram.
+func (h *LatencyHist) Summarize() Summary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Summary{
+		Count:  h.count,
+		MeanMs: ms(h.Mean()),
+		P50Ms:  ms(h.Quantile(0.50)),
+		P90Ms:  ms(h.Quantile(0.90)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		P999Ms: ms(h.Quantile(0.999)),
+		MaxMs:  ms(h.Max()),
+	}
+}
+
+// String renders the summary for logs.
+func (h *LatencyHist) String() string {
+	s := h.Summarize()
+	return fmt.Sprintf("n=%d p50=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms",
+		s.Count, s.P50Ms, s.P99Ms, s.P999Ms, s.MaxMs)
+}

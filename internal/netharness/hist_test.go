@@ -1,0 +1,135 @@
+package netharness
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistBucketBoundsInvertible(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and
+	// bounds must be strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo := bucketLow(i)
+		if lo <= prev {
+			t.Fatalf("bucket %d: lower bound %d not increasing (prev %d)", i, lo, prev)
+		}
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(bucketLow(%d)=%d) = %d", i, lo, got)
+		}
+		prev = lo
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// Against a known distribution: quantiles must land within the
+	// ~3% relative error the bucket geometry promises.
+	h := NewLatencyHist()
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]int64, 100000)
+	for i := range samples {
+		v := int64(rng.ExpFloat64() * float64(5*time.Millisecond))
+		samples[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := float64(samples[int(q*float64(len(samples)))])
+		got := float64(h.Quantile(q))
+		if exact == 0 {
+			continue
+		}
+		if rel := (got - exact) / exact; rel > 0.05 || rel < -0.05 {
+			t.Fatalf("q%.3f: hist %v vs exact %v (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+	if h.Count() != 100000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != time.Duration(samples[len(samples)-1]) {
+		t.Fatalf("Max = %v, want %v", h.Max(), time.Duration(samples[len(samples)-1]))
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b, all := NewLatencyHist(), NewLatencyHist(), NewLatencyHist()
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		all.Record(d)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Fatalf("merged count/max/min = %d/%v/%v, want %d/%v/%v",
+			a.Count(), a.Max(), a.Min(), all.Count(), all.Max(), all.Min())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.2f: merged %v, direct %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read as zeros")
+	}
+	s := h.Summarize()
+	if s.Count != 0 || s.P99Ms != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSampleRoundTrip(t *testing.T) {
+	in := Sample{Worker: 7, Client: 123456789, Seq: 42, SentNano: 1715000000000000000}
+	for _, size := range []int{0, SampleHeaderLen, 64, 1024} {
+		buf := EncodeSample(in, size)
+		want := size
+		if want < SampleHeaderLen {
+			want = SampleHeaderLen
+		}
+		if len(buf) != want {
+			t.Fatalf("size %d: encoded %d bytes", size, len(buf))
+		}
+		out, ok := DecodeSample(buf)
+		if !ok || out != in {
+			t.Fatalf("round trip: %+v -> %+v ok=%v", in, out, ok)
+		}
+	}
+	if _, ok := DecodeSample(make([]byte, SampleHeaderLen-1)); ok {
+		t.Fatal("short buffer decoded")
+	}
+}
+
+func TestParseNodeMap(t *testing.T) {
+	m, err := ParseNodeMap("0=127.0.0.1:7000, 2=127.0.0.1:7002,1=h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[0] != "127.0.0.1:7000" || m[1] != "h:1" || m[2] != "127.0.0.1:7002" {
+		t.Fatalf("parsed %v", m)
+	}
+	ids := SortedIDs(m)
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("sorted ids %v", ids)
+	}
+	if got := FormatNodeMap(m); got != "0=127.0.0.1:7000,1=h:1,2=127.0.0.1:7002" {
+		t.Fatalf("formatted %q", got)
+	}
+	if _, err := ParseNodeMap("0=a,0=b"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := ParseNodeMap("nope"); err == nil {
+		t.Fatal("malformed entry accepted")
+	}
+	if m, err := ParseNodeMap("  "); err != nil || len(m) != 0 {
+		t.Fatalf("blank input: %v %v", m, err)
+	}
+}

@@ -1,0 +1,53 @@
+package netharness
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Sample is the measurement head of every load payload: which virtual
+// client of which worker sent it, that client's sequence number, and
+// the wall-clock send instant the echo's receiver subtracts from its
+// own clock for end-to-end latency. The rest of the payload is padding
+// up to the configured message size.
+type Sample struct {
+	Worker   uint32
+	Client   uint64
+	Seq      uint64
+	SentNano int64
+}
+
+// SampleHeaderLen is the encoded size of the measurement head.
+const SampleHeaderLen = 4 + 8 + 8 + 8
+
+// EncodeSample renders a sample padded to size bytes (never below the
+// header length).
+func EncodeSample(s Sample, size int) []byte {
+	if size < SampleHeaderLen {
+		size = SampleHeaderLen
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf[0:4], s.Worker)
+	binary.LittleEndian.PutUint64(buf[4:12], s.Client)
+	binary.LittleEndian.PutUint64(buf[12:20], s.Seq)
+	binary.LittleEndian.PutUint64(buf[20:28], uint64(s.SentNano))
+	return buf
+}
+
+// DecodeSample reads the measurement head back out of a payload.
+func DecodeSample(buf []byte) (Sample, bool) {
+	if len(buf) < SampleHeaderLen {
+		return Sample{}, false
+	}
+	return Sample{
+		Worker:   binary.LittleEndian.Uint32(buf[0:4]),
+		Client:   binary.LittleEndian.Uint64(buf[4:12]),
+		Seq:      binary.LittleEndian.Uint64(buf[12:20]),
+		SentNano: int64(binary.LittleEndian.Uint64(buf[20:28])),
+	}, true
+}
+
+// Age returns the wall-clock time elapsed since the sample was sent.
+func (s Sample) Age(now time.Time) time.Duration {
+	return time.Duration(now.UnixNano() - s.SentNano)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// eventJSON is the on-disk form of one trace event: JSON lines, one
+// event per line, so multi-process fleets can stream traces to files
+// and a harness can concatenate and merge them.
+type eventJSON struct {
+	T      int64  `json:"t"` // nanoseconds on the fleet's shared epoch
+	Node   int    `json:"node"`
+	Kind   int    `json:"kind"`
+	Sender int64  `json:"sender,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Ctx    string `json:"ctx,omitempty"`
+	Name   string `json:"name,omitempty"`
+}
+
+// WriteEventsJSON streams events as JSON lines.
+func WriteEventsJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(eventJSON{
+			T:      int64(e.T),
+			Node:   e.Node,
+			Kind:   int(e.Kind),
+			Sender: e.Msg.Sender,
+			Seq:    e.Msg.Seq,
+			Label:  e.Msg.Label,
+			Ctx:    e.Ctx,
+			Name:   e.Name,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEventsJSON parses a JSON-lines trace back into events, in file
+// order. Blank lines are skipped.
+func ReadEventsJSON(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(raw, &ej); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, Event{
+			T:    time.Duration(ej.T),
+			Node: ej.Node,
+			Kind: Kind(ej.Kind),
+			Msg:  MsgRef{Sender: ej.Sender, Seq: ej.Seq, Label: ej.Label},
+			Ctx:  ej.Ctx,
+			Name: ej.Name,
+			seq:  len(out),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergeEvents folds several per-process traces into one timeline on
+// the shared epoch: a stable sort by timestamp, so each node's own
+// event order (one node lives in exactly one trace) survives clock
+// granularity ties. The result is suitable for the chaos oracles.
+func MergeEvents(traces ...[]Event) []Event {
+	var all []Event
+	for _, t := range traces {
+		all = append(all, t...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].T < all[j].T })
+	for i := range all {
+		all[i].seq = i
+	}
+	return all
+}

@@ -49,8 +49,25 @@ type pubMsg struct {
 	ReplyID uint64
 }
 
+// valueSize estimates the wire size of a payload value: exact for
+// the []byte/string values the wire codec carries, zero for opaque
+// in-process values.
+func valueSize(v any) int {
+	switch v := v.(type) {
+	case []byte:
+		return len(v)
+	case string:
+		return len(v)
+	}
+	return 0
+}
+
 // ApproxSize implements transport.Sizer.
-func (p pubMsg) ApproxSize() int { return 48 + len(p.Subject) }
+func (p pubMsg) ApproxSize() int { return 48 + len(p.Subject) + valueSize(p.Value) }
+
+// ControlSize implements transport.ControlSizer: everything but the
+// application value is bus metadata.
+func (p pubMsg) ControlSize() int { return 48 + len(p.Subject) }
 
 // replyMsg answers a request.
 type replyMsg struct {
@@ -59,7 +76,10 @@ type replyMsg struct {
 }
 
 // ApproxSize implements transport.Sizer.
-func (replyMsg) ApproxSize() int { return 32 }
+func (r replyMsg) ApproxSize() int { return 32 + valueSize(r.Value) }
+
+// ControlSize implements transport.ControlSizer.
+func (replyMsg) ControlSize() int { return 32 }
 
 // syncReq asks publishers for their latest values on a subject
 // pattern.
@@ -77,7 +97,16 @@ type syncReply struct {
 }
 
 // ApproxSize implements transport.Sizer.
-func (s syncReply) ApproxSize() int { return 16 + 48*len(s.Events) }
+func (s syncReply) ApproxSize() int {
+	size := 16 + 48*len(s.Events)
+	for _, e := range s.Events {
+		size += valueSize(e.Value)
+	}
+	return size
+}
+
+// ControlSize implements transport.ControlSizer.
+func (s syncReply) ControlSize() int { return 16 + 48*len(s.Events) }
 
 // Mode selects a subscription's ordering discipline.
 type Mode int

@@ -33,6 +33,11 @@ type ReplWrite struct {
 	Value any
 }
 
+// ApproxSize implements transport.Sizer: the size the primary also
+// reports to Multicast, so direct sends and multicast accounting
+// agree.
+func (w ReplWrite) ApproxSize() int { return 16 + len(w.Key) }
+
 // WriteAck is a replica's acknowledgement of applying a write, sent
 // point-to-point back to the primary for the write-safety count.
 type WriteAck struct {

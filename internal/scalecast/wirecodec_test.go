@@ -1,0 +1,100 @@
+package scalecast
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"catocs/internal/transport"
+	"catocs/internal/wire"
+)
+
+func sampleLinkMsgs() []any {
+	flood := &FloodMsg{
+		Group: "sc", Origin: 4, Seq: 12, SentAt: 90 * time.Millisecond,
+		Hops: 2, Payload: []byte("xyz"), PayloadSize: 3,
+	}
+	barrier := &FloodMsg{
+		Group: "sc", Origin: 1, Seq: 3,
+		Payload: barrierPayload{From: 1, To: 5, Gen: 2}, PayloadSize: barrierPayloadSize,
+	}
+	return []any{
+		&LinkPacket{Group: "sc", Session: 2, Seq: 41, Msg: flood},
+		&LinkPacket{Group: "sc", Session: 1, Seq: 1, Msg: barrier},
+		&LinkPacket{Group: "sc", Session: 1, Seq: 2, Msg: &FloodMsg{Group: "sc", Origin: 0, Seq: 1}},
+		&LinkAck{Group: "sc", Session: 2, Cum: 40},
+		&LinkNack{Group: "sc", Session: 2, From: 38, To: 41},
+		&LinkHeartbeat{Group: "sc", Session: 2, Top: 44},
+		&LinkBarrier{Group: "sc", Session: 3, Fresh: true, Cut: map[transport.NodeID]uint64{0: 4, 7: 1}},
+		&LinkBarrier{Group: "sc", Session: 3},
+		&LinkBarrierAck{Group: "sc", Session: 3},
+	}
+}
+
+func TestScalecastWireRoundTrip(t *testing.T) {
+	for _, in := range sampleLinkMsgs() {
+		kind, buf, err := wire.Marshal(in)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", in, err)
+		}
+		out, err := wire.Unmarshal(kind, buf)
+		if err != nil {
+			t.Fatalf("Unmarshal(%T): %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip %T:\n in: %+v\nout: %+v", in, in, out)
+		}
+	}
+}
+
+func TestScalecastWireRejectsTruncation(t *testing.T) {
+	for _, in := range sampleLinkMsgs() {
+		kind, buf, err := wire.Marshal(in)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", in, err)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := wire.Unmarshal(kind, buf[:cut]); err == nil {
+				t.Fatalf("%T truncated to %d/%d bytes decoded successfully", in, cut, len(buf))
+			}
+		}
+		if _, err := wire.Unmarshal(kind, append(append([]byte(nil), buf...), 1)); err == nil {
+			t.Fatalf("%T with trailing garbage decoded successfully", in)
+		}
+	}
+}
+
+func FuzzScalecastWireDecode(f *testing.F) {
+	kinds := []wire.Kind{
+		wire.KindScalecast + 0, wire.KindScalecast + 1, wire.KindScalecast + 2,
+		wire.KindScalecast + 3, wire.KindScalecast + 4, wire.KindScalecast + 5,
+	}
+	for _, in := range sampleLinkMsgs() {
+		_, buf, err := wire.Marshal(in)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(uint16(0), buf)
+	}
+	f.Fuzz(func(t *testing.T, kindSel uint16, buf []byte) {
+		kind := kinds[int(kindSel)%len(kinds)]
+		msg, err := wire.Unmarshal(kind, buf)
+		if err != nil {
+			return
+		}
+		kind2, buf2, err := wire.Marshal(msg)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %T failed: %v", msg, err)
+		}
+		if kind2 != kind {
+			t.Fatalf("re-encode kind %#04x, want %#04x", uint16(kind2), uint16(kind))
+		}
+		msg2, err := wire.Unmarshal(kind2, buf2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(msg, msg2) {
+			t.Fatalf("decode/encode/decode disagrees:\n 1: %+v\n 2: %+v", msg, msg2)
+		}
+	})
+}

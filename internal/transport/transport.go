@@ -37,7 +37,14 @@ type Network interface {
 	// before any message is sent to that node.
 	Register(id NodeID, h Handler)
 	// Send transmits payload from one node to another, subject to the
-	// network's delay/loss model. Send never blocks.
+	// network's delay/loss model. Send never blocks: when the
+	// destination's queue is full the message is dropped and counted
+	// (SimNet/LiveNet mailbox overflow, tcpnet outbound-queue
+	// overflow), never back-pressured into the caller — protocols
+	// recover losses through their own ack/retransmit machinery, and
+	// callers that want to react to congestion before it sheds poll an
+	// admission signal (tcpnet.Net.Backpressured, flowcontrol.Budget)
+	// instead of blocking.
 	Send(from, to NodeID, payload any)
 	// Now returns the network's notion of current time (virtual for
 	// SimNet, wall for LiveNet).
