@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench benchdiff experiments e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke
+.PHONY: verify vet build test race bench benchdiff experiments profile e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke
 
 verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke benchdiff
 
@@ -24,9 +24,15 @@ e17-smoke:
 # The chaos smoke gate: seeded fault-injection episodes on every
 # substrate with all invariant oracles armed. On failure the command
 # prints the seed and a shrunk minimal fault script, so the breakage
-# reproduces with the printed one-liner.
+# reproduces with the printed one-liner. The second and third runs
+# re-arm the same oracles with the optimized wire paths enabled —
+# delta-encoded clocks on cbcast and delta clocks plus batched
+# ordering announcements on abcast — so the hot-path encodings face
+# the same crash/partition/loss schedules as the defaults.
 chaos-smoke:
 	$(GO) run ./cmd/chaos -substrate all -n 5 -msgs 20 -episodes 3 -seed 1
+	$(GO) run ./cmd/chaos -substrate cbcast -n 5 -msgs 20 -episodes 3 -seed 1 -delta
+	$(GO) run ./cmd/chaos -substrate abcast -n 5 -msgs 20 -episodes 3 -seed 1 -delta -order-batch 8
 
 # The slow-consumer smoke gate: a tiny E19. Exits 1 if the no-policy
 # baseline fails to show unbounded growth, if any overflow policy lets
@@ -73,22 +79,24 @@ benchdiff:
 
 # bench appends a machine-readable snapshot BENCH_<n>.json (next free
 # n): every Go benchmark at -benchtime=1x plus the scalecast and
-# mgcast sweeps in JSON form, all run from fixed seeds. The
-# observability-cost trio is then re-run at 50000x so the sampling
-# budget lands in the snapshot with real signal (benchdiff keeps the
-# last line per name). A real-network loadgen fleet run (cmd/netbench)
-# closes the snapshot, so the trajectory tracks real TCP latency
-# quantiles alongside the simulator's numbers. Apart from the leading
-# provenance line (commit + timestamp), timing jitter, and the
-# wall-clock loadgen lines, regenerating a snapshot from an unchanged
-# tree is near-identical. After writing, the new snapshot is diffed
-# against its predecessor (warn-only).
+# mgcast sweeps in JSON form, all run from fixed seeds. The whole
+# multicast-throughput family (default, delta, batched, and the
+# observability-cost trio) and the wire-encode bench are then re-run
+# at 50000x so steady-state numbers land in the snapshot with real
+# signal (benchdiff keeps the last line per name). A real-network
+# loadgen fleet run (cmd/netbench) closes the snapshot, so the
+# trajectory tracks real TCP latency quantiles alongside the
+# simulator's numbers. Apart from the leading provenance line (commit
+# + timestamp), timing jitter, and the wall-clock loadgen lines,
+# regenerating a snapshot from an unchanged tree is near-identical.
+# After writing, the new snapshot is diffed against its predecessor
+# (warn-only).
 bench:
 	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	out=BENCH_$$n.json; \
 	{ $(GO) run ./cmd/benchsnap -header < /dev/null; \
 	  $(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . | $(GO) run ./cmd/benchsnap -kind gobench; \
-	  $(GO) test -bench 'MulticastThroughputCausalObs' -benchmem -benchtime=50000x -run '^$$' . | $(GO) run ./cmd/benchsnap -kind gobench; \
+	  $(GO) test -bench 'MulticastThroughput|WireEncodeDataMsg' -benchmem -benchtime=50000x -run '^$$' . | $(GO) run ./cmd/benchsnap -kind gobench; \
 	  $(GO) run ./cmd/scalebench -exp scalecast -sizes 8,32 -json | $(GO) run ./cmd/benchsnap -kind scalecast; \
 	  $(GO) run ./cmd/scalebench -exp latbreak -sizes 8,32 -msgs 20 -json | $(GO) run ./cmd/benchsnap -kind latbreak; \
 	  $(GO) run ./cmd/scalebench -exp mgcast -sizes 8,32 -ks 1,2,4 -msgs 10 -json | $(GO) run ./cmd/benchsnap -kind mgcast; \
@@ -99,3 +107,12 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# profile captures cpu.pprof and heap.pprof of the E5c header-overhead
+# sweep (scalebench -exp header) — a pure hot-loop exercise of the
+# stamp, encode, and delivery-check paths, which is where the
+# per-message ordering overhead the paper's §3.4 warns about lives.
+# Inspect with `go tool pprof cpu.pprof` (top, list, web).
+profile:
+	$(GO) run ./cmd/scalebench -exp header -sizes 4,16,64 -msgs 400 -profile cpu > /dev/null
+	$(GO) run ./cmd/scalebench -exp header -sizes 4,16,64 -msgs 400 -profile heap > /dev/null

@@ -277,11 +277,25 @@ func BenchmarkMulticastThroughputFIFO(b *testing.B)      { benchThroughput(b, FI
 func BenchmarkMulticastThroughputCausal(b *testing.B)    { benchThroughput(b, Causal) }
 func BenchmarkMulticastThroughputTotalSeq(b *testing.B)  { benchThroughput(b, TotalSeq) }
 
+// Optimized-path variants: causal with delta clocks on the wire, and the
+// sequencer ordering with batched ordering announcements.
+func BenchmarkMulticastThroughputCausalDelta(b *testing.B) {
+	benchThroughputCfg(b, GroupConfig{Group: "bench", Ordering: Causal, DeltaClocks: true})
+}
+
+func BenchmarkMulticastThroughputTotalSeqBatched(b *testing.B) {
+	benchThroughputCfg(b, GroupConfig{Group: "bench", Ordering: TotalSeq, OrderBatch: 64})
+}
+
 func benchThroughput(b *testing.B, ord Ordering) {
+	benchThroughputCfg(b, GroupConfig{Group: "bench", Ordering: ord})
+}
+
+func benchThroughputCfg(b *testing.B, cfg GroupConfig) {
 	sim := NewSimulation(1, LinkConfig{BaseDelay: time.Millisecond})
 	nodes := []NodeID{0, 1, 2, 3}
 	delivered := 0
-	members := NewGroup(sim.Mux, nodes, GroupConfig{Group: "bench", Ordering: ord},
+	members := NewGroup(sim.Mux, nodes, cfg,
 		func(ProcessID) DeliverFunc {
 			return func(Delivered) { delivered++ }
 		})

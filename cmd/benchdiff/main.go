@@ -2,12 +2,16 @@
 // bench` and cmd/benchsnap) and reports per-benchmark deltas: ns/op,
 // B/op, allocs/op, plus benchmarks added or removed. It is the
 // regression gate for the bench trajectory: with -threshold t (percent),
-// any benchmark whose ns/op grew by more than t fails the diff and the
-// command exits nonzero.
+// any benchmark whose ns/op grew by more than t fails the diff, and
+// with -alloc-threshold a, any whose allocs/op grew by more than a (or
+// from zero to nonzero — allocation counts are deterministic, so that
+// gate stays meaningful at -benchtime=1x). Either failure exits
+// nonzero. Fleet loadgen records (cmd/netbench) are summarized as one
+// msgs/s line per substrate.
 //
 //	benchdiff                    # latest two BENCH_<n>.json in cwd
 //	benchdiff OLD.json NEW.json  # explicit pair
-//	benchdiff -threshold 10 ...
+//	benchdiff -threshold 10 -alloc-threshold 10 ...
 //
 // Snapshots are JSON lines. Lines with "kind":"gobench" are compared
 // by benchmark name; "header" lines (benchsnap -header) are shown for
@@ -41,6 +45,11 @@ type benchLine struct {
 	NsPerOp  float64  `json:"ns_per_op"`
 	BPerOp   *float64 `json:"bytes_per_op"`
 	AllocsOp *float64 `json:"allocs_per_op"`
+	// Loadgen summary fields (cmd/netbench fleet runs).
+	Substrate  string  `json:"substrate"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	TargetRate float64 `json:"target_rate"`
+	Nodes      int     `json:"nodes"`
 	// Header provenance (benchsnap -header).
 	Commit    string `json:"commit"`
 	Generated string `json:"generated_utc"`
@@ -48,10 +57,11 @@ type benchLine struct {
 
 // snapshot is one parsed BENCH_<n>.json.
 type snapshot struct {
-	path   string
-	header *benchLine           // nil for headerless snapshots
-	bench  map[string]benchLine // gobench lines by name
-	other  int                  // lines of non-compared kinds
+	path    string
+	header  *benchLine           // nil for headerless snapshots
+	bench   map[string]benchLine // gobench lines by name
+	loadgen map[string]benchLine // loadgen lines by substrate (last wins)
+	other   int                  // lines of non-compared kinds
 }
 
 func loadSnapshot(path string) (*snapshot, error) {
@@ -60,7 +70,7 @@ func loadSnapshot(path string) (*snapshot, error) {
 		return nil, err
 	}
 	defer f.Close()
-	s := &snapshot{path: path, bench: make(map[string]benchLine)}
+	s := &snapshot{path: path, bench: make(map[string]benchLine), loadgen: make(map[string]benchLine)}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
@@ -77,6 +87,8 @@ func loadSnapshot(path string) (*snapshot, error) {
 		switch l.Kind {
 		case "gobench":
 			s.bench[l.Name] = l
+		case "loadgen":
+			s.loadgen[l.Substrate] = l
 		case "header":
 			h := l
 			s.header = &h
@@ -132,8 +144,9 @@ func fmtDelta(oldV, newV float64, unit string) string {
 
 // diff compares two snapshots, writing a report to w. It returns the
 // names of benchmarks whose ns/op regressed by more than threshold
+// percent or whose allocs/op regressed by more than allocThreshold
 // percent.
-func diff(w io.Writer, oldS, newS *snapshot, threshold float64) []string {
+func diff(w io.Writer, oldS, newS *snapshot, threshold, allocThreshold float64) []string {
 	for _, s := range []*snapshot{oldS, newS} {
 		if s.header != nil {
 			fmt.Fprintf(w, "%s: commit=%s generated=%s\n", s.path, s.header.Commit, s.header.Generated)
@@ -156,8 +169,23 @@ func diff(w io.Writer, oldS, newS *snapshot, threshold float64) []string {
 		if o.AllocsOp != nil && n.AllocsOp != nil {
 			line += "  " + fmtDelta(*o.AllocsOp, *n.AllocsOp, "allocs/op")
 		}
+		regressed := false
 		if d, ok := pct(o.NsPerOp, n.NsPerOp); ok && d > threshold {
 			line += "  REGRESSION"
+			regressed = true
+		}
+		if o.AllocsOp != nil && n.AllocsOp != nil {
+			// Allocation counts are deterministic even at -benchtime=1x, so
+			// this gate is meaningful where the wall-clock one is noisy.
+			if d, ok := pct(*o.AllocsOp, *n.AllocsOp); ok && d > allocThreshold {
+				line += "  ALLOC-REGRESSION"
+				regressed = true
+			} else if *o.AllocsOp == 0 && *n.AllocsOp > 0 {
+				line += "  ALLOC-REGRESSION"
+				regressed = true
+			}
+		}
+		if regressed {
 			regressions = append(regressions, name)
 		}
 		fmt.Fprintln(w, line)
@@ -181,16 +209,37 @@ func diff(w io.Writer, oldS, newS *snapshot, threshold float64) []string {
 	for _, name := range removed {
 		fmt.Fprintf(w, "%-52s removed\n", name)
 	}
+	// One-line throughput summary per fleet substrate (cmd/netbench
+	// loadgen records): the msgs/s number the fleet acceptance bars are
+	// stated in, without digging through the JSON.
+	var subs []string
+	for sub := range newS.loadgen {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	for _, sub := range subs {
+		n := newS.loadgen[sub]
+		if o, ok := oldS.loadgen[sub]; ok {
+			line := fmt.Sprintf("loadgen %-10s %.0f -> %.0f msgs/s", sub, o.MsgsPerSec, n.MsgsPerSec)
+			if d, ok := pct(o.MsgsPerSec, n.MsgsPerSec); ok {
+				line += fmt.Sprintf(" (%+.1f%%)", d)
+			}
+			fmt.Fprintf(w, "%s  (n=%d, offered %.0f/s)\n", line, n.Nodes, n.TargetRate)
+		} else {
+			fmt.Fprintf(w, "loadgen %-10s %.0f msgs/s (new)  (n=%d, offered %.0f/s)\n",
+				sub, n.MsgsPerSec, n.Nodes, n.TargetRate)
+		}
+	}
 	fmt.Fprintf(w, "compared %d benchmarks (+%d added, -%d removed, %d sweep lines not compared)\n",
 		len(names), len(added), len(removed), oldS.other+newS.other)
 	if len(regressions) > 0 {
-		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed more than %.1f%% in ns/op: %v\n",
-			len(regressions), threshold, regressions)
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed more than %.1f%% in ns/op or %.1f%% in allocs/op: %v\n",
+			len(regressions), threshold, allocThreshold, regressions)
 	}
 	return regressions
 }
 
-func run(w io.Writer, args []string, threshold float64) (failed bool, err error) {
+func run(w io.Writer, args []string, threshold, allocThreshold float64) (failed bool, err error) {
 	var oldPath, newPath string
 	switch len(args) {
 	case 0:
@@ -212,13 +261,14 @@ func run(w io.Writer, args []string, threshold float64) (failed bool, err error)
 		return false, err
 	}
 	fmt.Fprintf(w, "benchdiff %s -> %s\n", oldPath, newPath)
-	return len(diff(w, oldS, newS, threshold)) > 0, nil
+	return len(diff(w, oldS, newS, threshold, allocThreshold)) > 0, nil
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 20, "max allowed ns/op regression in percent before exiting nonzero")
+	allocThreshold := flag.Float64("alloc-threshold", 20, "max allowed allocs/op regression in percent before exiting nonzero")
 	flag.Parse()
-	failed, err := run(os.Stdout, flag.Args(), *threshold)
+	failed, err := run(os.Stdout, flag.Args(), *threshold, *allocThreshold)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

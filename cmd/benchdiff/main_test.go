@@ -21,6 +21,7 @@ const oldSnap = `{"kind":"gobench","name":"Steady","iters":1,"ns_per_op":1000,"b
 {"kind":"gobench","name":"Slower","iters":1,"ns_per_op":1000}
 {"kind":"gobench","name":"Gone","iters":1,"ns_per_op":5}
 {"kind":"scalecast","size":8,"ctrl_bytes":123}
+{"kind":"loadgen","substrate":"abcast","nodes":3,"target_rate":1000,"msgs_per_sec":990}
 `
 
 const newSnap = `{"kind":"header","commit":"abc1234","generated_utc":"2026-08-08T00:00:00Z"}
@@ -29,6 +30,8 @@ const newSnap = `{"kind":"header","commit":"abc1234","generated_utc":"2026-08-08
 {"kind":"gobench","name":"Slower","iters":1,"ns_per_op":1500}
 {"kind":"gobench","name":"Added","iters":1,"ns_per_op":7}
 {"kind":"scalecast","size":8,"ctrl_bytes":125}
+{"kind":"loadgen","substrate":"abcast","nodes":3,"target_rate":8000,"msgs_per_sec":3300}
+{"kind":"loadgen","substrate":"cbcast","nodes":3,"target_rate":8000,"msgs_per_sec":4100}
 `
 
 func TestDiffReportsDeltasAndRegressions(t *testing.T) {
@@ -36,7 +39,7 @@ func TestDiffReportsDeltasAndRegressions(t *testing.T) {
 	oldP := write(t, dir, "old.json", oldSnap)
 	newP := write(t, dir, "new.json", newSnap)
 	var sb strings.Builder
-	failed, err := run(&sb, []string{oldP, newP}, 20)
+	failed, err := run(&sb, []string{oldP, newP}, 20, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,10 +55,37 @@ func TestDiffReportsDeltasAndRegressions(t *testing.T) {
 		"Added", "removed",          // membership changes reported
 		"commit=abc1234", // header provenance surfaced
 		"sweep lines not compared",
+		"loadgen abcast", "990 -> 3300 msgs/s", // fleet throughput one-liner
+		"loadgen cbcast", "(new)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestDiffFlagsAllocRegression(t *testing.T) {
+	// Allocation regressions gate independently of wall clock: ns/op is
+	// flat here but allocs/op went 2 -> 4 (and Zero 0 -> 1).
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json",
+		`{"kind":"gobench","name":"Steady","iters":1,"ns_per_op":1000,"bytes_per_op":64,"allocs_per_op":2}
+{"kind":"gobench","name":"Zero","iters":1,"ns_per_op":50,"allocs_per_op":0}
+`)
+	newP := write(t, dir, "new.json",
+		`{"kind":"gobench","name":"Steady","iters":1,"ns_per_op":1000,"bytes_per_op":64,"allocs_per_op":4}
+{"kind":"gobench","name":"Zero","iters":1,"ns_per_op":50,"allocs_per_op":1}
+`)
+	var sb strings.Builder
+	failed, err := run(&sb, []string{oldP, newP}, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("allocs/op doubled but diff passed:\n%s", sb.String())
+	}
+	if got := strings.Count(sb.String(), "ALLOC-REGRESSION"); got != 2 {
+		t.Fatalf("want 2 ALLOC-REGRESSION marks (pct growth and zero->nonzero), got %d:\n%s", got, sb.String())
 	}
 }
 
@@ -64,7 +94,7 @@ func TestDiffWithinThresholdPasses(t *testing.T) {
 	oldP := write(t, dir, "old.json", oldSnap)
 	newP := write(t, dir, "new.json", newSnap)
 	var sb strings.Builder
-	failed, err := run(&sb, []string{oldP, newP}, 60)
+	failed, err := run(&sb, []string{oldP, newP}, 60, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +132,7 @@ func TestHeaderlessOldSnapshot(t *testing.T) {
 	oldP := write(t, dir, "old.json", `{"kind":"gobench","name":"X","iters":1,"ns_per_op":10}`+"\n")
 	newP := write(t, dir, "new.json", newSnap)
 	var sb strings.Builder
-	if _, err := run(&sb, []string{oldP, newP}, 20); err != nil {
+	if _, err := run(&sb, []string{oldP, newP}, 20, 20); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(sb.String(), "old.json: commit=") {
@@ -112,7 +142,7 @@ func TestHeaderlessOldSnapshot(t *testing.T) {
 
 func TestBadArgCount(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, []string{"one.json"}, 20); err == nil {
+	if _, err := run(&sb, []string{"one.json"}, 20, 20); err == nil {
 		t.Fatal("expected usage error with one positional arg")
 	}
 }

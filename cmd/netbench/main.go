@@ -19,7 +19,7 @@ func main() {
 		nodes    = flag.Int("nodes", 3, "fleet processes")
 		workers  = flag.Int("workers", 2, "loadgen shards")
 		clients  = flag.Int("clients", 20000, "simulated clients")
-		rate     = flag.Float64("rate", 1000, "target publishes/sec")
+		rate     = flag.Float64("rate", 8000, "target publishes/sec")
 		size     = flag.Int("size", 64, "payload bytes")
 		duration = flag.Duration("duration", 4*time.Second, "send phase")
 	)

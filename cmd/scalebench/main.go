@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	scalebench [-exp buffer|false-causality|viewchange|partition|totalorder|
+//	scalebench [-exp buffer|false-causality|header|viewchange|partition|totalorder|
 //	            traffic|join|durability|namesvc|scalecast|latbreak|mgcast|all]
 //	           [-sizes 4,8,16,32] [-msgs 40] [-loss 0.05] [-seed 1] [-json]
 //	           [-ks 1,2,4,8] [-trace out.trace.json]
@@ -68,7 +68,7 @@ func parseSizes(s string) []int {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: buffer, false-causality, viewchange, partition, totalorder, traffic, join, durability, namesvc, scalecast, latbreak, mgcast, all")
+	exp := flag.String("exp", "all", "experiment: buffer, false-causality, header, viewchange, partition, totalorder, traffic, join, durability, namesvc, scalecast, latbreak, mgcast, all")
 	jsonOut := flag.Bool("json", false, "emit JSON lines instead of tables (scalecast/latbreak/mgcast sweeps)")
 	ksFlag := flag.String("ks", "1,2,4,8", "comma-separated destination-group counts per cast (mgcast sweep)")
 	sizesFlag := flag.String("sizes", "4,8,16,24", "comma-separated group sizes")
@@ -128,6 +128,12 @@ func main() {
 		case "false-causality":
 			fmt.Println(experiments.TableE5(sizes, *msgs, *seed).Render())
 			fmt.Println(experiments.TableE5Piggyback(sizes, *msgs, *seed).Render())
+		case "header":
+			// Header-overhead sweep (E5c): full vs delta-encoded clock
+			// bytes per message across group sizes. Also the `make
+			// profile` workload — a pure hot-loop exercise of the stamp,
+			// encode, and delivery-check paths.
+			fmt.Println(experiments.TableE5Header(sizes, *msgs, 1_000_000, *seed).Render())
 		case "viewchange":
 			fmt.Println(experiments.TableE7(sizes, *seed).Render())
 		case "partition":
@@ -228,7 +234,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"false-causality", "buffer", "viewchange", "partition",
+		for _, name := range []string{"false-causality", "header", "buffer", "viewchange", "partition",
 			"totalorder", "traffic", "join", "durability", "scalecast", "latbreak", "mgcast"} {
 			run(name)
 		}

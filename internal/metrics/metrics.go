@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,50 +39,53 @@ func (c *Counter) Value() uint64 { return c.n }
 // Gauge tracks an instantaneous level plus its observed maximum, e.g.
 // current unstable-buffer occupancy and its high-water mark. Safe to
 // read concurrently with writes: the live observability plane scrapes
-// gauge levels from an HTTP goroutine mid-run.
+// gauge levels from an HTTP goroutine mid-run. Writes come from a
+// single recording context (the kernel goroutine, or a member's
+// dispatcher), so the max tracking uses plain atomics with a CAS loop
+// rather than a mutex — the gauge update sits on the per-delivery hot
+// path of every holdback-queue change.
 type Gauge struct {
-	mu   sync.Mutex
-	cur  int64
-	max  int64
-	seen bool
+	cur  atomic.Int64
+	max  atomic.Int64
+	seen atomic.Bool
 }
 
 // Set assigns the current level.
 func (g *Gauge) Set(v int64) {
-	g.mu.Lock()
-	g.setLocked(v)
-	g.mu.Unlock()
+	g.cur.Store(v)
+	g.bumpMax(v)
 }
 
-func (g *Gauge) setLocked(v int64) {
-	g.cur = v
-	if !g.seen || v > g.max {
-		g.max = v
-		g.seen = true
+func (g *Gauge) bumpMax(v int64) {
+	if !g.seen.Load() {
+		g.max.Store(v)
+		g.seen.Store(true)
+		return
+	}
+	for {
+		old := g.max.Load()
+		if v <= old || g.max.CompareAndSwap(old, v) {
+			return
+		}
 	}
 }
 
 // Add adjusts the current level by delta.
 func (g *Gauge) Add(delta int64) {
-	g.mu.Lock()
-	g.setLocked(g.cur + delta)
-	g.mu.Unlock()
+	g.bumpMax(g.cur.Add(delta))
 }
 
 // Value returns the current level.
-func (g *Gauge) Value() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cur
-}
+func (g *Gauge) Value() int64 { return g.cur.Load() }
 
 // Max returns the high-water mark, or 0 when no sample was ever set —
 // a gauge that only ever held negative levels reports its true
 // (negative) maximum, not the zero initial value.
 func (g *Gauge) Max() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.max
+	if !g.seen.Load() {
+		return 0
+	}
+	return g.max.Load()
 }
 
 // Histogram accumulates float64 samples and answers mean/quantile

@@ -42,7 +42,13 @@ func (m *Member) armAck() {
 }
 
 // fireAck broadcasts this member's delivered clock and re-arms while
-// unstable messages remain buffered.
+// unstable messages remain buffered. A broadcast is skipped when the
+// clock has not moved since the last advertisement (on data or a prior
+// ack), we hold no unstable messages ourselves, and no forced
+// re-advertise is pending — a stable member with an unchanged clock
+// tells the group nothing new. While we are unstable the broadcast
+// always goes out, so recovery from a lost ack never depends on the
+// suppression heuristic.
 func (m *Member) fireAck() {
 	m.ackArmed = false
 	if m.closed || m.stab == nil {
@@ -51,13 +57,19 @@ func (m *Member) fireAck() {
 	// Merge our own row first: our stability clock is authoritative for
 	// ourselves.
 	m.stab.ObserveAck(m.rank, m.stabilityClock())
-	ack := &AckMsg{Group: m.cfg.Group, Epoch: m.epoch, From: m.rank, Delivered: m.stabilityClock().Clone()}
-	for r := range m.nodes {
-		if vclock.ProcessID(r) == m.rank {
-			continue
+	sc := m.stabilityClock()
+	changed := m.lastAdvert == nil || !sc.Equal(m.lastAdvert)
+	if changed || m.ackForce || m.stab.Unstable() > 0 {
+		m.lastAdvert = sc.Clone()
+		m.ackForce = false
+		ack := &AckMsg{Group: m.cfg.Group, Epoch: m.epoch, From: m.rank, Delivered: sc.Clone()}
+		for r := range m.nodes {
+			if vclock.ProcessID(r) == m.rank {
+				continue
+			}
+			m.CtrlMsgs.Inc()
+			m.send(vclock.ProcessID(r), ack)
 		}
-		m.CtrlMsgs.Inc()
-		m.send(vclock.ProcessID(r), ack)
 	}
 	// The ack cycle doubles as the flow-control clock: evictions from
 	// our own merge may have widened the admission window, and the
@@ -90,11 +102,20 @@ func (m *Member) onAck(a *AckMsg) {
 	// A peer acking a clock behind ours may have lost our last ack (a
 	// drained member stops acking spontaneously); re-advertise so its
 	// stability frontier can advance. Terminates once clocks agree.
+	// Likewise, a peer still acking while we are fully stable is missing
+	// somebody's matrix row — ours, if our last advertisement was the
+	// one that got lost — so force a re-advertise past the suppression
+	// check; it stops the moment the peer stabilizes and quiets down.
 	if m.stab != nil {
+		if m.stab.Unstable() == 0 {
+			m.ackForce = true
+			m.armAck()
+		}
 		sc := m.stabilityClock()
 		for i := range sc {
 			p := vclock.ProcessID(i)
 			if a.Delivered.Get(p) < sc.Get(p) {
+				m.ackForce = true
 				m.armAck()
 				break
 			}
@@ -125,7 +146,7 @@ func (m *Member) fireNack() {
 	m.fireOrderNack()
 	missing := m.missingSet()
 	if len(missing) == 0 {
-		if len(m.pending) == 0 && len(m.dataByID) == 0 {
+		if m.pendCount == 0 && m.dataCount == 0 {
 			m.nackRetries = make(map[MsgID]int)
 			return
 		}
@@ -192,12 +213,14 @@ func (m *Member) missingSet() []MsgID {
 			// arrival buffer.
 			for s := range m.known {
 				sender := vclock.ProcessID(s)
-				for seq := uint64(1); seq <= m.known.Get(sender); seq++ {
+				// Everything at or below the delivered set's contiguous
+				// frontier is delivered; only the tail needs checking.
+				for seq := m.deliveredIDs.Frontier(sender) + 1; seq <= m.known.Get(sender); seq++ {
 					id := MsgID{Sender: sender, Seq: seq}
-					if m.deliveredIDs[id] {
+					if m.deliveredIDs.Has(id) {
 						continue
 					}
-					if _, arrived := m.dataByID[id]; arrived {
+					if _, arrived := m.dataGet(id); arrived {
 						continue
 					}
 					add(id)
@@ -207,32 +230,31 @@ func (m *Member) missingSet() []MsgID {
 			for s := range m.known {
 				sender := vclock.ProcessID(s)
 				for seq := m.delivered.Get(sender) + 1; seq <= m.known.Get(sender); seq++ {
-					id := MsgID{Sender: sender, Seq: seq}
-					if _, held := m.pending[id]; held {
+					if _, held := m.pendQ[sender][seq]; held {
 						continue
 					}
-					add(id)
+					add(MsgID{Sender: sender, Seq: seq})
 				}
 			}
 		}
 	}
-	for _, msg := range m.pending {
-		switch m.cfg.Ordering {
-		case Causal:
-			for _, st := range m.delivered.Missing(msg.VC, msg.Sender) {
-				id := MsgID{Sender: st.Proc, Seq: st.Time}
-				if _, held := m.pending[id]; held {
-					continue // already arrived, just undeliverable itself
+	for _, shard := range m.pendQ {
+		for _, msg := range shard {
+			switch m.cfg.Ordering {
+			case Causal:
+				for _, st := range m.delivered.Missing(msg.VC, msg.Sender) {
+					if _, held := m.pendQ[st.Proc][st.Time]; held {
+						continue // already arrived, just undeliverable itself
+					}
+					add(MsgID{Sender: st.Proc, Seq: st.Time})
 				}
-				add(id)
-			}
-		case FIFO:
-			for s := m.delivered.Get(msg.Sender) + 1; s < msg.Seq; s++ {
-				id := MsgID{Sender: msg.Sender, Seq: s}
-				if _, held := m.pending[id]; held {
-					continue
+			case FIFO:
+				for s := m.delivered.Get(msg.Sender) + 1; s < msg.Seq; s++ {
+					if _, held := m.pendQ[msg.Sender][s]; held {
+						continue
+					}
+					add(MsgID{Sender: msg.Sender, Seq: s})
 				}
-				add(id)
 			}
 		}
 	}
@@ -256,12 +278,15 @@ func (m *Member) fireOrderNack() {
 		return // the sequencer is the source of truth
 	}
 	var want []MsgID
-	for id := range m.dataByID {
-		if !m.orderKnown[id] {
-			want = append(want, id)
+	for s, shard := range m.dataQ {
+		for seq := range shard {
+			id := MsgID{Sender: vclock.ProcessID(s), Seq: seq}
+			if !m.orderKnown.Has(id) {
+				want = append(want, id)
+			}
 		}
 	}
-	_, haveNext := m.orderOf[m.nextGlobal]
+	_, haveNext := m.orderAt(m.nextGlobal)
 	gap := m.nextGlobal <= m.maxGlobalSeen && !haveNext
 	if len(want) == 0 && !gap {
 		return
@@ -286,7 +311,7 @@ func (m *Member) fireOrderNack() {
 // retransmission — closing the loop when the loss hit the
 // sequencer-bound copy.
 func (m *Member) onOrderNack(n *OrderNack) {
-	if m.assignedByID == nil {
+	if (m.cfg.Ordering != TotalSeq && m.cfg.Ordering != TotalCausal) || m.rank != m.cfg.SequencerRank {
 		return
 	}
 	resend := func(global uint64, id MsgID) {
@@ -294,18 +319,18 @@ func (m *Member) onOrderNack(n *OrderNack) {
 		m.send(n.From, &OrderMsg{Group: m.cfg.Group, Epoch: m.epoch, GlobalSeq: global, ID: id})
 	}
 	for g := n.FromGlobal; g <= m.seqCounter; g++ {
-		if id, ok := m.assignedAt[g]; ok {
+		if id, ok := m.assignedIDAt(g); ok {
 			resend(g, id)
 		}
 	}
 	var unknown []MsgID
 	for _, id := range n.Want {
-		g, ok := m.assignedByID[id]
+		g, ok := m.assignedGlobalOf(id)
 		switch {
 		case ok && g < n.FromGlobal:
 			resend(g, id)
 		case !ok:
-			if _, arrived := m.dataByID[id]; !arrived {
+			if _, arrived := m.dataGet(id); !arrived {
 				unknown = append(unknown, id)
 			}
 		}

@@ -111,6 +111,25 @@ type Config struct {
 	// before the Suspect policy accuses the stability laggard. Zero
 	// defaults to 250ms.
 	StallTimeout time.Duration
+	// DeltaClocks transmits causal stamps (Causal and TotalCausal) as
+	// deltas against the sender's previous cast instead of full vector
+	// clocks, with a periodic full-clock refresh for resync. Header
+	// cost drops from O(group size) to O(concurrent writers) and the
+	// deliverability check runs sparse. Retransmissions always carry
+	// the full clock, so NACK recovery never depends on chain state.
+	DeltaClocks bool
+	// VCRefreshEvery is the full-clock refresh period in delta mode:
+	// every k'th cast from a sender carries the full clock. Zero
+	// defaults to 32.
+	VCRefreshEvery int
+	// OrderBatch batches the sequencer's ordering announcements
+	// (TotalSeq and TotalCausal): up to this many assignments ride one
+	// OrderBatchMsg, flushed on size or after OrderFlushDelay. Values
+	// below 2 disable batching (one OrderMsg per cast).
+	OrderBatch int
+	// OrderFlushDelay bounds how long an ordering announcement may wait
+	// for its batch to fill. Zero defaults to 1ms.
+	OrderFlushDelay time.Duration
 }
 
 func (c Config) ackInterval() time.Duration {
@@ -132,6 +151,26 @@ func (c Config) stallTimeout() time.Duration {
 		return c.StallTimeout
 	}
 	return 250 * time.Millisecond
+}
+
+func (c Config) vcRefreshEvery() int {
+	if c.VCRefreshEvery > 0 {
+		return c.VCRefreshEvery
+	}
+	return 32
+}
+
+func (c Config) orderFlushDelay() time.Duration {
+	if c.OrderFlushDelay > 0 {
+		return c.OrderFlushDelay
+	}
+	return time.Millisecond
+}
+
+// deltaMode reports whether this configuration transmits delta-encoded
+// causal stamps (only the clock-carrying orderings can).
+func (c Config) deltaMode() bool {
+	return c.DeltaClocks && (c.Ordering == Causal || c.Ordering == TotalCausal)
 }
 
 // Delivered describes one message handed to the application.
@@ -176,24 +215,61 @@ type Member struct {
 	// is also the CBCAST delivered clock.
 	delivered vclock.VC
 
-	// Holdback for FIFO/causal: undeliverable messages by id.
-	pending map[MsgID]*DataMsg
+	// Holdback for FIFO/causal, sharded by sender rank and keyed by
+	// sequence. Only the head of each sender's chain (delivered+1) can
+	// ever be deliverable under FIFO or causal rules, so the drain path
+	// probes one key per sender instead of scanning every pending
+	// message — O(ready), not O(pending).
+	pendQ     []map[uint64]*DataMsg
+	pendCount int
+
+	// Delta-clock state (Config.DeltaClocks). Send side: lastSentVC is
+	// the clock of this member's previous cast (the delta base) and
+	// deltaBuf is the reusable diff scratch. Receive side, per sender:
+	// reconVC/reconSeq are the reconstruction chain (the sender's clock
+	// at its last in-chain cast), and parked holds delta-stamped
+	// arrivals whose chain predecessor has not arrived yet — they
+	// rejoin the normal path once the chain catches up, or are
+	// recovered as full-clock retransmissions through the NACK path.
+	deltaBase vclock.VC
+	deltaBuf  []vclock.DeltaEntry
+	reconVC   []vclock.VC
+	reconSeq  []uint64
+	parked    []map[uint64]*DataMsg
 
 	// TotalSeq / TotalCausal state.
-	seqCounter uint64           // sequencer only: next global seq to assign
-	orderOf    map[uint64]MsgID // global seq -> message
-	orderKnown map[MsgID]bool   // messages with an assigned position
-	nextGlobal uint64           // next global seq to deliver (1-based)
-	dataByID   map[MsgID]*DataMsg
+	seqCounter uint64  // sequencer only: next global seq to assign
+	orderKnown *seqSet // messages with an assigned position
+	nextGlobal uint64  // next global seq to deliver (1-based)
+	// Known-but-undelivered assignments, a ring-indexed window: slot
+	// orderHead+i holds the id at global seq orderBase+i (zero MsgID =
+	// assignment not yet learned). Global positions are consumed
+	// contiguously from the front, so in steady state the window is one
+	// slot reused forever — no per-message map churn.
+	orderWin  []MsgID
+	orderHead int
+	orderBase uint64
+	// Arrived-but-undelivered data, sharded per sender like pendQ.
+	dataQ     []map[uint64]*DataMsg
+	dataCount int
 	// TotalCausal sequencer state: the causal delay queue the sequencer
-	// runs so assigned positions extend happens-before.
-	seqPending   map[MsgID]*DataMsg
+	// runs so assigned positions extend happens-before. Sharded like
+	// pendQ: only each sender's next sequence can be sequenceable.
+	seqQ         []map[uint64]*DataMsg
 	seqDelivered vclock.VC
-	// Sequencer's assignment log for order retransmission (atomic
-	// mode). Kept for the epoch; a production implementation would
-	// prune at the stability frontier.
-	assignedByID map[MsgID]uint64
-	assignedAt   map[uint64]MsgID
+	// Order-announcement batch (Config.OrderBatch, sequencer only):
+	// assignments accumulate into one contiguous run and flush on size
+	// or timer.
+	obFirst uint64  // global position of obIDs[0]
+	obIDs   []MsgID // pending announcements, contiguous from obFirst
+	obArmed bool    // flush timer scheduled
+	// Sequencer's assignment log for order retransmission: the id
+	// assigned global position assignedBase+i sits at assignedLog[i]
+	// (positions are handed out contiguously, so a slice replaces the
+	// two per-cast map inserts this once cost). Kept for the epoch; a
+	// production implementation would prune at the stability frontier.
+	assignedLog  []MsgID
+	assignedBase uint64
 	// maxGlobalSeen is the highest global position this member has
 	// learned of, for order-gap detection.
 	maxGlobalSeen uint64
@@ -206,13 +282,19 @@ type Member struct {
 	// deliveredIDs dedups for modes whose delivery can cross per-sender
 	// sequence order (unordered and the total orders); FIFO/causal
 	// dedup on the delivered clock instead.
-	deliveredIDs map[MsgID]bool
+	deliveredIDs *seqSet
 
 	// Atomic mode.
 	stab        *stability.Tracker
 	ackArmed    bool
 	nackArmed   bool
 	nackRetries map[MsgID]int
+	// Ack suppression: lastAdvert is the stability clock as last
+	// advertised to the group (piggybacked on data or broadcast in an
+	// ack); a scheduled ack whose clock has not moved since is skipped
+	// unless ackForce is set (the retransmit-our-frontier paths).
+	lastAdvert vclock.VC
+	ackForce   bool
 	// known tracks the highest sequence each sender is known to have
 	// multicast, learned from piggybacked delivered clocks and acks.
 	// Gaps between delivered and known with nothing pending identify
@@ -287,31 +369,32 @@ func NewMember(net transport.Network, nodes []transport.NodeID, rank vclock.Proc
 		rank:         rank,
 		deliver:      deliver,
 		delivered:    vclock.New(len(nodes)),
-		pending:      make(map[MsgID]*DataMsg),
-		orderOf:      make(map[uint64]MsgID),
-		orderKnown:   make(map[MsgID]bool),
+		pendQ:        newShardQ(len(nodes)),
+		orderKnown:   newSeqSet(len(nodes)),
 		nextGlobal:   1,
-		dataByID:     make(map[MsgID]*DataMsg),
+		orderBase:    1,
+		dataQ:        newShardQ(len(nodes)),
 		proposals:    make(map[MsgID]*proposalSet),
 		nackRetries:  make(map[MsgID]int),
-		deliveredIDs: make(map[MsgID]bool),
+		deliveredIDs: newSeqSet(len(nodes)),
 	}
 	if cfg.Ordering == TotalAgree {
 		m.agree = newAgreeQueue()
 	}
 	if cfg.Ordering == TotalCausal && rank == cfg.SequencerRank {
-		m.seqPending = make(map[MsgID]*DataMsg)
+		m.seqQ = newShardQ(len(nodes))
 		m.seqDelivered = vclock.New(len(nodes))
 	}
-	if (cfg.Ordering == TotalSeq || cfg.Ordering == TotalCausal) && rank == cfg.SequencerRank {
-		m.assignedByID = make(map[MsgID]uint64)
-		m.assignedAt = make(map[uint64]MsgID)
+	if cfg.deltaMode() {
+		m.initDeltaState()
 	}
 	if cfg.Atomic {
 		m.stab = stability.New(len(nodes))
 		m.known = vclock.New(len(nodes))
 		if cfg.Ordering != FIFO && cfg.Ordering != Causal {
-			m.contig = vclock.New(len(nodes))
+			// The contiguous delivered prefix is exactly the delivered
+			// set's frontier; alias it rather than maintain it twice.
+			m.contig = m.deliveredIDs.hi
 		}
 		if cfg.Budget.Limited() {
 			m.stab.SetBudget(cfg.Budget)
@@ -352,6 +435,26 @@ func NewGroup(net transport.Network, nodes []transport.NodeID, cfg Config, deliv
 	return members
 }
 
+// newShardQ builds a per-sender-sharded holdback structure.
+func newShardQ(n int) []map[uint64]*DataMsg {
+	q := make([]map[uint64]*DataMsg, n)
+	for i := range q {
+		q[i] = make(map[uint64]*DataMsg)
+	}
+	return q
+}
+
+// initDeltaState (re)builds the delta-clock send and receive state for
+// the current view size.
+func (m *Member) initDeltaState() {
+	n := len(m.nodes)
+	m.deltaBase = vclock.New(n)
+	m.deltaBuf = m.deltaBuf[:0]
+	m.reconVC = make([]vclock.VC, n)
+	m.reconSeq = make([]uint64, n)
+	m.parked = newShardQ(n)
+}
+
 // Rank returns this member's rank in the current view.
 func (m *Member) Rank() vclock.ProcessID { return m.rank }
 
@@ -387,11 +490,11 @@ func (m *Member) stabilityClock() vclock.VC {
 func (m *Member) PendingCount() int {
 	switch m.cfg.Ordering {
 	case TotalSeq, TotalCausal:
-		return len(m.dataByID)
+		return m.dataCount
 	case TotalAgree:
 		return m.agree.Len()
 	default:
-		return len(m.pending)
+		return m.pendCount
 	}
 }
 
@@ -518,7 +621,15 @@ func (m *Member) multicastNow(payload any, size int) MsgID {
 		msg.VC = vc
 	}
 	if m.cfg.Atomic {
-		msg.DeliveredVC = m.stabilityClock().Clone()
+		// Piggyback the stability clock only when it moved since the last
+		// advertisement (on data or explicit ack): an unchanged clock
+		// tells receivers nothing, and dropping it saves O(N) header
+		// bytes on every cast of a one-way burst.
+		sc := m.stabilityClock()
+		if m.lastAdvert == nil || !sc.Equal(m.lastAdvert) {
+			msg.DeliveredVC = sc.Clone()
+			m.lastAdvert = sc.Clone()
+		}
 		m.stab.Buffer(stability.Key{Sender: msg.Sender, Seq: msg.Seq}, msg, msg.ApproxSize())
 		m.known.Set(m.rank, m.sendSeq)
 		m.armAck()
@@ -533,7 +644,23 @@ func (m *Member) multicastNow(payload any, size int) MsgID {
 			msg.traceWant = -1
 		}
 	}
-	m.sendAll(msg)
+	wireMsg := msg
+	if m.cfg.deltaMode() {
+		// Periodic full refresh re-anchors receiver chains; every other
+		// cast travels as a delta against this member's previous cast.
+		// The stability buffer above holds the full-clock original, so
+		// retransmissions never depend on a receiver's chain state.
+		refresh := (m.sendSeq-1)%uint64(m.cfg.vcRefreshEvery()) == 0
+		if !refresh {
+			m.deltaBuf = msg.VC.DiffFrom(m.deltaBase, m.deltaBuf[:0])
+			cp := *msg
+			cp.VC = nil
+			cp.VCDelta = append([]vclock.DeltaEntry(nil), m.deltaBuf...)
+			wireMsg = &cp
+		}
+		copy(m.deltaBase, msg.VC)
+	}
+	m.sendAll(wireMsg)
 	return msg.ID()
 }
 
@@ -557,9 +684,9 @@ func (m *Member) traceHoldback(msg *DataMsg, reason string) {
 	held := false
 	switch m.cfg.Ordering {
 	case FIFO, Causal:
-		_, held = m.pending[msg.ID()]
+		_, held = m.pendQ[msg.Sender][msg.Seq]
 	default:
-		_, held = m.dataByID[msg.ID()]
+		_, held = m.dataGet(msg.ID())
 	}
 	if held {
 		m.trace.Holdback(m.net.Now(), int(m.Node()), msg.TraceRef(), reason)
@@ -585,7 +712,7 @@ func (m *Member) Handle(from transport.NodeID, payload any) {
 	}
 	switch msg := payload.(type) {
 	case *DataMsg:
-		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch || !m.validRank(msg.Sender) {
 			return
 		}
 		m.observeLiveness(msg.Sender)
@@ -595,6 +722,11 @@ func (m *Member) Handle(from transport.NodeID, payload any) {
 			return
 		}
 		m.onOrder(msg)
+	case *OrderBatchMsg:
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+			return
+		}
+		m.onOrderBatch(msg)
 	case *ProposeMsg:
 		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
 			return
@@ -616,7 +748,7 @@ func (m *Member) Handle(from transport.NodeID, payload any) {
 		}
 		m.onNack(msg)
 	case *RetransMsg:
-		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
+		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch || !m.validRank(msg.Data.Sender) {
 			return
 		}
 		m.onData(msg.Data)
@@ -637,12 +769,103 @@ func (m *Member) isDuplicate(msg *DataMsg) bool {
 	case FIFO, Causal:
 		return msg.Seq <= m.delivered.Get(msg.Sender)
 	default:
-		return m.deliveredIDs[msg.ID()]
+		return m.deliveredIDs.Has(msg.ID())
 	}
 }
 
-// onData routes an arriving data message by ordering mode.
+// validRank reports whether a wire-supplied rank indexes the current
+// view. Decoded frames are untrusted; every per-sender structure is
+// indexed by rank, so out-of-range senders are dropped at the door.
+func (m *Member) validRank(p vclock.ProcessID) bool {
+	return int(p) >= 0 && int(p) < len(m.nodes)
+}
+
+// onData routes an arriving data message. In delta-clock mode the full
+// causal stamp is first reconstructed along the sender's sequence
+// chain; messages whose chain predecessor has not arrived yet park
+// until it does (or until the NACK path retransmits them full-clock).
 func (m *Member) onData(msg *DataMsg) {
+	if m.reconVC != nil {
+		msg = m.reconstruct(msg)
+		if msg == nil {
+			return
+		}
+		s := msg.Sender
+		m.onDataMain(msg)
+		m.drainParked(s)
+		return
+	}
+	m.onDataMain(msg)
+}
+
+// reconstruct recovers a message's full causal stamp in delta mode.
+// Full-clock copies (refreshes and retransmissions) pass through,
+// re-anchoring the sender's chain when they advance it; delta-stamped
+// copies extend the chain when contiguous, park when early, and drop
+// when the chain has already moved past them (the NACK path recovers
+// those as full-clock retransmissions). Returns nil when the message
+// cannot enter the ordering layer yet.
+func (m *Member) reconstruct(in *DataMsg) *DataMsg {
+	s := in.Sender
+	if in.VC != nil {
+		if in.Seq > m.reconSeq[s] {
+			if len(m.parked[s]) > 0 {
+				// Entries at or below the new anchor can no longer be
+				// reconstructed locally; NACK recovery owns them now.
+				for seq := range m.parked[s] {
+					if seq <= in.Seq {
+						delete(m.parked[s], seq)
+					}
+				}
+			}
+			m.reconVC[s] = in.VC // never mutated in place
+			m.reconSeq[s] = in.Seq
+		}
+		return in
+	}
+	switch {
+	case in.Seq <= m.reconSeq[s]:
+		m.Duplicates.Inc()
+		return nil
+	case in.Seq == m.reconSeq[s]+1:
+		base := m.reconVC[s]
+		if base == nil {
+			// No anchor yet: parking is useless because the chain can
+			// only start at a full-clock copy. Drop; NACK recovers.
+			return nil
+		}
+		nv := base.Clone()
+		if !nv.ApplyDelta(in.VCDelta) {
+			return nil // malformed wire delta
+		}
+		out := *in // shallow copy: the transports share one DataMsg across receivers
+		out.VC = nv
+		m.reconVC[s] = nv
+		m.reconSeq[s] = in.Seq
+		return &out
+	default:
+		m.parked[s][in.Seq] = in
+		return nil
+	}
+}
+
+// drainParked replays parked delta messages that the sender's chain has
+// caught up to.
+func (m *Member) drainParked(s vclock.ProcessID) {
+	for len(m.parked[s]) > 0 {
+		in, ok := m.parked[s][m.reconSeq[s]+1]
+		if !ok {
+			return
+		}
+		delete(m.parked[s], in.Seq)
+		if rec := m.reconstruct(in); rec != nil {
+			m.onDataMain(rec)
+		}
+	}
+}
+
+// onDataMain routes a (fully stamped) data message by ordering mode.
+func (m *Member) onDataMain(msg *DataMsg) {
 	if m.isDuplicate(msg) {
 		m.Duplicates.Inc()
 		return
@@ -665,50 +888,64 @@ func (m *Member) onData(msg *DataMsg) {
 		}
 		m.doDeliver(msg)
 	case FIFO, Causal:
-		if _, dup := m.pending[msg.ID()]; dup {
+		if _, dup := m.pendQ[msg.Sender][msg.Seq]; dup {
 			m.Duplicates.Inc()
 			return
 		}
-		m.pending[msg.ID()] = msg
+		if !m.suppressed && m.deliverable(msg) {
+			// Fast path: the common in-order arrival delivers without
+			// ever touching the holdback queue.
+			m.doDeliver(msg)
+			if m.pendCount > 0 {
+				m.drainHoldback()
+				if m.cfg.Atomic && m.pendCount > 0 {
+					m.armNack()
+				}
+			}
+			return
+		}
+		m.pendQ[msg.Sender][msg.Seq] = msg
+		m.pendCount++
 		m.updateHoldbackGauge()
-		m.drainHoldback()
 		if m.cfg.Ordering == Causal {
 			m.traceHoldback(msg, "awaiting causal predecessors")
 		} else {
 			m.traceHoldback(msg, "fifo gap")
 		}
-		if len(m.pending) > 0 && m.cfg.Atomic {
+		if m.cfg.Atomic {
 			m.armNack()
 		}
 	case TotalSeq:
-		if _, dup := m.dataByID[msg.ID()]; dup {
+		if _, dup := m.dataQ[msg.Sender][msg.Seq]; dup {
 			m.Duplicates.Inc()
 			return
 		}
-		m.dataByID[msg.ID()] = msg
+		m.dataQ[msg.Sender][msg.Seq] = msg
+		m.dataCount++
 		m.updateHoldbackGauge()
-		if m.rank == m.cfg.SequencerRank && !m.orderKnown[msg.ID()] {
+		if m.rank == m.cfg.SequencerRank && !m.orderKnown.Has(msg.ID()) {
 			m.assignOrder(msg.ID())
 		}
 		m.drainTotal()
 		m.traceHoldback(msg, "awaiting global order")
-		if m.cfg.Atomic && len(m.dataByID) > 0 {
+		if m.cfg.Atomic && m.dataCount > 0 {
 			m.armNack()
 		}
 	case TotalCausal:
-		if _, dup := m.dataByID[msg.ID()]; dup {
+		if _, dup := m.dataQ[msg.Sender][msg.Seq]; dup {
 			m.Duplicates.Inc()
 			return
 		}
-		m.dataByID[msg.ID()] = msg
+		m.dataQ[msg.Sender][msg.Seq] = msg
+		m.dataCount++
 		m.updateHoldbackGauge()
-		if m.rank == m.cfg.SequencerRank {
-			m.seqPending[msg.ID()] = msg
+		if m.rank == m.cfg.SequencerRank && msg.Seq > m.seqDelivered.Get(msg.Sender) {
+			m.seqQ[msg.Sender][msg.Seq] = msg
 			m.drainSequencer()
 		}
 		m.drainTotal()
 		m.traceHoldback(msg, "awaiting causally consistent global order")
-		if m.cfg.Atomic && len(m.dataByID) > 0 {
+		if m.cfg.Atomic && m.dataCount > 0 {
 			m.armNack()
 		}
 	case TotalAgree:
@@ -720,16 +957,34 @@ func (m *Member) onData(msg *DataMsg) {
 // it.
 func (m *Member) assignOrder(id MsgID) {
 	m.seqCounter++
-	if m.assignedByID != nil {
-		m.assignedByID[id] = m.seqCounter
-		m.assignedAt[m.seqCounter] = id
+	if len(m.assignedLog) == 0 {
+		m.assignedBase = m.seqCounter
 	}
+	m.assignedLog = append(m.assignedLog, id)
 	// Apply locally first: the sequencer's own copy must not depend on
 	// the lossy network loopback (it cannot NACK itself).
-	m.orderKnown[id] = true
-	m.orderOf[m.seqCounter] = id
+	m.orderKnown.Add(id)
+	m.orderSet(m.seqCounter, id)
 	if m.seqCounter > m.maxGlobalSeen {
 		m.maxGlobalSeen = m.seqCounter
+	}
+	if m.cfg.OrderBatch >= 2 {
+		// Batched announcements: assignments accumulate into one
+		// contiguous run (seqCounter only ever increments, so the run
+		// stays contiguous) and flush on size or timer. One frame per K
+		// casts instead of one per cast is what lifts a fixed
+		// sequencer's ceiling on a real transport.
+		if len(m.obIDs) == 0 {
+			m.obFirst = m.seqCounter
+		}
+		m.obIDs = append(m.obIDs, id)
+		if len(m.obIDs) >= m.cfg.OrderBatch {
+			m.flushOrders()
+		} else if !m.obArmed {
+			m.obArmed = true
+			m.net.After(m.cfg.orderFlushDelay(), m.flushOrders)
+		}
+		return
 	}
 	om := &OrderMsg{Group: m.cfg.Group, Epoch: m.epoch, GlobalSeq: m.seqCounter, ID: id}
 	for r := range m.nodes {
@@ -741,31 +996,152 @@ func (m *Member) assignOrder(id MsgID) {
 	}
 }
 
+// maxOrderWindow bounds how far above the delivery frontier an order
+// assignment may be buffered. Wire-supplied global positions are
+// untrusted; without a bound a single hostile frame could demand a
+// multi-gigabyte window. Assignments beyond it are dropped and
+// recovered by the normal order-NACK path once the frontier advances.
+const maxOrderWindow = 1 << 20
+
+// orderSet records that global position g holds id.
+func (m *Member) orderSet(g uint64, id MsgID) {
+	if g < m.orderBase || g-m.orderBase >= maxOrderWindow {
+		return // stale (already consumed) or absurdly far ahead
+	}
+	idx := m.orderHead + int(g-m.orderBase)
+	for len(m.orderWin) <= idx {
+		m.orderWin = append(m.orderWin, MsgID{})
+	}
+	m.orderWin[idx] = id
+}
+
+// orderAt returns the id assigned global position g, if known and not
+// yet consumed.
+func (m *Member) orderAt(g uint64) (MsgID, bool) {
+	if g < m.orderBase {
+		return MsgID{}, false
+	}
+	idx := m.orderHead + int(g-m.orderBase)
+	if idx >= len(m.orderWin) {
+		return MsgID{}, false
+	}
+	id := m.orderWin[idx]
+	return id, id != MsgID{}
+}
+
+// orderConsume drops the window's head (position orderBase) after
+// delivery. When the window empties the ring resets, so steady-state
+// delivery reuses the same backing slot forever.
+func (m *Member) orderConsume() {
+	m.orderWin[m.orderHead] = MsgID{}
+	m.orderHead++
+	m.orderBase++
+	if m.orderHead == len(m.orderWin) {
+		m.orderWin = m.orderWin[:0]
+		m.orderHead = 0
+	}
+}
+
+// dataGet looks up arrived-but-undelivered data by id. Ids arriving in
+// order messages are untrusted, so the rank is range-checked.
+func (m *Member) dataGet(id MsgID) (*DataMsg, bool) {
+	if !m.validRank(id.Sender) {
+		return nil, false
+	}
+	msg, ok := m.dataQ[id.Sender][id.Seq]
+	return msg, ok
+}
+
+// dataDel removes id from the arrival buffer if present.
+func (m *Member) dataDel(id MsgID) {
+	if !m.validRank(id.Sender) {
+		return
+	}
+	if _, held := m.dataQ[id.Sender][id.Seq]; held {
+		delete(m.dataQ[id.Sender], id.Seq)
+		m.dataCount--
+	}
+}
+
+// assignedIDAt returns the id the sequencer assigned global position g
+// this epoch.
+func (m *Member) assignedIDAt(g uint64) (MsgID, bool) {
+	if g < m.assignedBase || g-m.assignedBase >= uint64(len(m.assignedLog)) {
+		return MsgID{}, false
+	}
+	return m.assignedLog[g-m.assignedBase], true
+}
+
+// assignedGlobalOf finds the global position assigned to id, scanning
+// the log newest-first (order NACKs name recent losses). Recovery-path
+// only: the hot assignment path never looks an id up.
+func (m *Member) assignedGlobalOf(id MsgID) (uint64, bool) {
+	for i := len(m.assignedLog) - 1; i >= 0; i-- {
+		if m.assignedLog[i] == id {
+			return m.assignedBase + uint64(i), true
+		}
+	}
+	return 0, false
+}
+
+// flushOrders broadcasts the accumulated ordering run. Runs both on
+// batch-full and from the flush timer; a timer firing after a size
+// flush finds the batch empty and is a no-op.
+func (m *Member) flushOrders() {
+	m.obArmed = false
+	if m.closed || len(m.obIDs) == 0 {
+		return
+	}
+	ob := &OrderBatchMsg{Group: m.cfg.Group, Epoch: m.epoch, FirstGlobal: m.obFirst, IDs: m.obIDs}
+	m.obIDs = nil // the message aliases the slice; start a fresh batch
+	for r := range m.nodes {
+		if vclock.ProcessID(r) == m.rank {
+			continue
+		}
+		m.CtrlMsgs.Inc()
+		m.send(vclock.ProcessID(r), ob)
+	}
+}
+
+// onOrderBatch records a batched run of sequencer assignments.
+func (m *Member) onOrderBatch(ob *OrderBatchMsg) {
+	for i, id := range ob.IDs {
+		g := ob.FirstGlobal + uint64(i)
+		if g > m.maxGlobalSeen {
+			m.maxGlobalSeen = g
+		}
+		if m.orderKnown.Has(id) {
+			continue
+		}
+		m.orderKnown.Add(id)
+		m.orderSet(g, id)
+	}
+	m.drainTotal()
+	if m.cfg.Atomic && (m.dataCount > 0 || m.nextGlobal <= m.maxGlobalSeen) {
+		m.armNack()
+	}
+}
+
 // drainSequencer (TotalCausal sequencer only) assigns global positions
 // to pending messages in a causally consistent order: a message is
 // sequenced only when all its causal predecessors have been sequenced,
 // exactly the CBCAST delivery rule applied to the sequencing decision.
 func (m *Member) drainSequencer() {
-	for {
-		var next *DataMsg
-		for _, msg := range m.seqPending {
-			if !m.seqDelivered.Deliverable(msg.VC, msg.Sender) {
-				continue
+	// Same head-probe structure as drainHoldback: only each sender's
+	// next sequence can pass the causal test, and the rank-0 restart
+	// preserves the deterministic assignment order.
+	for s := 0; s < len(m.seqQ); {
+		head := m.seqDelivered.Get(vclock.ProcessID(s)) + 1
+		if msg, ok := m.seqQ[s][head]; ok && m.seqDelivered.Deliverable(msg.VC, msg.Sender) {
+			delete(m.seqQ[s], head)
+			m.seqDelivered.Set(msg.Sender, msg.Seq)
+			if !m.orderKnown.Has(msg.ID()) {
+				m.assignOrder(msg.ID())
 			}
-			if next == nil ||
-				msg.Sender < next.Sender ||
-				(msg.Sender == next.Sender && msg.Seq < next.Seq) {
-				next = msg
-			}
+			s = 0
+			continue
 		}
-		if next == nil {
-			return
-		}
-		delete(m.seqPending, next.ID())
-		m.seqDelivered.Set(next.Sender, next.Seq)
-		if !m.orderKnown[next.ID()] {
-			m.assignOrder(next.ID())
-		}
+		s++
 	}
 }
 
@@ -776,6 +1152,11 @@ func (m *Member) deliverable(msg *DataMsg) bool {
 	case FIFO:
 		return msg.Seq == m.delivered.Get(msg.Sender)+1
 	case Causal:
+		if msg.VCDelta != nil {
+			// Reconstructed delta message: only the changed entries need
+			// inspection — O(concurrent writers), not O(group size).
+			return m.delivered.DeliverableDelta(msg.Sender, msg.Seq, msg.VCDelta)
+		}
 		return m.delivered.Deliverable(msg.VC, msg.Sender)
 	default:
 		return true
@@ -783,40 +1164,28 @@ func (m *Member) deliverable(msg *DataMsg) bool {
 }
 
 // drainHoldback repeatedly delivers every now-deliverable pending
-// message until a fixpoint.
+// message until a fixpoint. Under FIFO and causal rules only the head
+// of each sender's chain (delivered+1) can ever be deliverable, so the
+// scan probes one key per sender — O(senders + deliveries), not
+// O(pending). Restarting from rank 0 after each delivery reproduces
+// the old full-scan's deterministic smallest-(sender, seq)-first order,
+// which the simulator's reproducibility guarantee depends on.
 func (m *Member) drainHoldback() {
 	if m.suppressed {
 		return // delivery frozen during the flush window
 	}
-	for {
-		// Scan in (sender, seq) order: map iteration order would make
-		// concurrent-message delivery order vary run to run, breaking
-		// the simulator's reproducibility guarantee.
-		next := m.minDeliverablePending()
-		if next == nil {
-			return
-		}
-		delete(m.pending, next.ID())
-		m.updateHoldbackGauge()
-		m.doDeliver(next)
-	}
-}
-
-// minDeliverablePending returns the deliverable pending message with
-// the smallest (sender, seq) id, or nil.
-func (m *Member) minDeliverablePending() *DataMsg {
-	var best *DataMsg
-	for _, msg := range m.pending {
-		if !m.deliverable(msg) {
+	for s := 0; s < len(m.pendQ); {
+		head := m.delivered.Get(vclock.ProcessID(s)) + 1
+		if msg, ok := m.pendQ[s][head]; ok && m.deliverable(msg) {
+			delete(m.pendQ[s], head)
+			m.pendCount--
+			m.updateHoldbackGauge()
+			m.doDeliver(msg)
+			s = 0
 			continue
 		}
-		if best == nil ||
-			msg.Sender < best.Sender ||
-			(msg.Sender == best.Sender && msg.Seq < best.Seq) {
-			best = msg
-		}
+		s++
 	}
-	return best
 }
 
 // drainTotal delivers sequenced messages in global order as far as
@@ -826,17 +1195,17 @@ func (m *Member) drainTotal() {
 		return // delivery frozen during the flush window
 	}
 	for {
-		id, ok := m.orderOf[m.nextGlobal]
+		id, ok := m.orderAt(m.nextGlobal)
 		if !ok {
 			return
 		}
-		msg, ok := m.dataByID[id]
+		msg, ok := m.dataGet(id)
 		if !ok {
 			return
 		}
-		delete(m.dataByID, id)
+		m.dataDel(id)
 		m.updateHoldbackGauge()
-		delete(m.orderOf, m.nextGlobal)
+		m.orderConsume()
 		m.nextGlobal++
 		m.doDeliver(msg)
 	}
@@ -847,13 +1216,13 @@ func (m *Member) onOrder(om *OrderMsg) {
 	if om.GlobalSeq > m.maxGlobalSeen {
 		m.maxGlobalSeen = om.GlobalSeq
 	}
-	if m.orderKnown[om.ID] {
+	if m.orderKnown.Has(om.ID) {
 		return
 	}
-	m.orderKnown[om.ID] = true
-	m.orderOf[om.GlobalSeq] = om.ID
+	m.orderKnown.Add(om.ID)
+	m.orderSet(om.GlobalSeq, om.ID)
 	m.drainTotal()
-	if m.cfg.Atomic && (len(m.dataByID) > 0 || m.nextGlobal <= m.maxGlobalSeen) {
+	if m.cfg.Atomic && (m.dataCount > 0 || m.nextGlobal <= m.maxGlobalSeen) {
 		m.armNack()
 	}
 }
@@ -865,21 +1234,13 @@ func (m *Member) doDeliver(msg *DataMsg) {
 	case FIFO, Causal:
 		m.delivered.Set(msg.Sender, msg.Seq)
 	default:
-		m.deliveredIDs[msg.ID()] = true
+		// Adding to the delivered set also advances its contiguous
+		// frontier, which m.contig (the stability ack clock) aliases.
+		m.deliveredIDs.Add(msg.ID())
 		// Per-sender counts still advance to the max seen, which keeps
 		// the delivered clock a useful progress measure.
 		if msg.Seq > m.delivered.Get(msg.Sender) {
 			m.delivered.Set(msg.Sender, msg.Seq)
-		}
-		// Advance the contiguous prefix used for stability acks.
-		if m.contig != nil {
-			for {
-				next := m.contig.Get(msg.Sender) + 1
-				if !m.deliveredIDs[MsgID{Sender: msg.Sender, Seq: next}] {
-					break
-				}
-				m.contig.Set(msg.Sender, next)
-			}
 		}
 	}
 	now := m.net.Now()

@@ -43,7 +43,14 @@ type DataMsg struct {
 	Sender vclock.ProcessID
 	Seq    uint64    // per-sender sequence, 1-based
 	VC     vclock.VC // causal dependency stamp; VC[Sender] == Seq
-	SentAt time.Duration
+	// VCDelta is the delta-encoded causal stamp (Config.DeltaClocks):
+	// the entries of the sender's clock that changed since its previous
+	// cast. A transmitted copy carries either VC (a periodic full
+	// refresh, and every retransmission) or VCDelta, never both;
+	// receivers reconstruct the full clock along each sender's sequence
+	// chain and keep the delta for the sparse deliverability check.
+	VCDelta []vclock.DeltaEntry
+	SentAt  time.Duration
 	// DeliveredVC piggybacks the sender's delivered clock for stability
 	// tracking (atomic mode); nil otherwise.
 	DeliveredVC vclock.VC
@@ -83,6 +90,7 @@ func (m *DataMsg) TraceWanted() (wanted, known bool) {
 func (m *DataMsg) ApproxSize() int {
 	size := 40 + m.PayloadSize
 	size += 8 * len(m.VC)
+	size += 12 * len(m.VCDelta) // u32 index + u64 value per changed entry
 	size += 8 * len(m.DeliveredVC)
 	return size
 }
@@ -103,6 +111,21 @@ type OrderMsg struct {
 
 // ApproxSize implements transport.Sizer.
 func (m *OrderMsg) ApproxSize() int { return 48 }
+
+// OrderBatchMsg is the sequencer's batched ordering announcement
+// (Config.OrderBatch): IDs[i] is assigned global position
+// FirstGlobal+i. Batching amortizes the per-frame cost that caps a
+// fixed sequencer's throughput — one announcement frame per K casts
+// instead of one per cast.
+type OrderBatchMsg struct {
+	Group       string
+	Epoch       uint64
+	FirstGlobal uint64
+	IDs         []MsgID
+}
+
+// ApproxSize implements transport.Sizer.
+func (m *OrderBatchMsg) ApproxSize() int { return 40 + 16*len(m.IDs) }
 
 // ProposeMsg is a member's priority proposal in agreement (Skeen) mode,
 // sent back to the originator of message ID.

@@ -1,0 +1,82 @@
+package multicast
+
+import "catocs/internal/vclock"
+
+// seqSet is a set of per-sender sequence numbers held as a contiguous
+// prefix plus a sparse reorder tail. The total orderings and unordered
+// mode dedup and track delivery by MsgID, and a flat map[MsgID] grows
+// without bound over a member's lifetime — by the millionth cast every
+// membership probe is a hash lookup in a giant table. Sequence numbers
+// per sender are dense from 1, so almost every member of the set is
+// below the per-sender contiguous frontier: Has is then an array
+// compare, and only the (small, transient) out-of-order window above
+// the frontier ever touches a map.
+type seqSet struct {
+	// hi[s] is sender s's contiguous frontier: every seq in [1, hi[s]]
+	// is in the set. Kept as a vclock.VC so callers needing exactly
+	// this frontier (the stability ack clock) can alias it.
+	hi vclock.VC
+	// sparse[s] holds members above hi[s]+1, awaiting absorption.
+	sparse []map[uint64]struct{}
+}
+
+func newSeqSet(n int) *seqSet {
+	return &seqSet{hi: vclock.New(n), sparse: make([]map[uint64]struct{}, n)}
+}
+
+// Has reports membership. Out-of-range senders are never members.
+func (ss *seqSet) Has(id MsgID) bool {
+	s := int(id.Sender)
+	if s < 0 || s >= len(ss.hi) {
+		return false
+	}
+	if id.Seq <= ss.hi[s] {
+		return true
+	}
+	if sp := ss.sparse[s]; sp != nil {
+		_, ok := sp[id.Seq]
+		return ok
+	}
+	return false
+}
+
+// Add inserts id, advancing the contiguous frontier and absorbing any
+// sparse entries it reaches. Out-of-range senders are dropped (the
+// wire handlers validate ranks before any id reaches a seqSet; this is
+// belt-and-braces).
+func (ss *seqSet) Add(id MsgID) {
+	s := int(id.Sender)
+	if s < 0 || s >= len(ss.hi) {
+		return
+	}
+	switch {
+	case id.Seq <= ss.hi[s]:
+		return
+	case id.Seq == ss.hi[s]+1:
+		ss.hi[s] = id.Seq
+		if sp := ss.sparse[s]; len(sp) > 0 {
+			for {
+				next := ss.hi[s] + 1
+				if _, ok := sp[next]; !ok {
+					break
+				}
+				delete(sp, next)
+				ss.hi[s] = next
+			}
+		}
+	default:
+		if ss.sparse[s] == nil {
+			ss.sparse[s] = make(map[uint64]struct{})
+		}
+		ss.sparse[s][id.Seq] = struct{}{}
+	}
+}
+
+// Frontier returns sender s's contiguous frontier (0 for out-of-range
+// senders): every seq at or below it is in the set.
+func (ss *seqSet) Frontier(s vclock.ProcessID) uint64 {
+	if int(s) < 0 || int(s) >= len(ss.hi) {
+		return 0
+	}
+	return ss.hi[s]
+}

@@ -46,7 +46,7 @@ func (m *Member) HasDelivered(id MsgID) bool {
 	case FIFO, Causal:
 		return id.Seq <= m.delivered.Get(id.Sender)
 	default:
-		return m.deliveredIDs[id]
+		return m.deliveredIDs.Has(id)
 	}
 }
 
@@ -66,11 +66,19 @@ func (m *Member) ForceDeliver(msg *DataMsg) {
 	// flush.
 	switch m.cfg.Ordering {
 	case TotalSeq, TotalCausal:
-		delete(m.dataByID, msg.ID())
+		m.dataDel(msg.ID())
 	case TotalAgree:
 		delete(m.agree.entries, msg.ID())
 	default:
-		delete(m.pending, msg.ID())
+		if m.validRank(msg.Sender) {
+			if _, held := m.pendQ[msg.Sender][msg.Seq]; held {
+				delete(m.pendQ[msg.Sender], msg.Seq)
+				m.pendCount--
+			}
+			if m.parked != nil {
+				delete(m.parked[msg.Sender], msg.Seq)
+			}
+		}
 	}
 	m.updateHoldbackGauge()
 	m.doDeliver(msg)
@@ -94,36 +102,43 @@ func (m *Member) InstallView(nodes []transport.NodeID, rank vclock.ProcessID, ep
 	m.epoch = epoch
 	m.sendSeq = 0
 	m.delivered = vclock.New(len(nodes))
-	m.pending = make(map[MsgID]*DataMsg)
+	m.pendQ = newShardQ(len(nodes))
+	m.pendCount = 0
+	if m.cfg.deltaMode() {
+		m.initDeltaState()
+	}
 	m.HoldbackGauge.Set(0)
 	m.seqCounter = 0
-	m.orderOf = make(map[uint64]MsgID)
-	m.orderKnown = make(map[MsgID]bool)
+	m.orderWin = nil
+	m.orderHead = 0
+	m.orderBase = 1
+	m.orderKnown = newSeqSet(len(nodes))
 	m.nextGlobal = 1
-	m.dataByID = make(map[MsgID]*DataMsg)
+	m.dataQ = newShardQ(len(nodes))
+	m.dataCount = 0
 	if m.cfg.Ordering == TotalCausal && rank == m.cfg.SequencerRank {
-		m.seqPending = make(map[MsgID]*DataMsg)
+		m.seqQ = newShardQ(len(nodes))
 		m.seqDelivered = vclock.New(len(nodes))
 	}
+	m.obFirst = 0
+	m.obIDs = nil
+	m.obArmed = false
+	m.lastAdvert = nil
+	m.ackForce = false
 	m.maxGlobalSeen = 0
-	if (m.cfg.Ordering == TotalSeq || m.cfg.Ordering == TotalCausal) && rank == m.cfg.SequencerRank {
-		m.assignedByID = make(map[MsgID]uint64)
-		m.assignedAt = make(map[uint64]MsgID)
-	} else {
-		m.assignedByID = nil
-		m.assignedAt = nil
-	}
+	m.assignedLog = nil
+	m.assignedBase = 0
 	m.proposals = make(map[MsgID]*proposalSet)
 	if m.cfg.Ordering == TotalAgree {
 		m.agree = newAgreeQueue()
 	}
-	m.deliveredIDs = make(map[MsgID]bool)
+	m.deliveredIDs = newSeqSet(len(nodes))
 	m.nackRetries = make(map[MsgID]int)
 	if m.stab != nil {
 		m.stab.Resize(len(nodes))
 		m.known = vclock.New(len(nodes))
 		if m.contig != nil {
-			m.contig = vclock.New(len(nodes))
+			m.contig = m.deliveredIDs.hi
 		}
 	}
 	if m.cfg.Budget.Limited() && m.cfg.Atomic {

@@ -1,6 +1,7 @@
 package multicast
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -8,7 +9,7 @@ import (
 	"catocs/internal/wire"
 )
 
-// Wire codec registrations for the eight CBCAST/ABCAST message types,
+// Wire codec registrations for the nine CBCAST/ABCAST message types,
 // so the TCP transport can carry a group across OS processes. The
 // in-process networks never call these; tcpnet calls them on every
 // frame. On the wire a DataMsg payload must be nil or []byte — the
@@ -16,25 +17,37 @@ import (
 // is bytes. The unexported trace hint fields do not travel: a decoded
 // copy arrives with no sampling decision, which the tracer treats as
 // "undecided" and resolves locally.
+//
+// All encoders are append-style (wire.RegisterAppend): they extend a
+// caller-supplied buffer — tcpnet's pooled frame bodies — so the
+// steady-state encode path allocates nothing.
 
 // Decode guards. A hostile or corrupt frame must not make us allocate
 // unbounded memory before validation.
 const (
 	wireMaxGroup   = 1 << 10 // group name bytes
-	wireMaxVC      = 1 << 20 // vector clock entries
+	wireMaxVC      = 1 << 20 // vector clock / delta entries
 	wireMaxPayload = 1 << 26 // payload bytes
-	wireMaxWant    = 1 << 16 // NACK want-list entries
+	wireMaxWant    = 1 << 16 // NACK want-list / order-batch entries
+)
+
+// DataMsg stamp-presence flags (one byte on the wire, extensible).
+const (
+	dataFlagVC          = 1 << 0 // full vector clock present
+	dataFlagDelta       = 1 << 1 // delta-encoded clock present
+	dataFlagDeliveredVC = 1 << 2 // piggybacked stability clock present
 )
 
 func init() {
-	wire.Register(wire.KindMulticast+0, &DataMsg{}, encDataMsg, decDataMsg)
-	wire.Register(wire.KindMulticast+1, &OrderMsg{}, encOrderMsg, decOrderMsg)
-	wire.Register(wire.KindMulticast+2, &ProposeMsg{}, encProposeMsg, decProposeMsg)
-	wire.Register(wire.KindMulticast+3, &CommitMsg{}, encCommitMsg, decCommitMsg)
-	wire.Register(wire.KindMulticast+4, &AckMsg{}, encAckMsg, decAckMsg)
-	wire.Register(wire.KindMulticast+5, &NackMsg{}, encNackMsg, decNackMsg)
-	wire.Register(wire.KindMulticast+6, &OrderNack{}, encOrderNack, decOrderNack)
-	wire.Register(wire.KindMulticast+7, &RetransMsg{}, encRetransMsg, decRetransMsg)
+	wire.RegisterAppend(wire.KindMulticast+0, &DataMsg{}, encDataMsg, decDataMsg)
+	wire.RegisterAppend(wire.KindMulticast+1, &OrderMsg{}, encOrderMsg, decOrderMsg)
+	wire.RegisterAppend(wire.KindMulticast+2, &ProposeMsg{}, encProposeMsg, decProposeMsg)
+	wire.RegisterAppend(wire.KindMulticast+3, &CommitMsg{}, encCommitMsg, decCommitMsg)
+	wire.RegisterAppend(wire.KindMulticast+4, &AckMsg{}, encAckMsg, decAckMsg)
+	wire.RegisterAppend(wire.KindMulticast+5, &NackMsg{}, encNackMsg, decNackMsg)
+	wire.RegisterAppend(wire.KindMulticast+6, &OrderNack{}, encOrderNack, decOrderNack)
+	wire.RegisterAppend(wire.KindMulticast+7, &RetransMsg{}, encRetransMsg, decRetransMsg)
+	wire.RegisterAppend(wire.KindMulticast+8, &OrderBatchMsg{}, encOrderBatchMsg, decOrderBatchMsg)
 }
 
 // wirePayloadBytes validates the nil-or-bytes payload constraint.
@@ -83,6 +96,37 @@ func readVC(r *wire.Reader) vclock.VC {
 	return vc
 }
 
+func appendDelta(w *wire.Writer, d []vclock.DeltaEntry) error {
+	if len(d) > wireMaxVC {
+		return fmt.Errorf("multicast: clock delta of %d entries exceeds wire limit %d", len(d), wireMaxVC)
+	}
+	w.U32(uint32(len(d)))
+	for _, e := range d {
+		w.U32(uint32(e.Idx))
+		w.U64(e.Val)
+	}
+	return nil
+}
+
+func readDelta(r *wire.Reader) []vclock.DeltaEntry {
+	n := int(r.U32())
+	if n > wireMaxVC {
+		r.Take(wireMaxVC + 1)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	d := make([]vclock.DeltaEntry, 0, n)
+	for i := 0; i < n; i++ {
+		d = append(d, vclock.DeltaEntry{Idx: int32(r.U32()), Val: r.U64()})
+	}
+	if r.Err() {
+		return nil
+	}
+	return d
+}
+
 func appendMsgID(w *wire.Writer, id MsgID) {
 	w.I64(int64(id.Sender))
 	w.U64(id.Seq)
@@ -101,8 +145,11 @@ func readStamp(r *wire.Reader) vclock.Stamp {
 	return vclock.Stamp{Time: r.U64(), Proc: vclock.ProcessID(r.I64())}
 }
 
-func encDataMsg(payload any) ([]byte, error) {
-	m := payload.(*DataMsg)
+// encDataMsgBody appends the DataMsg encoding to dst. When a message
+// carries both a full clock and a delta (a reconstructed copy being
+// retransmitted), the full clock wins and the delta is dropped:
+// retransmissions must never depend on the receiver's chain state.
+func encDataMsgBody(dst []byte, m *DataMsg) ([]byte, error) {
 	body, err := wirePayloadBytes(m.Payload)
 	if err != nil {
 		return nil, err
@@ -110,21 +157,44 @@ func encDataMsg(payload any) ([]byte, error) {
 	if len(m.Group) > wireMaxGroup {
 		return nil, fmt.Errorf("multicast: group name %d bytes exceeds wire limit %d", len(m.Group), wireMaxGroup)
 	}
-	w := wire.NewWriter(64 + 8*(len(m.VC)+len(m.DeliveredVC)) + len(body))
+	w := wire.NewAppendWriter(dst)
 	w.String(m.Group)
 	w.U64(m.Epoch)
 	w.I64(int64(m.Sender))
 	w.U64(m.Seq)
 	w.I64(int64(m.SentAt))
 	w.U32(uint32(m.PayloadSize))
-	if err := appendVC(w, m.VC); err != nil {
-		return nil, err
+	var flags byte
+	if len(m.VC) > 0 {
+		flags |= dataFlagVC
+	} else if len(m.VCDelta) > 0 {
+		flags |= dataFlagDelta
 	}
-	if err := appendVC(w, m.DeliveredVC); err != nil {
-		return nil, err
+	if len(m.DeliveredVC) > 0 {
+		flags |= dataFlagDeliveredVC
+	}
+	w.U8(flags)
+	if flags&dataFlagVC != 0 {
+		if err := appendVC(&w, m.VC); err != nil {
+			return nil, err
+		}
+	}
+	if flags&dataFlagDelta != 0 {
+		if err := appendDelta(&w, m.VCDelta); err != nil {
+			return nil, err
+		}
+	}
+	if flags&dataFlagDeliveredVC != 0 {
+		if err := appendVC(&w, m.DeliveredVC); err != nil {
+			return nil, err
+		}
 	}
 	w.Bytes32(body)
 	return w.Bytes(), nil
+}
+
+func encDataMsg(dst []byte, payload any) ([]byte, error) {
+	return encDataMsgBody(dst, payload.(*DataMsg))
 }
 
 func decDataMsg(buf []byte) (any, error) {
@@ -137,8 +207,19 @@ func decDataMsg(buf []byte) (any, error) {
 		SentAt: time.Duration(r.I64()),
 	}
 	m.PayloadSize = int(r.U32())
-	m.VC = readVC(r)
-	m.DeliveredVC = readVC(r)
+	flags := r.U8()
+	if flags&^byte(dataFlagVC|dataFlagDelta|dataFlagDeliveredVC) != 0 {
+		return nil, fmt.Errorf("multicast: DataMsg with unknown flag bits 0x%02x", flags)
+	}
+	if flags&dataFlagVC != 0 {
+		m.VC = readVC(r)
+	}
+	if flags&dataFlagDelta != 0 {
+		m.VCDelta = readDelta(r)
+	}
+	if flags&dataFlagDeliveredVC != 0 {
+		m.DeliveredVC = readVC(r)
+	}
 	if b := r.Bytes32(wireMaxPayload); b != nil {
 		m.Payload = b
 	}
@@ -148,13 +229,13 @@ func decDataMsg(buf []byte) (any, error) {
 	return m, nil
 }
 
-func encOrderMsg(payload any) ([]byte, error) {
+func encOrderMsg(dst []byte, payload any) ([]byte, error) {
 	m := payload.(*OrderMsg)
-	w := wire.NewWriter(48 + len(m.Group))
+	w := wire.NewAppendWriter(dst)
 	w.String(m.Group)
 	w.U64(m.Epoch)
 	w.U64(m.GlobalSeq)
-	appendMsgID(w, m.ID)
+	appendMsgID(&w, m.ID)
 	return w.Bytes(), nil
 }
 
@@ -172,13 +253,50 @@ func decOrderMsg(buf []byte) (any, error) {
 	return m, nil
 }
 
-func encProposeMsg(payload any) ([]byte, error) {
-	m := payload.(*ProposeMsg)
-	w := wire.NewWriter(56 + len(m.Group))
+func encOrderBatchMsg(dst []byte, payload any) ([]byte, error) {
+	m := payload.(*OrderBatchMsg)
+	if len(m.IDs) > wireMaxWant {
+		return nil, fmt.Errorf("multicast: order batch of %d ids exceeds wire limit %d", len(m.IDs), wireMaxWant)
+	}
+	w := wire.NewAppendWriter(dst)
 	w.String(m.Group)
 	w.U64(m.Epoch)
-	appendMsgID(w, m.ID)
-	appendStamp(w, m.Priority)
+	w.U64(m.FirstGlobal)
+	w.U32(uint32(len(m.IDs)))
+	for _, id := range m.IDs {
+		appendMsgID(&w, id)
+	}
+	return w.Bytes(), nil
+}
+
+func decOrderBatchMsg(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	m := &OrderBatchMsg{
+		Group:       r.String(wireMaxGroup),
+		Epoch:       r.U64(),
+		FirstGlobal: r.U64(),
+	}
+	n := int(r.U32())
+	if n > wireMaxWant {
+		r.Take(wireMaxWant * 16)
+	} else {
+		for i := 0; i < n && !r.Err(); i++ {
+			m.IDs = append(m.IDs, readMsgID(r))
+		}
+	}
+	if err := r.Finish("multicast.OrderBatchMsg"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encProposeMsg(dst []byte, payload any) ([]byte, error) {
+	m := payload.(*ProposeMsg)
+	w := wire.NewAppendWriter(dst)
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	appendMsgID(&w, m.ID)
+	appendStamp(&w, m.Priority)
 	return w.Bytes(), nil
 }
 
@@ -196,13 +314,13 @@ func decProposeMsg(buf []byte) (any, error) {
 	return m, nil
 }
 
-func encCommitMsg(payload any) ([]byte, error) {
+func encCommitMsg(dst []byte, payload any) ([]byte, error) {
 	m := payload.(*CommitMsg)
-	w := wire.NewWriter(56 + len(m.Group))
+	w := wire.NewAppendWriter(dst)
 	w.String(m.Group)
 	w.U64(m.Epoch)
-	appendMsgID(w, m.ID)
-	appendStamp(w, m.Priority)
+	appendMsgID(&w, m.ID)
+	appendStamp(&w, m.Priority)
 	return w.Bytes(), nil
 }
 
@@ -220,13 +338,13 @@ func decCommitMsg(buf []byte) (any, error) {
 	return m, nil
 }
 
-func encAckMsg(payload any) ([]byte, error) {
+func encAckMsg(dst []byte, payload any) ([]byte, error) {
 	m := payload.(*AckMsg)
-	w := wire.NewWriter(40 + len(m.Group) + 8*len(m.Delivered))
+	w := wire.NewAppendWriter(dst)
 	w.String(m.Group)
 	w.U64(m.Epoch)
 	w.I64(int64(m.From))
-	if err := appendVC(w, m.Delivered); err != nil {
+	if err := appendVC(&w, m.Delivered); err != nil {
 		return nil, err
 	}
 	return w.Bytes(), nil
@@ -276,13 +394,13 @@ func readWant(r *wire.Reader) []MsgID {
 	return want
 }
 
-func encNackMsg(payload any) ([]byte, error) {
+func encNackMsg(dst []byte, payload any) ([]byte, error) {
 	m := payload.(*NackMsg)
-	w := wire.NewWriter(40 + len(m.Group) + 16*len(m.Want))
+	w := wire.NewAppendWriter(dst)
 	w.String(m.Group)
 	w.U64(m.Epoch)
 	w.I64(int64(m.From))
-	if err := appendWant(w, m.Want); err != nil {
+	if err := appendWant(&w, m.Want); err != nil {
 		return nil, err
 	}
 	return w.Bytes(), nil
@@ -302,14 +420,14 @@ func decNackMsg(buf []byte) (any, error) {
 	return m, nil
 }
 
-func encOrderNack(payload any) ([]byte, error) {
+func encOrderNack(dst []byte, payload any) ([]byte, error) {
 	m := payload.(*OrderNack)
-	w := wire.NewWriter(48 + len(m.Group) + 16*len(m.Want))
+	w := wire.NewAppendWriter(dst)
 	w.String(m.Group)
 	w.U64(m.Epoch)
 	w.I64(int64(m.From))
 	w.U64(m.FromGlobal)
-	if err := appendWant(w, m.Want); err != nil {
+	if err := appendWant(&w, m.Want); err != nil {
 		return nil, err
 	}
 	return w.Bytes(), nil
@@ -330,20 +448,25 @@ func decOrderNack(buf []byte) (any, error) {
 	return m, nil
 }
 
-func encRetransMsg(payload any) ([]byte, error) {
+func encRetransMsg(dst []byte, payload any) ([]byte, error) {
 	m := payload.(*RetransMsg)
 	if m.Data == nil {
 		return nil, fmt.Errorf("multicast: RetransMsg with nil Data")
 	}
-	inner, err := encDataMsg(m.Data)
+	w := wire.NewAppendWriter(dst)
+	w.String(m.Group)
+	w.U64(m.Epoch)
+	// Inner length prefix, patched after the nested encode so the whole
+	// message still appends into one buffer.
+	buf := w.Bytes()
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err := encDataMsgBody(buf, m.Data)
 	if err != nil {
 		return nil, err
 	}
-	w := wire.NewWriter(24 + len(m.Group) + len(inner))
-	w.String(m.Group)
-	w.U64(m.Epoch)
-	w.Bytes32(inner)
-	return w.Bytes(), nil
+	binary.LittleEndian.PutUint32(buf[lenAt:lenAt+4], uint32(len(buf)-lenAt-4))
+	return buf, nil
 }
 
 func decRetransMsg(buf []byte) (any, error) {

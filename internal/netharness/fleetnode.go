@@ -17,14 +17,17 @@ import (
 // the chaos harness uses for it: "cbcast" is atomic causal broadcast,
 // "abcast" the causally-consistent fixed-sequencer total order, both
 // with stability tracking and loss recovery on — a real network drops
-// real packets.
+// real packets. Both run the hot-path optimizations a real deployment
+// would: delta-encoded causal stamps, and (abcast) batched sequencer
+// ordering announcements.
 func SubstrateConfig(substrate string) (multicast.Config, error) {
-	cfg := multicast.Config{Group: "fleet", Atomic: true}
+	cfg := multicast.Config{Group: "fleet", Atomic: true, DeltaClocks: true}
 	switch substrate {
 	case "cbcast":
 		cfg.Ordering = multicast.Causal
 	case "abcast":
 		cfg.Ordering = multicast.TotalCausal
+		cfg.OrderBatch = 64
 	default:
 		return cfg, fmt.Errorf("netharness: unknown substrate %q (want cbcast|abcast)", substrate)
 	}

@@ -7,45 +7,43 @@
 // the paper's ordering anomalies (Figures 2-4) on demand rather than
 // waiting for an unlucky scheduling on a real network.
 //
-// The kernel is intentionally tiny: a binary heap of (time, seq,
-// thunk) entries, a virtual clock, and a seeded PRNG. Everything
-// else — links, nodes, protocols — lives in higher layers.
+// The kernel is intentionally tiny: a calendar-style bucket queue (a
+// 4-ary heap of distinct timestamps, each holding a FIFO slice of
+// events), a virtual clock, and a seeded PRNG. Everything else —
+// links, nodes, protocols — lives in higher layers. Simulated
+// workloads schedule thousands of events at identical timestamps
+// (every hop of a fixed-delay link lands on the same instant), so
+// bucketing turns most push/pop pairs into slice appends instead of
+// heap sifts over 64-byte event values. Buckets and their slices
+// recycle through a free list, and the AtCall variant takes a
+// (func(any), any) pair instead of a closure, so a steady-state
+// scheduling loop allocates nothing per event. Execution order is
+// identical to a flat (time, seq) heap: buckets fire in timestamp
+// order and appends within a bucket are already in seq order.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// event is a scheduled thunk. seq breaks timestamp ties so execution
-// order is deterministic and FIFO among same-time events.
+// event is a scheduled thunk. Exactly one of fire or call is set; call
+// receives arg. Timestamp and tiebreak order live in the bucket
+// structure: a bucket is one timestamp, and its slice is FIFO in
+// scheduling order.
 type event struct {
-	at   time.Duration
-	seq  uint64
 	fire func()
+	call func(any)
+	arg  any
 }
 
-// eventHeap is a min-heap on (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// bucket holds every pending event for one timestamp, consumed
+// front-to-back.
+type bucket struct {
+	at     time.Duration
+	events []event
+	next   int // index of the first unconsumed event
 }
 
 // Kernel is a single-threaded discrete-event scheduler. It is not safe
@@ -54,19 +52,21 @@ func (h *eventHeap) Pop() interface{} {
 // exactly the "processes interleave arbitrarily" model the paper's
 // event diagrams assume, without data races.
 type Kernel struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
-	fired  uint64
-	limit  uint64 // safety valve against runaway simulations; 0 = none
+	now     time.Duration
+	buckets []*bucket                 // 4-ary min-heap on at; one per distinct timestamp
+	index   map[time.Duration]*bucket // live buckets by timestamp
+	free    []*bucket                 // retired buckets for reuse
+	pending int                       // scheduled, unfired events
+	rng     *rand.Rand
+	fired   uint64
+	limit   uint64 // safety valve against runaway simulations; 0 = none
 }
 
 // NewKernel returns a kernel with virtual time 0 and a PRNG seeded with
 // seed. Two kernels with the same seed and the same scheduled workload
 // execute identically.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	return &Kernel{rng: rand.New(rand.NewSource(seed)), index: make(map[time.Duration]*bucket)}
 }
 
 // Now returns the current virtual time.
@@ -89,8 +89,18 @@ func (k *Kernel) At(t time.Duration, f func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
 	}
-	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fire: f})
+	k.push(t, event{fire: f})
+}
+
+// AtCall schedules call(arg) at absolute virtual time t. It is the
+// allocation-free twin of At: the callback is a plain function value
+// shared across events and the per-event state travels in arg, so no
+// closure is built per schedule.
+func (k *Kernel) AtCall(t time.Duration, call func(any), arg any) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	k.push(t, event{call: call, arg: arg})
 }
 
 // After schedules f to run d after the current virtual time.
@@ -101,25 +111,121 @@ func (k *Kernel) After(d time.Duration, f func()) {
 	k.At(k.now+d, f)
 }
 
+// AfterCall schedules call(arg) d after the current virtual time; see
+// AtCall.
+func (k *Kernel) AfterCall(d time.Duration, call func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	k.AtCall(k.now+d, call, arg)
+}
+
 // Pending returns the number of scheduled, unfired events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.pending }
 
 // Fired returns the total number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
+// push appends an event to its timestamp's bucket, creating (or
+// recycling) the bucket and heap-inserting it when t is a new
+// timestamp. Appends within a bucket are in scheduling order, which is
+// exactly the old flat heap's seq tiebreak.
+func (k *Kernel) push(t time.Duration, e event) {
+	k.pending++
+	b, ok := k.index[t]
+	if !ok {
+		if n := len(k.free); n > 0 {
+			b = k.free[n-1]
+			k.free[n-1] = nil
+			k.free = k.free[:n-1]
+		} else {
+			b = &bucket{}
+		}
+		b.at = t
+		k.index[t] = b
+		h := append(k.buckets, b)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 4
+			if h[i].at >= h[p].at {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+		k.buckets = h
+	}
+	b.events = append(b.events, e)
+}
+
+// pop removes and returns the earliest event: the front of the minimum
+// bucket. A drained bucket is heap-popped and recycled.
+func (k *Kernel) pop() (time.Duration, event) {
+	b := k.buckets[0]
+	e := b.events[b.next]
+	b.events[b.next] = event{} // drop references so fired thunks can be collected
+	b.next++
+	k.pending--
+	if b.next < len(b.events) {
+		return b.at, e
+	}
+	// Bucket drained: remove it from the heap and recycle it. A handler
+	// scheduling at this same timestamp afterwards simply opens a fresh
+	// bucket, which (being at == now) sorts first and fires next —
+	// the same order the flat heap produced.
+	at := b.at
+	delete(k.index, at)
+	b.events = b.events[:0]
+	b.next = 0
+	k.free = append(k.free, b)
+	h := k.buckets
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].at < h[m].at {
+				m = j
+			}
+		}
+		if h[m].at >= h[i].at {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	k.buckets = h
+	return at, e
+}
+
 // Step fires the single earliest event, advancing the clock to its
 // timestamp. It reports false when no events remain.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+	if k.pending == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(*event)
-	k.now = e.at
+	at, e := k.pop()
+	k.now = at
 	k.fired++
 	if k.limit != 0 && k.fired > k.limit {
 		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
 	}
-	e.fire()
+	if e.fire != nil {
+		e.fire()
+	} else {
+		e.call(e.arg)
+	}
 	return true
 }
 
@@ -133,7 +239,7 @@ func (k *Kernel) Run() {
 // clock to the deadline afterwards even if the queue drained early.
 // Events scheduled beyond the deadline remain queued.
 func (k *Kernel) RunUntil(deadline time.Duration) {
-	for len(k.events) > 0 && k.events[0].at <= deadline {
+	for k.pending > 0 && k.buckets[0].at <= deadline {
 		k.Step()
 	}
 	if k.now < deadline {

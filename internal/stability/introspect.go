@@ -17,7 +17,7 @@ func (t *Tracker) ObsStatus() obs.Status {
 		Component: "stability",
 		Node:      t.traceNode,
 		Fields: []obs.StatusField{
-			obs.DistNum("occupancy", float64(len(t.buf))),
+			obs.DistNum("occupancy", float64(t.bufLen)),
 			obs.Num("occupancy_bytes", float64(t.memBytes)),
 			obs.Num("unstable", float64(t.Unstable())),
 			obs.Num("high_water", float64(t.HighWater())),

@@ -46,9 +46,17 @@ type entry struct {
 // clock that decides when entries may be discarded. Not safe for
 // concurrent use; the owning member serializes access.
 type Tracker struct {
-	n         int
-	matrix    *vclock.Matrix
-	buf       map[Key]entry
+	n      int
+	matrix *vclock.Matrix
+	// bufQ holds the in-memory buffer sharded by sender and keyed by
+	// sequence; bufLen counts entries across shards. evictedTo[s] is the
+	// eviction frontier: every message from s with seq <= evictedTo[s]
+	// has already been evicted (or was never buffered), so stabilization
+	// walks only the newly stable window instead of scanning the whole
+	// buffer per ack.
+	bufQ      []map[uint64]entry
+	bufLen    int
+	evictedTo []uint64
 	memBytes  int
 	perSender []int // in-memory + spilled unstable count per sender
 	perBytes  []int // same, in bytes
@@ -80,10 +88,19 @@ func New(n int) *Tracker {
 	return &Tracker{
 		n:         n,
 		matrix:    vclock.NewMatrix(n),
-		buf:       make(map[Key]entry),
+		bufQ:      newBufQ(n),
+		evictedTo: make([]uint64, n),
 		perSender: make([]int, n),
 		perBytes:  make([]int, n),
 	}
+}
+
+func newBufQ(n int) []map[uint64]entry {
+	q := make([]map[uint64]entry, n)
+	for i := range q {
+		q[i] = make(map[uint64]entry)
+	}
+	return q
 }
 
 // SetBudget bounds the in-memory buffer. With a spill store attached
@@ -112,7 +129,12 @@ func (t *Tracker) Spill() *wal.SpillStore { return t.spill }
 // storage instead of memory — occupancy stays bounded and the copy
 // remains reachable for NACK-driven retransmission via Get.
 func (t *Tracker) Buffer(k Key, msg any, size int) {
-	if _, ok := t.buf[k]; ok {
+	// An out-of-range sender rank has no matrix row and could never
+	// stabilize; refusing it keeps the buffer from leaking forever.
+	if int(k.Sender) < 0 || int(k.Sender) >= t.n {
+		return
+	}
+	if _, ok := t.bufQ[k.Sender][k.Seq]; ok {
 		return
 	}
 	if t.spilledKeys != nil {
@@ -122,18 +144,19 @@ func (t *Tracker) Buffer(k Key, msg any, size int) {
 	}
 	// A message already known stable must not re-enter the buffer (a
 	// late duplicate would otherwise linger forever).
-	if t.matrix.Stable(k.Sender, k.Seq) {
+	if k.Seq <= t.evictedTo[k.Sender] || t.matrix.Stable(k.Sender, k.Seq) {
 		return
 	}
 	t.buffered.Inc()
-	if t.spill != nil && t.budget.Limited() && !t.budget.Admits(len(t.buf), t.memBytes, size) {
+	if t.spill != nil && t.budget.Limited() && !t.budget.Admits(t.bufLen, t.memBytes, size) {
 		t.spill.Put(k.spillKey(), msg, size)
 		t.spilledKeys[k] = struct{}{}
 		t.spilled.Inc()
 		t.bumpSender(k.Sender, 1, size)
 		return
 	}
-	t.buf[k] = entry{msg: msg, size: size}
+	t.bufQ[k.Sender][k.Seq] = entry{msg: msg, size: size}
+	t.bufLen++
 	t.memBytes += size
 	t.bumpSender(k.Sender, 1, size)
 	t.setGauges()
@@ -150,7 +173,7 @@ func (t *Tracker) bumpSender(p vclock.ProcessID, delta, bytes int) {
 // Every admission and removal path funnels through here, so the gauges
 // decrement on spill, shed, and eviction — not only on stabilize.
 func (t *Tracker) setGauges() {
-	t.occupancy.Set(int64(len(t.buf)))
+	t.occupancy.Set(int64(t.bufLen))
 	t.bytes.Set(int64(t.memBytes))
 }
 
@@ -158,8 +181,10 @@ func (t *Tracker) setGauges() {
 // then the spill store (a spill-store hit models the NACK-path reload
 // and is counted there).
 func (t *Tracker) Get(k Key) (any, bool) {
-	if e, ok := t.buf[k]; ok {
-		return e.msg, true
+	if int(k.Sender) >= 0 && int(k.Sender) < t.n {
+		if e, ok := t.bufQ[k.Sender][k.Seq]; ok {
+			return e.msg, true
+		}
 	}
 	if t.spill != nil {
 		if _, ok := t.spilledKeys[k]; ok {
@@ -173,12 +198,15 @@ func (t *Tracker) Get(k Key) (any, bool) {
 // for stability — the shed and view-change paths. It reports whether
 // anything was removed.
 func (t *Tracker) Remove(k Key) bool {
-	if e, ok := t.buf[k]; ok {
-		delete(t.buf, k)
-		t.memBytes -= e.size
-		t.bumpSender(k.Sender, -1, -e.size)
-		t.setGauges()
-		return true
+	if int(k.Sender) >= 0 && int(k.Sender) < t.n {
+		if e, ok := t.bufQ[k.Sender][k.Seq]; ok {
+			delete(t.bufQ[k.Sender], k.Seq)
+			t.bufLen--
+			t.memBytes -= e.size
+			t.bumpSender(k.Sender, -1, -e.size)
+			t.setGauges()
+			return true
+		}
 	}
 	if t.spilledKeys != nil {
 		if _, ok := t.spilledKeys[k]; ok {
@@ -204,33 +232,48 @@ func (t *Tracker) Instrument(tr *obs.Tracer, node int, now func() time.Duration)
 // ObserveAck merges process p's delivered clock into the matrix and
 // evicts every buffered or spilled message that became stable. It
 // returns the number of evictions (spill drops included).
+//
+// Eviction walks only the window each sender's stability frontier
+// advanced through (evictedTo[s]+1 .. min[s]) rather than scanning the
+// whole buffer, so an ack costs O(newly stable) instead of
+// O(buffered) — the per-ack cost the batched-ack path amortizes
+// further.
 func (t *Tracker) ObserveAck(p vclock.ProcessID, delivered vclock.VC) int {
 	t.matrix.Update(p, delivered)
-	min := t.matrix.MinClock()
+	min := t.matrix.Min()
 	evicted := 0
 	var gone []Key
-	for k, e := range t.buf {
-		if k.Seq <= min[k.Sender] {
-			delete(t.buf, k)
-			t.memBytes -= e.size
-			t.bumpSender(k.Sender, -1, -e.size)
-			evicted++
-			if t.trace.Wants(obs.MsgRef{Sender: int64(k.Sender), Seq: k.Seq}) {
-				gone = append(gone, k)
+	for s := 0; s < t.n; s++ {
+		upto := min[s]
+		if upto <= t.evictedTo[s] {
+			continue
+		}
+		shard := t.bufQ[s]
+		for seq := t.evictedTo[s] + 1; seq <= upto; seq++ {
+			if e, ok := shard[seq]; ok {
+				delete(shard, seq)
+				t.bufLen--
+				t.memBytes -= e.size
+				t.bumpSender(vclock.ProcessID(s), -1, -e.size)
+				evicted++
+				if t.trace.Wants(obs.MsgRef{Sender: int64(s), Seq: seq}) {
+					gone = append(gone, Key{Sender: vclock.ProcessID(s), Seq: seq})
+				}
+			} else if t.spilledKeys != nil {
+				k := Key{Sender: vclock.ProcessID(s), Seq: seq}
+				if _, ok := t.spilledKeys[k]; ok {
+					delete(t.spilledKeys, k)
+					sz := t.spill.Size(k.spillKey())
+					t.spill.Drop(k.spillKey())
+					t.bumpSender(k.Sender, -1, -sz)
+					evicted++
+					if t.trace.Wants(obs.MsgRef{Sender: int64(s), Seq: seq}) {
+						gone = append(gone, k)
+					}
+				}
 			}
 		}
-	}
-	for k := range t.spilledKeys {
-		if k.Seq <= min[k.Sender] {
-			delete(t.spilledKeys, k)
-			sz := t.spill.Size(k.spillKey())
-			t.spill.Drop(k.spillKey())
-			t.bumpSender(k.Sender, -1, -sz)
-			evicted++
-			if t.trace.Wants(obs.MsgRef{Sender: int64(k.Sender), Seq: k.Seq}) {
-				gone = append(gone, k)
-			}
-		}
+		t.evictedTo[s] = upto
 	}
 	if evicted > 0 {
 		t.evicted.Add(uint64(evicted))
@@ -260,14 +303,14 @@ func (t *Tracker) Stable(k Key) bool { return t.matrix.Stable(k.Sender, k.Seq) }
 func (t *Tracker) MinClock() vclock.VC { return t.matrix.MinClock() }
 
 // Occupancy returns the current number of messages buffered in memory.
-func (t *Tracker) Occupancy() int { return len(t.buf) }
+func (t *Tracker) Occupancy() int { return t.bufLen }
 
 // OccupancyBytes returns the bytes currently buffered in memory.
 func (t *Tracker) OccupancyBytes() int { return t.memBytes }
 
 // Unstable returns the total unstable messages this member still
 // accounts for, in memory or spilled.
-func (t *Tracker) Unstable() int { return len(t.buf) + len(t.spilledKeys) }
+func (t *Tracker) Unstable() int { return t.bufLen + len(t.spilledKeys) }
 
 // PerSender returns how many of sender p's messages are currently
 // unstable here (memory + spilled) — the sender-side admission
@@ -308,7 +351,7 @@ func (t *Tracker) Spilled() uint64 { return t.spilled.Value() }
 // its budget — the measurement the bounded-memory oracle and the
 // no-enforcement control arm of E19 read.
 func (t *Tracker) Overflowing() bool {
-	return t.budget.Exceeded(len(t.buf), t.memBytes)
+	return t.budget.Exceeded(t.bufLen, t.memBytes)
 }
 
 // Laggard identifies the member most responsible for holding back the
@@ -353,9 +396,11 @@ func (t *Tracker) Laggard(exclude vclock.ProcessID) (vclock.ProcessID, bool) {
 // flush, which must redistribute unstable messages before installing a
 // new view.
 func (t *Tracker) Keys() []Key {
-	out := make([]Key, 0, len(t.buf)+len(t.spilledKeys))
-	for k := range t.buf {
-		out = append(out, k)
+	out := make([]Key, 0, t.bufLen+len(t.spilledKeys))
+	for s, shard := range t.bufQ {
+		for seq := range shard {
+			out = append(out, Key{Sender: vclock.ProcessID(s), Seq: seq})
+		}
 	}
 	for k := range t.spilledKeys {
 		out = append(out, k)
@@ -372,7 +417,9 @@ func (t *Tracker) Keys() []Key {
 func (t *Tracker) Resize(n int) {
 	t.n = n
 	t.matrix = vclock.NewMatrix(n)
-	t.buf = make(map[Key]entry)
+	t.bufQ = newBufQ(n)
+	t.bufLen = 0
+	t.evictedTo = make([]uint64, n)
 	t.memBytes = 0
 	t.perSender = make([]int, n)
 	t.perBytes = make([]int, n)

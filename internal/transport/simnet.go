@@ -34,7 +34,7 @@ type LinkConfig struct {
 type SimNet struct {
 	k        *sim.Kernel
 	def      LinkConfig
-	links    map[[2]NodeID]LinkConfig
+	links    map[[2]NodeID]*LinkConfig
 	handlers map[NodeID]Handler
 	crashed  map[NodeID]bool
 	// partition assigns nodes to partition islands; nodes in different
@@ -50,19 +50,35 @@ type SimNet struct {
 	stats   Stats
 	perNode map[NodeID]*NodeStats
 	sink    obsSink
+	// deliverFn is the single prebuilt kernel callback for in-flight
+	// packets; per-packet state travels in a pooled delivery record, so
+	// the steady-state send path allocates neither a closure nor a
+	// record. freeD is the record freelist (single-threaded, like the
+	// rest of SimNet).
+	deliverFn func(any)
+	freeD     *delivery
+}
+
+// delivery is one in-flight packet's state, pooled via SimNet.freeD.
+type delivery struct {
+	from, to NodeID
+	payload  any
+	next     *delivery
 }
 
 // NewSimNet returns a simulated network with the given default link
 // behaviour applied to every pair.
 func NewSimNet(k *sim.Kernel, def LinkConfig) *SimNet {
-	return &SimNet{
+	n := &SimNet{
 		k:        k,
 		def:      def,
-		links:    make(map[[2]NodeID]LinkConfig),
+		links:    make(map[[2]NodeID]*LinkConfig),
 		handlers: make(map[NodeID]Handler),
 		crashed:  make(map[NodeID]bool),
 		perNode:  make(map[NodeID]*NodeStats),
 	}
+	n.deliverFn = n.deliverRec
+	return n
 }
 
 // Kernel returns the underlying simulation kernel.
@@ -82,7 +98,7 @@ func (n *SimNet) Register(id NodeID, h Handler) { n.handlers[id] = h }
 // SetLink overrides the link configuration for the directed pair
 // (from, to).
 func (n *SimNet) SetLink(from, to NodeID, cfg LinkConfig) {
-	n.links[[2]NodeID{from, to}] = cfg
+	n.links[[2]NodeID{from, to}] = &cfg
 }
 
 // Crash marks a node failed: all traffic to and from it is dropped
@@ -185,11 +201,11 @@ func (n *SimNet) reachable(from, to NodeID) bool {
 	return true
 }
 
-func (n *SimNet) linkFor(from, to NodeID) LinkConfig {
+func (n *SimNet) linkFor(from, to NodeID) *LinkConfig {
 	if cfg, ok := n.links[[2]NodeID{from, to}]; ok {
 		return cfg
 	}
-	return n.def
+	return &n.def
 }
 
 // Send implements Network. The reachability check happens at delivery
@@ -204,20 +220,19 @@ func (n *SimNet) Send(from, to NodeID, payload any) {
 		return
 	}
 	cfg := n.linkFor(from, to)
-	rng := n.k.Rand()
-	if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+	if cfg.LossProb > 0 && n.k.Rand().Float64() < cfg.LossProb {
 		n.stats.Dropped++
 		n.sink.onDrop(to)
 		return
 	}
 	n.deliverAfter(cfg, from, to, payload)
-	if cfg.DupProb > 0 && rng.Float64() < cfg.DupProb {
+	if cfg.DupProb > 0 && n.k.Rand().Float64() < cfg.DupProb {
 		n.stats.Duplicated++
 		n.deliverAfter(cfg, from, to, payload)
 	}
 }
 
-func (n *SimNet) deliverAfter(cfg LinkConfig, from, to NodeID, payload any) {
+func (n *SimNet) deliverAfter(cfg *LinkConfig, from, to NodeID, payload any) {
 	d := cfg.BaseDelay
 	if cfg.Jitter > 0 {
 		d += time.Duration(n.k.Rand().Int63n(int64(cfg.Jitter)))
@@ -225,44 +240,76 @@ func (n *SimNet) deliverAfter(cfg LinkConfig, from, to NodeID, payload any) {
 	if cfg.Bandwidth > 0 {
 		d += time.Duration(float64(ApproxSize(payload)) / float64(cfg.Bandwidth) * float64(time.Second))
 	}
-	if lag := n.slow[to]; lag > 0 {
-		d += lag
+	if n.slow != nil {
+		if lag := n.slow[to]; lag > 0 {
+			d += lag
+		}
 	}
-	n.k.After(d, func() {
+	rec := n.getDelivery(from, to, payload)
+	n.k.AfterCall(d, n.deliverFn, rec)
+}
+
+// getDelivery takes a record off the freelist (or allocates the first
+// time); putDelivery returns it. SimNet is single-threaded, so a plain
+// linked list suffices.
+func (n *SimNet) getDelivery(from, to NodeID, payload any) *delivery {
+	rec := n.freeD
+	if rec == nil {
+		rec = &delivery{}
+	} else {
+		n.freeD = rec.next
+	}
+	rec.from, rec.to, rec.payload, rec.next = from, to, payload, nil
+	return rec
+}
+
+func (n *SimNet) putDelivery(rec *delivery) {
+	rec.payload = nil
+	rec.next = n.freeD
+	n.freeD = rec
+}
+
+// deliverRec is the kernel callback for an in-flight packet: it
+// recycles the delivery record, re-checks reachability, and hands the
+// payload to the destination handler (through the serial receive
+// processor when a service time is configured).
+func (n *SimNet) deliverRec(x any) {
+	rec := x.(*delivery)
+	from, to, payload := rec.from, rec.to, rec.payload
+	n.putDelivery(rec)
+	if !n.reachable(from, to) {
+		n.stats.Dropped++
+		n.sink.onDrop(to)
+		return
+	}
+	h, ok := n.handlers[to]
+	if !ok {
+		n.stats.Dropped++
+		n.sink.onDrop(to)
+		return
+	}
+	if n.service <= 0 {
+		n.dispatch(h, from, to, payload)
+		return
+	}
+	// Serial receive processing: this arrival waits for the node's
+	// receive processor, then occupies it for one service time.
+	// Queueing delay lands in the wire-to-handler gap, so latency
+	// breakdowns attribute it to the network leg — where a real
+	// kernel socket queue would put it.
+	start := n.k.Now()
+	if b := n.busy[to]; b > start {
+		start = b
+	}
+	done := start + n.service
+	n.busy[to] = done
+	n.k.After(done-n.k.Now(), func() {
 		if !n.reachable(from, to) {
 			n.stats.Dropped++
 			n.sink.onDrop(to)
 			return
 		}
-		h, ok := n.handlers[to]
-		if !ok {
-			n.stats.Dropped++
-			n.sink.onDrop(to)
-			return
-		}
-		if n.service <= 0 {
-			n.dispatch(h, from, to, payload)
-			return
-		}
-		// Serial receive processing: this arrival waits for the node's
-		// receive processor, then occupies it for one service time.
-		// Queueing delay lands in the wire-to-handler gap, so latency
-		// breakdowns attribute it to the network leg — where a real
-		// kernel socket queue would put it.
-		start := n.k.Now()
-		if b := n.busy[to]; b > start {
-			start = b
-		}
-		done := start + n.service
-		n.busy[to] = done
-		n.k.After(done-n.k.Now(), func() {
-			if !n.reachable(from, to) {
-				n.stats.Dropped++
-				n.sink.onDrop(to)
-				return
-			}
-			n.dispatch(h, from, to, payload)
-		})
+		n.dispatch(h, from, to, payload)
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,12 +27,47 @@ const (
 	frameHeaderLen = 4 + frameMetaLen
 )
 
-// frame is one encoded payload queued for a remote process.
+// frame is one encoded payload queued for a remote process. buf points
+// at a pooled buffer holding the complete wire frame — header already
+// filled, body appended by the registry's append-style encoder — so the
+// steady-state Send path allocates nothing and writerLoop issues one
+// Write per frame. The buffer is recycled after the frame is written
+// (or dropped); a nil buf is the keepalive ping.
 type frame struct {
 	kind wire.Kind
 	from transport.NodeID
 	to   transport.NodeID
-	body []byte
+	buf  *[]byte
+}
+
+// bodyLen returns the encoded payload length carried by the frame.
+func (f frame) bodyLen() int {
+	if f.buf == nil {
+		return 0
+	}
+	return len(*f.buf) - frameHeaderLen
+}
+
+// frameBufPool recycles frame buffers between Send and writerLoop.
+// Buffers that grew past maxPooledFrame are dropped to the GC so one
+// jumbo payload does not pin memory forever.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+const maxPooledFrame = 64 << 10
+
+func getFrameBuf() *[]byte { return frameBufPool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledFrame {
+		return
+	}
+	*b = (*b)[:0]
+	frameBufPool.Put(b)
 }
 
 // counters are the tcpnet-specific wire counters, all updated with
@@ -131,13 +167,14 @@ func newPeerConn(n *Net, addr string) *peerConn {
 }
 
 // enqueue admits a frame against the queue budget without blocking.
+// The caller keeps ownership of f.buf on a false return.
 func (p *peerConn) enqueue(f frame) bool {
-	if !p.n.cfg.Queue.Admits(len(p.ch), int(p.queuedBytes.Load()), len(f.body)) {
+	if !p.n.cfg.Queue.Admits(len(p.ch), int(p.queuedBytes.Load()), f.bodyLen()) {
 		return false
 	}
 	select {
 	case p.ch <- f:
-		p.queuedBytes.Add(int64(len(f.body)))
+		p.queuedBytes.Add(int64(f.bodyLen()))
 		return true
 	default:
 		return false
@@ -175,7 +212,7 @@ func (p *peerConn) writerLoop() {
 		case <-n.done:
 			return
 		case first = <-p.ch:
-			p.queuedBytes.Add(-int64(len(first.body)))
+			p.queuedBytes.Add(-int64(first.bodyLen()))
 			haveFrame = true
 		case <-ticker.C:
 			if conn == nil || time.Since(lastWrite) < n.cfg.PingEvery {
@@ -220,7 +257,7 @@ func (p *peerConn) writerLoop() {
 			for frames < n.cfg.MaxBatch {
 				select {
 				case f := <-p.ch:
-					p.queuedBytes.Add(-int64(len(f.body)))
+					p.queuedBytes.Add(-int64(f.bodyLen()))
 					p.writeFrame(bw, f)
 					frames++
 				default:
@@ -246,17 +283,25 @@ func (p *peerConn) writerLoop() {
 	}
 }
 
-// writeFrame appends one frame to the buffered writer. Errors are
-// sticky in bufio and surface at Flush.
+// writeFrame appends one frame to the buffered writer and recycles its
+// buffer. Errors are sticky in bufio and surface at Flush; bufio copies
+// the bytes (or flushes them through) before Write returns, so the
+// recycle is safe either way.
 func (p *peerConn) writeFrame(bw *bufio.Writer, f frame) {
-	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(frameMetaLen+len(f.body)))
-	binary.LittleEndian.PutUint16(hdr[4:6], uint16(f.kind))
-	binary.LittleEndian.PutUint64(hdr[6:14], uint64(int64(f.from)))
-	binary.LittleEndian.PutUint64(hdr[14:22], uint64(int64(f.to)))
-	bw.Write(hdr[:])
-	bw.Write(f.body)
-	p.n.nc.bytesOut.Add(uint64(frameHeaderLen + len(f.body)))
+	if f.buf == nil { // keepalive ping: header only, built on the stack
+		var hdr [frameHeaderLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(frameMetaLen))
+		binary.LittleEndian.PutUint16(hdr[4:6], uint16(f.kind))
+		binary.LittleEndian.PutUint64(hdr[6:14], uint64(int64(f.from)))
+		binary.LittleEndian.PutUint64(hdr[14:22], uint64(int64(f.to)))
+		bw.Write(hdr[:])
+		p.n.nc.bytesOut.Add(uint64(frameHeaderLen))
+		return
+	}
+	data := *f.buf
+	bw.Write(data)
+	p.n.nc.bytesOut.Add(uint64(len(data)))
+	putFrameBuf(f.buf)
 }
 
 // jitter spreads a backoff over [d/2, d) so peers restarting together
@@ -307,6 +352,9 @@ func (n *Net) serveConn(c net.Conn) {
 	}()
 	br := bufio.NewReaderSize(c, 64<<10)
 	var hdr [frameHeaderLen]byte
+	// One reusable body buffer per connection: decoders copy everything
+	// they retain, so the next frame may overwrite it freely.
+	var body []byte
 	for {
 		c.SetReadDeadline(time.Now().Add(n.cfg.IdleTimeout))
 		if _, err := io.ReadFull(br, hdr[:4]); err != nil {
@@ -329,7 +377,11 @@ func (n *Net) serveConn(c net.Conn) {
 		kind := wire.Kind(binary.LittleEndian.Uint16(hdr[4:6]))
 		from := transport.NodeID(int64(binary.LittleEndian.Uint64(hdr[6:14])))
 		to := transport.NodeID(int64(binary.LittleEndian.Uint64(hdr[14:22])))
-		body := make([]byte, length-frameMetaLen)
+		if need := length - frameMetaLen; cap(body) < need {
+			body = make([]byte, need)
+		} else {
+			body = body[:need]
+		}
 		if _, err := io.ReadFull(br, body); err != nil {
 			n.nc.frameErrors.Add(1)
 			return

@@ -28,6 +28,7 @@
 package tcpnet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -253,25 +254,39 @@ func (n *Net) Instrument(tr *obs.Tracer, reg *obs.Registry, substrate string) {
 // decode) so loopback traffic exercises the identical canonical form
 // and handlers never alias the sender's message structs.
 func (n *Net) Send(from, to transport.NodeID, payload any) {
-	kind, body, err := wire.Marshal(payload)
+	// Encode straight into a pooled buffer, frame header first, so the
+	// whole send path — header, body, queue, write — reuses one
+	// allocation-free buffer per frame.
+	bp := getFrameBuf()
+	var hdrZero [frameHeaderLen]byte
+	buf := append((*bp)[:0], hdrZero[:]...)
+	kind, buf, err := wire.MarshalAppend(buf, payload)
+	*bp = buf
 	if err != nil {
+		putFrameBuf(bp)
 		n.nc.encodeErrors.Add(1)
 		n.accountSend(from, payload)
 		n.drop(to)
 		return
 	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(buf)-4))
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(kind))
+	binary.LittleEndian.PutUint64(buf[6:14], uint64(int64(from)))
+	binary.LittleEndian.PutUint64(buf[14:22], uint64(int64(to)))
 	n.accountSend(from, payload)
 	if n.local[to] {
-		n.deliverLocal(from, to, kind, body)
+		n.deliverLocal(from, to, kind, bp)
 		return
 	}
 	p, ok := n.route[to]
 	if !ok || p == nil {
+		putFrameBuf(bp)
 		n.nc.unroutable.Add(1)
 		n.drop(to)
 		return
 	}
-	if !p.enqueue(frame{kind: kind, from: from, to: to, body: body}) {
+	if !p.enqueue(frame{kind: kind, from: from, to: to, buf: bp}) {
+		putFrameBuf(bp)
 		n.nc.queueDrops.Add(1)
 		n.drop(to)
 	}
@@ -279,15 +294,19 @@ func (n *Net) Send(from, to transport.NodeID, payload any) {
 
 // deliverLocal routes a loopback frame through the codec and into the
 // dispatch mailbox, subject to the same overflow-drop rule as inbound
-// network traffic.
-func (n *Net) deliverLocal(from, to transport.NodeID, kind wire.Kind, body []byte) {
+// network traffic. The frame buffer is recycled here: decoders copy
+// everything they retain, so the decoded payload does not alias it.
+func (n *Net) deliverLocal(from, to transport.NodeID, kind wire.Kind, bp *[]byte) {
+	body := (*bp)[frameHeaderLen:]
 	payload, err := wire.Unmarshal(kind, body)
+	size := len(body)
+	putFrameBuf(bp)
 	if err != nil {
 		n.nc.decodeErrors.Add(1)
 		n.drop(to)
 		return
 	}
-	n.enqueueDelivery(from, to, payload, len(body))
+	n.enqueueDelivery(from, to, payload, size)
 }
 
 // enqueueDelivery hands a decoded payload to the dispatcher without

@@ -211,12 +211,84 @@ func (v VC) Deliverable(msg VC, sender ProcessID) bool {
 	if len(v) != len(msg) {
 		panic(fmt.Sprintf("vclock: deliverable length mismatch %d != %d", len(v), len(msg)))
 	}
-	for i := range msg {
-		if ProcessID(i) == sender {
-			if msg[i] != v[i]+1 {
-				return false
-			}
-		} else if msg[i] > v[i] {
+	// The sender test is hoisted so the scan body is a single
+	// rarely-taken comparison; at n=256 the per-element sender branch
+	// dominated the old loop.
+	if msg[sender] != v[sender]+1 {
+		return false
+	}
+	for i, t := range msg {
+		if t > v[i] && ProcessID(i) != sender {
+			return false
+		}
+	}
+	return true
+}
+
+// DeltaEntry is one changed component of a delta-encoded vector clock:
+// process Idx moved to value Val since the sender's previous message.
+// A clock travels on the wire as the list of entries that changed,
+// which is O(concurrent writers) instead of O(group size) — the
+// compression that keeps CBCAST headers from growing with N.
+type DeltaEntry struct {
+	Idx int32
+	Val uint64
+}
+
+// DiffFrom appends to dst the entries of v that differ from prev and
+// returns the extended slice. prev and v must be the same length.
+// Passing a reusable dst[:0] keeps the encode path allocation-free.
+func (v VC) DiffFrom(prev VC, dst []DeltaEntry) []DeltaEntry {
+	if len(v) != len(prev) {
+		panic(fmt.Sprintf("vclock: diff length mismatch %d != %d", len(v), len(prev)))
+	}
+	for i, t := range v {
+		if t != prev[i] {
+			dst = append(dst, DeltaEntry{Idx: int32(i), Val: t})
+		}
+	}
+	return dst
+}
+
+// ApplyDelta sets the listed components on v in place, reconstructing
+// a full clock from a delta against the previous clock of the same
+// sender. It reports false (leaving v partially updated) when an index
+// is out of range — wire-decoded deltas are untrusted.
+func (v VC) ApplyDelta(delta []DeltaEntry) bool {
+	for _, e := range delta {
+		if e.Idx < 0 || int(e.Idx) >= len(v) {
+			return false
+		}
+		v[e.Idx] = e.Val
+	}
+	return true
+}
+
+// DeliverableDelta is the sparse CBCAST delivery test for a
+// delta-encoded message: the seq'th message from sender, whose clock
+// differs from the sender's previous message only in the given delta
+// entries, is deliverable at delivered-clock v when the sender's next
+// sequence matches and every changed predecessor count is already
+// covered.
+//
+// Soundness relies on the caller checking v[sender]+1 == seq first
+// (which this test does): then the receiver has delivered the sender's
+// previous message, at which point the CBCAST delivery rule guaranteed
+// v >= prevVC pointwise — so every *unchanged* component passes
+// automatically and only the delta entries need inspection. The check
+// is O(len(delta)), not O(N).
+func (v VC) DeliverableDelta(sender ProcessID, seq uint64, delta []DeltaEntry) bool {
+	if int(sender) < 0 || int(sender) >= len(v) || v[sender]+1 != seq {
+		return false
+	}
+	for _, e := range delta {
+		if e.Idx < 0 || int(e.Idx) >= len(v) {
+			return false // wire-decoded deltas are untrusted
+		}
+		if ProcessID(e.Idx) == sender {
+			continue
+		}
+		if e.Val > v[e.Idx] {
 			return false
 		}
 	}
@@ -299,11 +371,18 @@ func (v VC) String() string {
 type Matrix struct {
 	n    int
 	rows []VC
+	// min caches the column-wise minimum across rows. Row entries only
+	// ever rise (Update merges), so the cached minimum is maintained
+	// incrementally: a column is rescanned only when the entry that
+	// held its minimum advances. Stable() becomes O(1) and Update
+	// amortizes to O(changed columns), which is what keeps stability
+	// bookkeeping off the per-ack hot path.
+	min VC
 }
 
 // NewMatrix returns a matrix clock for n processes with all entries 0.
 func NewMatrix(n int) *Matrix {
-	m := &Matrix{n: n, rows: make([]VC, n)}
+	m := &Matrix{n: n, rows: make([]VC, n), min: New(n)}
 	for i := range m.rows {
 		m.rows[i] = New(n)
 	}
@@ -318,38 +397,53 @@ func (m *Matrix) N() int { return m.n }
 func (m *Matrix) Row(p ProcessID) VC { return m.rows[p] }
 
 // Update merges a freshly learned vector clock for process p (e.g. from
-// a piggybacked ack) into row p.
+// a piggybacked ack) into row p, keeping the cached column minimum
+// current.
 func (m *Matrix) Update(p ProcessID, v VC) {
 	if len(v) != m.n {
 		panic(fmt.Sprintf("vclock: matrix update length mismatch %d != %d", len(v), m.n))
 	}
-	m.rows[p].Merge(v)
-}
-
-// MinClock returns the column-wise minimum across all rows: the vector
-// of events known to be delivered everywhere. Messages at or below this
-// frontier are stable and may leave the retransmission buffer.
-func (m *Matrix) MinClock() VC {
-	min := m.rows[0].Clone()
-	for _, r := range m.rows[1:] {
-		for i, t := range r {
-			if t < min[i] {
-				min[i] = t
-			}
+	row := m.rows[p]
+	for i, t := range v {
+		if t <= row[i] {
+			continue
+		}
+		old := row[i]
+		row[i] = t
+		if old == m.min[i] {
+			m.recomputeMin(i)
 		}
 	}
-	return min
 }
+
+// recomputeMin rescans column i for its new minimum.
+func (m *Matrix) recomputeMin(i int) {
+	min := m.rows[0][i]
+	for _, r := range m.rows[1:] {
+		if r[i] < min {
+			min = r[i]
+		}
+	}
+	m.min[i] = min
+}
+
+// MinClock returns a copy of the column-wise minimum across all rows:
+// the vector of events known to be delivered everywhere. Messages at or
+// below this frontier are stable and may leave the retransmission
+// buffer.
+func (m *Matrix) MinClock() VC {
+	return m.min.Clone()
+}
+
+// Min returns the cached column-wise minimum without copying. The
+// returned slice aliases internal state; callers must not mutate it and
+// must not hold it across Update calls.
+func (m *Matrix) Min() VC { return m.min }
 
 // Stable reports whether the seq'th message from sender is known to be
 // delivered at every process.
 func (m *Matrix) Stable(sender ProcessID, seq uint64) bool {
-	for _, r := range m.rows {
-		if r[sender] < seq {
-			return false
-		}
-	}
-	return true
+	return m.min[sender] >= seq
 }
 
 // String renders the matrix row-major.

@@ -48,22 +48,29 @@ const (
 // the concrete type registered with it.
 type EncodeFunc func(payload any) ([]byte, error)
 
+// AppendEncodeFunc serializes a registered payload by appending its
+// encoding to dst and returning the extended slice. Append-style
+// encoders let transports reuse pooled buffers so the steady-state
+// encode path allocates nothing.
+type AppendEncodeFunc func(dst []byte, payload any) ([]byte, error)
+
 // DecodeFunc inverts EncodeFunc. It must reject truncated input,
 // oversized length prefixes, and trailing garbage.
 type DecodeFunc func(buf []byte) (any, error)
 
 // entry is one registered message type.
 type entry struct {
-	kind Kind
-	enc  EncodeFunc
-	dec  DecodeFunc
+	kind      Kind
+	enc       EncodeFunc
+	appendEnc AppendEncodeFunc // nil when registered via Register
+	dec       DecodeFunc
 }
 
 var (
-	regMu   sync.RWMutex
-	byType  = make(map[reflect.Type]*entry)
-	byKind  = make(map[Kind]*entry)
-	nameOf  = make(map[Kind]string)
+	regMu  sync.RWMutex
+	byType = make(map[reflect.Type]*entry)
+	byKind = make(map[Kind]*entry)
+	nameOf = make(map[Kind]string)
 )
 
 // Register installs a codec for the concrete type of zero under kind.
@@ -90,6 +97,18 @@ func Register(kind Kind, zero any, enc EncodeFunc, dec DecodeFunc) {
 	nameOf[kind] = t.String()
 }
 
+// RegisterAppend installs an append-style codec for the concrete type
+// of zero under kind; the classic EncodeFunc is derived from it. Same
+// duplicate-detection rules as Register.
+func RegisterAppend(kind Kind, zero any, enc AppendEncodeFunc, dec DecodeFunc) {
+	Register(kind, zero, func(payload any) ([]byte, error) {
+		return enc(nil, payload)
+	}, dec)
+	regMu.Lock()
+	byKind[kind].appendEnc = enc
+	regMu.Unlock()
+}
+
 // Registered reports whether payload's concrete type has a codec.
 func Registered(payload any) bool {
 	regMu.RLock()
@@ -111,6 +130,32 @@ func Marshal(payload any) (Kind, []byte, error) {
 		return 0, nil, err
 	}
 	return e.kind, buf, nil
+}
+
+// MarshalAppend serializes payload under its registered kind, appending
+// the encoding to dst and returning the extended slice. Types
+// registered with RegisterAppend encode straight into dst (no
+// intermediate allocation); Register'd types fall back to encode-then-
+// copy.
+func MarshalAppend(dst []byte, payload any) (Kind, []byte, error) {
+	regMu.RLock()
+	e, ok := byType[reflect.TypeOf(payload)]
+	regMu.RUnlock()
+	if !ok {
+		return 0, dst, fmt.Errorf("wire: no codec registered for %T", payload)
+	}
+	if e.appendEnc != nil {
+		out, err := e.appendEnc(dst, payload)
+		if err != nil {
+			return 0, dst, err
+		}
+		return e.kind, out, nil
+	}
+	buf, err := e.enc(payload)
+	if err != nil {
+		return 0, dst, err
+	}
+	return e.kind, append(dst, buf...), nil
 }
 
 // Unmarshal parses a body under kind.
@@ -153,6 +198,12 @@ type Writer struct {
 
 // NewWriter returns a writer with capacity n.
 func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// NewAppendWriter returns a by-value writer that appends to dst,
+// typically a pooled buffer. Declared as a local (`w :=
+// NewAppendWriter(dst)`), it lives on the caller's stack, so
+// append-style encoders pay no Writer allocation.
+func NewAppendWriter(dst []byte) Writer { return Writer{buf: dst} }
 
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }

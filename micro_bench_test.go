@@ -10,10 +10,13 @@ package catocs
 import (
 	"fmt"
 	"testing"
+	"time"
 
+	"catocs/internal/multicast"
 	"catocs/internal/stability"
 	"catocs/internal/state"
 	"catocs/internal/vclock"
+	"catocs/internal/wire"
 )
 
 func benchSizes() []int { return []int{4, 16, 64, 256} }
@@ -71,6 +74,87 @@ func BenchmarkVCStampClone(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = v.Clone()
+			}
+		})
+	}
+}
+
+// The delta-clock family: the per-message work the sparse wire
+// encoding replaces the O(N) clock scan and copy with. A cast touches
+// its own component plus however many concurrent writers advanced, so
+// the deltas here carry two entries regardless of n.
+func BenchmarkVCDeltaDiffFrom(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prev, cur := vclock.New(n), vclock.New(n)
+			for i := 0; i < n; i++ {
+				prev.Set(vclock.ProcessID(i), uint64(i))
+				cur.Set(vclock.ProcessID(i), uint64(i))
+			}
+			cur.Set(0, 100)
+			cur.Set(vclock.ProcessID(n-1), 200)
+			dst := make([]vclock.DeltaEntry, 0, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = cur.DiffFrom(prev, dst[:0])
+			}
+		})
+	}
+}
+
+func BenchmarkVCDeltaApply(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			v := vclock.New(n)
+			delta := []vclock.DeltaEntry{{Idx: 0, Val: 7}, {Idx: int32(n - 1), Val: 9}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = v.ApplyDelta(delta)
+			}
+		})
+	}
+}
+
+func BenchmarkVCDeltaDeliverableCheck(b *testing.B) {
+	// The sparse counterpart of BenchmarkVCDeliverableCheck: O(delta)
+	// instead of O(n), so the n=256 row should look like the n=4 row.
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			recv := vclock.New(n)
+			delta := []vclock.DeltaEntry{{Idx: 0, Val: 1}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = recv.DeliverableDelta(0, 1, delta)
+			}
+		})
+	}
+}
+
+// BenchmarkWireEncodeDataMsg measures the append-style encode of a
+// stamped data message into a reused buffer — the tcpnet send path.
+// The acceptance bar is 0 allocs/op: all growth happens on the first
+// iteration and the buffer is recycled thereafter.
+func BenchmarkWireEncodeDataMsg(b *testing.B) {
+	for _, n := range []int{4, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			msg := &multicast.DataMsg{
+				Group:       "bench",
+				Epoch:       3,
+				Sender:      1,
+				Seq:         42,
+				VC:          vclock.New(n),
+				SentAt:      5 * time.Millisecond,
+				PayloadSize: 64,
+			}
+			msg.VC.Set(1, 42)
+			buf := make([]byte, 0, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, out, err := wire.MarshalAppend(buf[:0], msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = out[:0]
 			}
 		})
 	}
