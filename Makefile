@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench benchdiff experiments profile e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke
+.PHONY: verify vet build test race bench benchdiff experiments profile e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke churn-smoke
 
-verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke benchdiff
+verify: vet build test race e17-smoke chaos-smoke slow-consumer-smoke mgcast-smoke obs-smoke net-smoke churn-smoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,17 @@ mgcast-smoke:
 # the identical workload.
 obs-smoke:
 	$(GO) test ./internal/experiments -run 'TestObsEndpointSmoke|TestE21SmallRun' -count=1 -v
+
+# The dynamic-membership smoke gate: a short E24 (both substrates must
+# reconfigure cleanly at small N, with state actually transferred and
+# the WAL replay absorbed as dups), then 50 seeded churn episodes —
+# generated join/leave/crash/recover schedules with the churn oracles
+# armed (joiner-state equivalence, no-stale-epoch delivery, rejoin
+# liveness). Any violation exits 1 with a shrunk minimal schedule and
+# a reproduction one-liner.
+churn-smoke:
+	$(GO) test ./internal/experiments -run 'TestE24' -count=1 -v
+	$(GO) run ./cmd/chaos -churn -n 8 -episodes 50 -seed 7
 
 # The real-network smoke gate: build cmd/node and cmd/loadgen, stand
 # up a 3-OS-process fleet per substrate over TCP, drive it with

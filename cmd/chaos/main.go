@@ -15,8 +15,23 @@
 //	go run ./cmd/chaos -substrate cbcast -seed 5 \
 //	    -script "@30ms part 0,1,2|3; @230ms heal"
 //
+// Churn mode (-churn): seeded dynamic-membership episodes over the
+// full membership stack — joiner state transfer, WAL crash-recovery
+// rejoin, graceful leave — checked by the churn oracles (joiner-state
+// equivalence, no-stale-epoch delivery, rejoin liveness). Generated
+// schedules mix membership churn with network faults: short
+// sub-detection partitions and inbound-lag slow windows ride alongside
+// the crash/join pairs. -churn-rate scales how many of each a schedule
+// carries; -recover=false drops the recover half of each crash pair
+// (crashed members stay down, exercising pure shrinkage).
+// With -script, runs that one churn schedule instead.
+//
+//	go run ./cmd/chaos -churn -n 32 -episodes 100 -seed 7
+//	go run ./cmd/chaos -churn -seed 3 \
+//	    -script "@30ms crash 2; @200ms recover 2; @350ms join 8"
+//
 // Exit status is 1 if any oracle found a violation, so the command
-// slots into CI (make chaos-smoke).
+// slots into CI (make chaos-smoke, make churn-smoke).
 package main
 
 import (
@@ -53,6 +68,9 @@ func main() {
 		delta      = flag.Bool("delta", false, "cbcast/abcast: delta-encoded vector-clock stamps")
 		orderBatch = flag.Int("order-batch", 0, "abcast: sequencer ordering-announcement batch size (<2 = unbatched)")
 		profile    = flag.String("profile", "", `write a pprof profile of the run: "cpu" or "heap" (to cpu.pprof / heap.pprof)`)
+		churn      = flag.Bool("churn", false, "dynamic-membership mode: join/leave/crash/recover episodes on the membership stack")
+		churnRate  = flag.Float64("churn-rate", 1.0, "churn mode: scales crash→recover and join→leave pairs plus partition/slow windows per generated schedule (1.0 = 2+2+1+1)")
+		doRecover  = flag.Bool("recover", true, "churn mode: false strips the recover half of crash pairs (crashed members stay down)")
 	)
 	flag.Parse()
 
@@ -85,7 +103,9 @@ func main() {
 	}
 
 	failed := false
-	if *script != "" {
+	if *churn {
+		failed = runChurn(*n, *senders, *msgs, *episodes, *seed, *script, *churnRate, *doRecover, !*noShrink)
+	} else if *script != "" {
 		s, err := chaos.ParseScript(*script)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -137,6 +157,75 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// runChurn executes churn mode: one scripted episode when script is
+// non-empty, otherwise a seeded batch of generated schedules. Returns
+// whether any oracle found a violation.
+func runChurn(n, senders, msgs, episodes int, seed int64, script string, rate float64, doRecover, shrink bool) bool {
+	if script != "" {
+		s, err := chaos.ParseScript(script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res := chaos.RunChurn(chaos.ChurnConfig{
+			N: n, Senders: senders, MsgsPer: msgs, Seed: seed, Script: s,
+		})
+		printChurnResult(res)
+		return len(res.Violations) > 0
+	}
+	rc := chaos.ChurnRunnerConfig{
+		N: n, Senders: senders, MsgsPer: msgs,
+		Episodes: episodes, Seed: seed, Shrink: shrink,
+		NoRecover: !doRecover,
+	}
+	// rate scales the default 2 crash + 2 join (1 staying) mix plus a
+	// sub-detection partition and an inbound-lag window per episode;
+	// the stable two-node core bounds how much of the group may churn.
+	rc.Gen.Crashes = int(rate*2 + 0.5)
+	rc.Gen.Joins = int(rate*2 + 0.5)
+	rc.Gen.Stayers = (rc.Gen.Joins + 1) / 2
+	rc.Gen.Partitions = int(rate + 0.5)
+	rc.Gen.Slows = int(rate + 0.5)
+	if rc.Gen.Crashes > n-2 {
+		rc.Gen.Crashes = n - 2
+	}
+	sum := chaos.RunChurnEpisodes(rc)
+	printChurnSummary(sum)
+	return len(sum.Failures) > 0
+}
+
+func printChurnResult(r chaos.ChurnResult) {
+	fmt.Printf("churn      seed=%-6d digest=%016x sent=%d skipped=%d applied=%d dups=%d "+
+		"reconfigs=%d meta/reconfig=%.1f transfer=%dB unavail(max=%s mean=%s)\n",
+		r.Seed, r.Digest, r.Sent, r.Skipped, r.Applied, r.Dups,
+		r.Epochs, r.MetadataPerEpoch(), r.TransferBytes, round(r.UnavailMax), round(r.UnavailMean))
+	if len(r.Script.Ops) > 0 {
+		fmt.Printf("  script: %s\n", r.Script)
+	}
+	for _, v := range r.Violations {
+		fmt.Printf("  VIOLATION %s\n", v)
+	}
+	if len(r.Violations) == 0 {
+		fmt.Println("  all churn oracles passed")
+	}
+}
+
+func printChurnSummary(s chaos.ChurnSummary) {
+	fmt.Printf("churn      episodes=%-3d digest=%016x sent=%d skipped=%d applied=%d dups=%d "+
+		"reconfigs=%d meta/reconfig=%.1f transfer=%dB unavail(max=%s mean=%s) violations=%s\n",
+		s.Episodes, s.Digest, s.Sent, s.Skipped, s.Applied, s.Dups,
+		s.Epochs, s.MetadataPerEpoch(), s.TransferBytes, round(s.UnavailMax), round(s.UnavailMean),
+		s.ViolationSummary())
+	for _, f := range s.Failures {
+		fmt.Printf("  FAILING EPISODE seed=%d\n", f.Seed)
+		for _, v := range f.Result.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+		fmt.Printf("    minimal script: %s\n", f.MinConfig.Script)
+		fmt.Printf("    reproduce: %s\n", f.Repro)
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 	e19casts, e19episodes := 150, 100
 	e20sizes, e20ks, e20msgs := []int{8, 32, 128}, []int{1, 2, 4, 8}, 20
 	e21sizes, e21msgs := []int{8, 32}, 30
+	e24sizes := experiments.E24Sizes
 	if *quick {
 		trials, sizes, msgs = 10, []int{4, 8}, 20
 		e8procs = []int{4}
@@ -43,6 +44,7 @@ func main() {
 		e19casts, e19episodes = 60, 10
 		e20sizes, e20ks, e20msgs = []int{8, 32}, []int{1, 2}, 8
 		e21sizes, e21msgs = []int{8}, 10
+		e24sizes = []int{8, 32}
 	}
 
 	tables := []*experiments.Table{
@@ -73,6 +75,7 @@ func main() {
 		experiments.TableE20(e20sizes, e20ks, e20msgs, *seed),
 		experiments.TableE21(e21sizes, e21msgs, *seed),
 		experiments.TableAblationTotal(sizes, msgs/2, *seed),
+		experiments.TableE24(e24sizes, *seed),
 	}
 
 	if *netFleet {

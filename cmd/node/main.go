@@ -18,6 +18,14 @@
 // its stats snapshot (and, with -trace, its obs trace as JSON lines —
 // merge the fleet's traces with obs.MergeEvents and feed the chaos
 // oracles to audit ordering) and exits.
+//
+// With -wal the process has a durable member identity, and a restart
+// over the same path is a crash recovery: the incarnation is bumped,
+// the send/receive chains resume from the checkpoint, and the unstable
+// cast suffix is replayed — so the real-TCP fleet exercises the same
+// rejoin discipline as the simulated membership stack. SIGTERM exits
+// without retiring the replay set (restart = recovery drill); SIGINT
+// and -run elapsing exit clean.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"catocs/internal/obs"
 	"catocs/internal/obs/live"
 	"catocs/internal/transport"
+	"catocs/internal/wal"
 )
 
 func main() {
@@ -46,15 +55,16 @@ func main() {
 		traceOut  = flag.String("trace", "", "write the obs trace (JSON lines) here on shutdown")
 		statsOut  = flag.String("stats", "", "write the stats snapshot JSON here on shutdown (default stdout)")
 		run       = flag.Duration("run", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
+		walPath   = flag.String("wal", "", "durable member identity: WAL file persisted across restarts (restart = crash recovery)")
 	)
 	flag.Parse()
-	if err := realMain(*id, *nodesFlag, *workers, *substrate, *epoch, *obsAddr, *traceOut, *statsOut, *run); err != nil {
+	if err := realMain(*id, *nodesFlag, *workers, *substrate, *epoch, *obsAddr, *traceOut, *statsOut, *walPath, *run); err != nil {
 		fmt.Fprintln(os.Stderr, "node:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(id int, nodesFlag, workersFlag, substrate string, epoch int64, obsAddr, traceOut, statsOut string, run time.Duration) error {
+func realMain(id int, nodesFlag, workersFlag, substrate string, epoch int64, obsAddr, traceOut, statsOut, walPath string, run time.Duration) error {
 	nodes, err := netharness.ParseNodeMap(nodesFlag)
 	if err != nil {
 		return err
@@ -73,12 +83,41 @@ func realMain(id int, nodesFlag, workersFlag, substrate string, epoch int64, obs
 	}
 	registry := obs.NewRegistry()
 
+	// With -wal, this process has a durable identity: a restart over
+	// the same path is a crash recovery, not a new member. Recovery
+	// bumps the incarnation and hands the chain checkpoint plus the
+	// unstable cast suffix to the fleet node to replay — the real-TCP
+	// analogue of the SimNet WAL rejoin.
+	var (
+		flog *wal.FileLog
+		mlog *wal.MemberLog
+		rec  wal.RecoveredMember
+	)
+	if walPath != "" {
+		flog, err = wal.OpenFileLog(walPath)
+		if err != nil {
+			return err
+		}
+		defer flog.Close()
+		mlog, rec, err = wal.OpenMemberLog(flog.Device())
+		if err != nil {
+			return err
+		}
+		if rec.Records > 0 {
+			inc, _ := mlog.BumpIncarnation()
+			fmt.Fprintf(os.Stderr, "node %d: rejoin epoch=%d incarnation=%d replay=%d truncated=%d\n",
+				id, epoch, inc, len(rec.Casts), rec.Truncated)
+		}
+	}
+
 	node, err := netharness.StartFleetNode(netharness.NodeConfig{
 		ID:         transport.NodeID(id),
 		Nodes:      nodes,
 		Workers:    workers,
 		Substrate:  substrate,
 		EpochNanos: epoch,
+		Log:        mlog,
+		Recovered:  rec,
 		Tracer:     tracer,
 		Registry:   registry,
 	})
@@ -95,17 +134,26 @@ func realMain(id int, nodesFlag, workersFlag, substrate string, epoch int64, obs
 		fmt.Fprintf(os.Stderr, "node %d: observability on http://%s\n", id, srv.Addr())
 	}
 
+	// Shutdown semantics with -wal: SIGINT and -run elapsing are the
+	// operator's clean exit — the WAL is checkpointed with every cast
+	// marked stable, so the next start replays nothing. SIGTERM is the
+	// recovery drill: the chain checkpoint is written but the unstable
+	// suffix stays, so restarting over the same -wal path replays it
+	// through the same splice a SimNet rejoin exercises.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	clean := true
 	if run > 0 {
 		select {
-		case <-sig:
+		case s := <-sig:
+			clean = s != syscall.SIGTERM
 		case <-time.After(run):
 		}
 	} else {
-		<-sig
+		clean = <-sig != syscall.SIGTERM
 	}
 
+	node.Persist(clean)
 	snap := node.Snapshot()
 	node.Close()
 

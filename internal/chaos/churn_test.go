@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"catocs/internal/transport"
+)
+
+func TestChurnScriptRoundTrip(t *testing.T) {
+	text := "@10ms crash 2; @20ms join 8; @60ms recover 2; @80ms leave 8"
+	s, err := ParseScript(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops) != 4 {
+		t.Fatalf("parsed %d ops", len(s.Ops))
+	}
+	if s.Ops[1].Kind != OpJoin || s.Ops[3].Kind != OpLeave {
+		t.Fatalf("membership verbs parsed as %v and %v", s.Ops[1].Kind, s.Ops[3].Kind)
+	}
+	again, err := ParseScript(s.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s.String(), err)
+	}
+	if s.String() != again.String() {
+		t.Fatalf("round-trip changed script:\n  %s\n  %s", s, again)
+	}
+}
+
+func TestGenChurnPairedAndStableCore(t *testing.T) {
+	cfg := GenChurnConfig{
+		Nodes:         8,
+		Horizon:       150 * time.Millisecond,
+		MaxOutage:     100 * time.Millisecond,
+		Crashes:       3,
+		Joins:         3,
+		Stayers:       1,
+		Partitions:    2,
+		SafePartition: 20 * time.Millisecond,
+		Slows:         2,
+		MaxLag:        10 * time.Millisecond,
+	}
+	s := GenChurn(rand.New(rand.NewSource(42)), cfg)
+	if again := GenChurn(rand.New(rand.NewSource(42)), cfg); s.String() != again.String() {
+		t.Fatalf("GenChurn not deterministic")
+	}
+
+	recoverAt := map[transport.NodeID]time.Duration{}
+	leaveAt := map[transport.NodeID]time.Duration{}
+	healAts := []time.Duration{}
+	fastAt := map[transport.NodeID]time.Duration{}
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpRecover:
+			recoverAt[op.Node] = op.At
+		case OpLeave:
+			leaveAt[op.Node] = op.At
+		case OpHeal:
+			healAts = append(healAts, op.At)
+		case OpFast:
+			fastAt[op.Node] = op.At
+		}
+	}
+	var joins, leaves, partitions, slows int
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpCrash:
+			if op.Node < 2 || int(op.Node) >= cfg.Nodes {
+				t.Fatalf("crash targets %d, outside the crashable range [2,%d)", op.Node, cfg.Nodes)
+			}
+			at, ok := recoverAt[op.Node]
+			if !ok || at <= op.At {
+				t.Fatalf("crash of %d at %s has no later recover", op.Node, op.At)
+			}
+		case OpJoin:
+			joins++
+			if int(op.Node) < cfg.Nodes {
+				t.Fatalf("join reuses initial id %d", op.Node)
+			}
+			if at, ok := leaveAt[op.Node]; ok && at <= op.At {
+				t.Fatalf("leave of %d at %s precedes its join at %s", op.Node, at, op.At)
+			}
+		case OpLeave:
+			leaves++
+		case OpPartition:
+			partitions++
+			if len(op.Islands) != 2 || len(op.Islands[1]) != 1 {
+				t.Fatalf("partition islands %v, want [rest, {one}]", op.Islands)
+			}
+			if cut := op.Islands[1][0]; cut < 2 || int(cut) >= cfg.Nodes {
+				t.Fatalf("partition cuts %d, outside the crashable range [2,%d)", cut, cfg.Nodes)
+			}
+			// Every cut must heal before the failure detector can fire:
+			// there is no partition-merge protocol.
+			healed := false
+			for _, h := range healAts {
+				if h > op.At && h <= op.At+cfg.SafePartition {
+					healed = true
+				}
+			}
+			if !healed {
+				t.Fatalf("partition at %s has no heal within SafePartition=%s", op.At, cfg.SafePartition)
+			}
+		case OpSlow:
+			slows++
+			if op.Node < 2 || int(op.Node) >= cfg.Nodes {
+				t.Fatalf("slow targets %d, outside the range [2,%d)", op.Node, cfg.Nodes)
+			}
+			if op.Lag <= 0 || op.Lag > cfg.MaxLag {
+				t.Fatalf("slow lag %s outside (0,%s]", op.Lag, cfg.MaxLag)
+			}
+			if at, ok := fastAt[op.Node]; !ok || at <= op.At {
+				t.Fatalf("slow of %d at %s has no later fast", op.Node, op.At)
+			}
+		case OpRecover, OpHeal, OpFast: // pairing already checked from the onset side
+		default:
+			t.Fatalf("GenChurn emitted non-churn op %v", op.Kind)
+		}
+	}
+	if joins != cfg.Joins || leaves != cfg.Joins-cfg.Stayers {
+		t.Fatalf("joins=%d leaves=%d, want %d and %d", joins, leaves, cfg.Joins, cfg.Joins-cfg.Stayers)
+	}
+	if partitions != cfg.Partitions || slows != cfg.Slows {
+		t.Fatalf("partitions=%d slows=%d, want %d and %d", partitions, slows, cfg.Partitions, cfg.Slows)
+	}
+}
+
+// One hand-written episode exercising all four churn ops: a sender
+// crashes and recovers through its WAL, a fresh node joins via state
+// transfer and stays, a second joiner leaves gracefully.
+func churnTestConfig(seed int64) ChurnConfig {
+	// Ops spaced wider than the suspect timeout so each drives its own
+	// view change; overlapping ops legitimately coalesce into one.
+	script, err := ParseScript(
+		"@30ms crash 2; @200ms recover 2; @350ms join 8; @450ms join 9; @600ms leave 9")
+	if err != nil {
+		panic(err)
+	}
+	return ChurnConfig{N: 6, Seed: seed, Script: script}
+}
+
+func TestChurnEpisodeCleanAndDeterministic(t *testing.T) {
+	res := RunChurn(churnTestConfig(3))
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %+v", res.Violations)
+	}
+	if res.Sent == 0 || res.Skipped == 0 {
+		t.Fatalf("sent=%d skipped=%d: the crashed sender should skip some sends", res.Sent, res.Skipped)
+	}
+	if res.Epochs < 4 {
+		t.Fatalf("epochs = %d, want ≥4 (crash, 2 joins, rejoin, leave)", res.Epochs)
+	}
+	if res.TransferBytes == 0 || res.TransferChunks == 0 {
+		t.Fatalf("no state transferred (bytes=%d chunks=%d)", res.TransferBytes, res.TransferChunks)
+	}
+	if res.FlushMsgs == 0 || res.MetadataPerEpoch() <= 0 {
+		t.Fatalf("no membership metadata recorded (flush=%d)", res.FlushMsgs)
+	}
+	if res.UnavailMax == 0 {
+		t.Fatalf("crash produced no availability window")
+	}
+	if again := RunChurn(churnTestConfig(3)); again.Digest != res.Digest {
+		t.Fatalf("same seed produced digests %x and %x", res.Digest, again.Digest)
+	}
+	if other := RunChurn(churnTestConfig(4)); other.Digest == res.Digest {
+		t.Fatalf("different seeds share digest %x", res.Digest)
+	}
+}
+
+func TestChurnRecoveryReplayAbsorbedAsDups(t *testing.T) {
+	// The recovered sender replays its unstable WAL suffix; survivors
+	// that already applied those payloads must absorb them as duplicates
+	// (paper §4.4: reconciliation is application-level).
+	res := RunChurn(churnTestConfig(3))
+	if res.Dups == 0 {
+		t.Fatalf("recovery replay produced no duplicate applies; at-least-once path untested")
+	}
+	if res.Applied <= res.Dups {
+		t.Fatalf("applied=%d dups=%d: duplicates outnumber first applies", res.Applied, res.Dups)
+	}
+}
+
+func TestShrinkChurnKeepsCleanEpisode(t *testing.T) {
+	cfg := churnTestConfig(3)
+	minCfg, minRes := ShrinkChurn(cfg)
+	if len(minRes.Violations) > 0 {
+		t.Fatalf("shrinking a clean episode invented violations: %+v", minRes.Violations)
+	}
+	if minCfg.Script.String() != cfg.Script.String() {
+		t.Fatalf("shrinking a clean episode changed the script")
+	}
+}
+
+func TestRunChurnEpisodesCleanBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-episode churn batch")
+	}
+	sum := RunChurnEpisodes(ChurnRunnerConfig{N: 6, Episodes: 5, Seed: 100})
+	if len(sum.Failures) > 0 {
+		t.Fatalf("%d failing episodes; first repro: %s", len(sum.Failures), sum.Failures[0].Repro)
+	}
+	if sum.ViolationSummary() != "none" {
+		t.Fatalf("violation summary = %s", sum.ViolationSummary())
+	}
+	if sum.Epochs == 0 || sum.TransferBytes == 0 {
+		t.Fatalf("batch drove no reconfigurations (epochs=%d transfer=%dB)", sum.Epochs, sum.TransferBytes)
+	}
+	if again := RunChurnEpisodes(ChurnRunnerConfig{N: 6, Episodes: 5, Seed: 100}); again.Digest != sum.Digest {
+		t.Fatalf("batch digest not deterministic: %x vs %x", sum.Digest, again.Digest)
+	}
+}

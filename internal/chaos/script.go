@@ -23,6 +23,16 @@ const (
 	OpClearLink
 	OpSlow
 	OpFast
+	// OpJoin and OpLeave are membership ops: a fresh node requests
+	// admission; a member departs gracefully. They are interpreted by
+	// the churn runner (churn.go), which drives the group-membership
+	// stack — Apply, which only speaks to the network interposer,
+	// ignores them. In churn episodes OpCrash/OpRecover also gain
+	// membership meaning: crash fail-stops a member (its WAL survives),
+	// recover restarts it from that WAL and rejoins it as the same
+	// identity.
+	OpJoin
+	OpLeave
 )
 
 // Op is one scheduled fault action. Which fields are meaningful
@@ -67,6 +77,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("@%s slow %d %s", o.At, o.Node, o.Lag)
 	case OpFast:
 		return fmt.Sprintf("@%s fast %d", o.At, o.Node)
+	case OpJoin:
+		return fmt.Sprintf("@%s join %d", o.At, o.Node)
+	case OpLeave:
+		return fmt.Sprintf("@%s leave %d", o.At, o.Node)
 	}
 	return fmt.Sprintf("@%s ?", o.At)
 }
@@ -125,7 +139,7 @@ func parseOp(clause string) (Op, error) {
 	}
 	op := Op{At: at}
 	switch fields[1] {
-	case "crash", "recover":
+	case "crash", "recover", "join", "leave":
 		if len(fields) != 3 {
 			return Op{}, fmt.Errorf("want \"%s <node>\"", fields[1])
 		}
@@ -134,10 +148,15 @@ func parseOp(clause string) (Op, error) {
 			return Op{}, err
 		}
 		op.Node = transport.NodeID(n)
-		if fields[1] == "crash" {
+		switch fields[1] {
+		case "crash":
 			op.Kind = OpCrash
-		} else {
+		case "recover":
 			op.Kind = OpRecover
+		case "join":
+			op.Kind = OpJoin
+		case "leave":
+			op.Kind = OpLeave
 		}
 	case "part":
 		if len(fields) != 3 {
@@ -281,6 +300,9 @@ func (s Script) Apply(ip *Interposer) {
 				ip.Slow(op.Node, op.Lag)
 			case OpFast:
 				ip.Fast(op.Node)
+			case OpJoin, OpLeave:
+				// Membership ops have no network effect; the churn runner
+				// schedules them against the group stack itself.
 			}
 		})
 	}
@@ -421,6 +443,130 @@ func Gen(rng *rand.Rand, cfg GenConfig) Script {
 		s.Ops = append(s.Ops,
 			Op{At: at, Kind: OpSlow, Node: node, Lag: lag},
 			Op{At: at + outage, Kind: OpFast, Node: node},
+		)
+	}
+	sort.SliceStable(s.Ops, func(a, b int) bool { return s.Ops[a].At < s.Ops[b].At })
+	return s
+}
+
+// GenChurnConfig bounds the randomized churn schedules GenChurn
+// produces.
+type GenChurnConfig struct {
+	// Nodes is the initial group size. Crash targets are drawn from
+	// [2, Nodes): ranks 0 and 1 form a stable core that is never
+	// crashed, so every view always has two live donors and every
+	// joiner a live contact. (Crashing both donors mid-transfer is the
+	// known liveness hole of two-donor state transfer; the ROADMAP
+	// tracks widening it.)
+	Nodes int
+	// Horizon is the window op onsets are drawn from.
+	Horizon time.Duration
+	// MaxOutage bounds how long a crash lasts before its paired
+	// recover, and how long a joiner stays before its paired leave.
+	MaxOutage time.Duration
+	// Crashes is how many crash→recover pairs to schedule.
+	Crashes int
+	// Joins is how many join→leave pairs to schedule. Joined node IDs
+	// are allocated from Nodes upward, so they never collide with the
+	// initial members.
+	Joins int
+	// Stayers is how many of the Joins keep their member to the end of
+	// the episode (no paired leave) — the state-transfer path with a
+	// surviving joiner, which the joiner-state oracle checks hardest.
+	Stayers int
+	// Partitions is how many partition→heal pairs to schedule: one
+	// non-core member cut off from everyone, healed within
+	// SafePartition. The bound matters: there is no partition-merge
+	// protocol, so a cut the failure detector notices becomes a
+	// permanent eviction (§6's blocked-minority story, measured in
+	// E18) — a *survivable* partition must heal before detection.
+	Partitions int
+	// SafePartition bounds a partition's duration (default 20ms, under
+	// the default 40ms suspect timeout minus a heartbeat).
+	SafePartition time.Duration
+	// Slows is how many slow→fast windows to schedule. Inbound
+	// consumer lag is deliberately invisible to silence-based failure
+	// detection (the E19 point), so a slowed member rides through
+	// concurrent reconfigurations without eviction — the oracles must
+	// still hold once it catches up in the settle window.
+	Slows int
+	// MaxLag bounds the inbound lag of generated slow windows
+	// (default 10ms).
+	MaxLag time.Duration
+}
+
+// GenChurn draws a random churn schedule within cfg's bounds: paired
+// crash→recover episodes over the initial members, join(→leave)
+// episodes over fresh node IDs, short partition→heal cuts, and
+// slow→fast inbound-lag windows — so generated campaigns mix network
+// faults with membership change rather than testing them separately.
+// Every crash is repaired — the rejoin-liveness oracle requires
+// recovered members back in the final view — every partition heals
+// before the failure detector fires, and leaves always follow their
+// own join.
+func GenChurn(rng *rand.Rand, cfg GenChurnConfig) Script {
+	if cfg.Nodes < 3 {
+		panic("chaos: GenChurn needs at least 3 nodes (a stable 2-node core plus a crashable member)")
+	}
+	dur := func(max time.Duration) time.Duration {
+		if max <= 0 {
+			return 0
+		}
+		return time.Duration(rng.Int63n(int64(max)))
+	}
+	var s Script
+	for i := 0; i < cfg.Crashes; i++ {
+		at := dur(cfg.Horizon)
+		outage := cfg.MaxOutage/4 + dur(cfg.MaxOutage*3/4)
+		node := transport.NodeID(2 + rng.Intn(cfg.Nodes-2))
+		s.Ops = append(s.Ops,
+			Op{At: at, Kind: OpCrash, Node: node},
+			Op{At: at + outage, Kind: OpRecover, Node: node},
+		)
+	}
+	for i := 0; i < cfg.Joins; i++ {
+		at := dur(cfg.Horizon)
+		node := transport.NodeID(cfg.Nodes + i)
+		s.Ops = append(s.Ops, Op{At: at, Kind: OpJoin, Node: node})
+		if i >= cfg.Stayers {
+			stay := cfg.MaxOutage/4 + dur(cfg.MaxOutage*3/4)
+			s.Ops = append(s.Ops, Op{At: at + stay, Kind: OpLeave, Node: node})
+		}
+	}
+	safe := cfg.SafePartition
+	if safe <= 0 {
+		safe = 20 * time.Millisecond
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		at := dur(cfg.Horizon)
+		cut := safe/2 + dur(safe/2)
+		node := transport.NodeID(2 + rng.Intn(cfg.Nodes-2))
+		// Majority island first: unlisted nodes (joiners allocated
+		// from Nodes upward) land in the implicit island 0, so they
+		// stay with the majority rather than joining the cut member.
+		rest := make([]transport.NodeID, 0, cfg.Nodes-1)
+		for r := 0; r < cfg.Nodes; r++ {
+			if transport.NodeID(r) != node {
+				rest = append(rest, transport.NodeID(r))
+			}
+		}
+		s.Ops = append(s.Ops,
+			Op{At: at, Kind: OpPartition, Islands: [][]transport.NodeID{rest, {node}}},
+			Op{At: at + cut, Kind: OpHeal},
+		)
+	}
+	maxLag := cfg.MaxLag
+	if maxLag <= 0 {
+		maxLag = 10 * time.Millisecond
+	}
+	for i := 0; i < cfg.Slows; i++ {
+		at := dur(cfg.Horizon)
+		window := cfg.MaxOutage/4 + dur(cfg.MaxOutage*3/4)
+		node := transport.NodeID(2 + rng.Intn(cfg.Nodes-2))
+		lag := maxLag/2 + dur(maxLag/2)
+		s.Ops = append(s.Ops,
+			Op{At: at, Kind: OpSlow, Node: node, Lag: lag},
+			Op{At: at + window, Kind: OpFast, Node: node},
 		)
 	}
 	sort.SliceStable(s.Ops, func(a, b int) bool { return s.Ops[a].At < s.Ops[b].At })

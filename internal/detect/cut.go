@@ -1,0 +1,147 @@
+package detect
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"catocs/internal/state"
+)
+
+// This file generalizes snapshot.go's consistent cut to the form the
+// dynamic-membership layer needs. The money-transfer demo takes its
+// cut with marker waves because the system keeps running while the
+// snapshot propagates; a virtually synchronous view change already
+// contains a stronger barrier — flush suppression stops transmission,
+// fills drain the channels, and every survivor force-delivers the same
+// old-view set before installing the new epoch. The instant between
+// the last fill and Resume IS a Chandy-Lamport cut with empty
+// channels, so a donor can capture application state there with no
+// extra protocol: markers are subsumed by FlushReq, channel recordings
+// are empty by construction.
+//
+// A Cut is that captured state, digested so equality is cheap to
+// check: two members whose cuts at the same epoch have equal digests
+// hold byte-identical stores (state.SnapshotBytes is deterministic).
+// The chaos joiner-state oracle compares exactly these digests, and
+// the state-transfer fetcher verifies its reassembled snapshot against
+// the donor's digest before letting the joiner deliver.
+
+// Cut is one member's consistent application state at a view boundary.
+type Cut struct {
+	Epoch  uint64
+	Data   []byte // state.SnapshotBytes encoding
+	Digest uint64 // FNV-1a over Data
+}
+
+// CaptureCut snapshots a store at a view boundary. The caller must
+// hold the view-change barrier (post-fill, pre-resume) for the cut to
+// be consistent; CaptureCut itself only encodes and digests.
+func CaptureCut(epoch uint64, store *state.Store) (Cut, error) {
+	data, err := store.SnapshotBytes()
+	if err != nil {
+		return Cut{}, err
+	}
+	return Cut{Epoch: epoch, Data: data, Digest: DigestBytes(data)}, nil
+}
+
+// DigestBytes is the cut digest function: FNV-1a, matching the chaos
+// harness's trace digests.
+func DigestBytes(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Chunk slices a cut's data for streaming: chunk i covers
+// [i*size, (i+1)*size). A zero-byte cut still produces one empty chunk
+// so the receiver learns the digest and completes.
+func (c Cut) Chunk(i, size int) []byte {
+	if size <= 0 {
+		panic("detect: chunk size must be positive")
+	}
+	lo := i * size
+	if lo > len(c.Data) {
+		return nil
+	}
+	hi := lo + size
+	if hi > len(c.Data) {
+		hi = len(c.Data)
+	}
+	return c.Data[lo:hi]
+}
+
+// Chunks returns how many chunks of the given size cover the cut.
+func (c Cut) Chunks(size int) int {
+	if size <= 0 {
+		panic("detect: chunk size must be positive")
+	}
+	n := (len(c.Data) + size - 1) / size
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Assembler reassembles a streamed cut on the joiner side. Chunks may
+// arrive duplicated or out of order (the transfer rides the raw
+// transport); a state.Reorderer releases them in index order — the
+// same prescriptive-ordering move snapshot.go uses for its FIFO
+// channels. NextIndex is the resume point: after a donor crash the
+// fetcher re-requests from a second donor starting there, and chunks
+// it already holds are dropped as duplicates.
+type Assembler struct {
+	epoch   uint64
+	total   int    // chunk count, learned from the first chunk
+	digest  uint64 // donor's digest, learned from the first chunk
+	got     int
+	reorder *state.Reorderer
+	data    []byte
+}
+
+// NewAssembler starts reassembly of a cut at the given epoch.
+func NewAssembler(epoch uint64) *Assembler {
+	return &Assembler{epoch: epoch, total: -1, reorder: state.NewReorderer()}
+}
+
+// Add offers chunk index (0-based) of total, carrying the donor's
+// whole-cut digest. It reports whether the cut is now complete.
+// Chunks from a different epoch are rejected; inconsistent totals or
+// digests (two donors disagreeing about the state) are an error
+// because the transfer cannot terminate correctly.
+func (a *Assembler) Add(epoch uint64, index, total int, digest uint64, data []byte) (bool, error) {
+	if epoch != a.epoch {
+		return false, fmt.Errorf("detect: chunk for epoch %d, assembling epoch %d", epoch, a.epoch)
+	}
+	if total <= 0 || index < 0 || index >= total {
+		return false, fmt.Errorf("detect: chunk %d/%d out of range", index, total)
+	}
+	if a.total == -1 {
+		a.total = total
+		a.digest = digest
+	} else if total != a.total || digest != a.digest {
+		return false, fmt.Errorf("detect: donors disagree (total %d/%d, digest %x/%x)",
+			total, a.total, digest, a.digest)
+	}
+	// Reorderer versions are 1-based; chunk index i is version i+1.
+	for _, v := range a.reorder.Submit(uint64(index)+1, data) {
+		a.data = append(a.data, v.([]byte)...)
+		a.got++
+	}
+	if a.got < a.total {
+		return false, nil
+	}
+	if d := DigestBytes(a.data); d != a.digest {
+		return true, fmt.Errorf("detect: reassembled cut digest %x, donor advertised %x", d, a.digest)
+	}
+	return true, nil
+}
+
+// NextIndex returns the lowest chunk index not yet assembled — where a
+// resumed transfer from a failover donor should start.
+func (a *Assembler) NextIndex() int { return int(a.reorder.Next()) - 1 }
+
+// Cut returns the reassembled cut. Valid only after Add reported
+// complete with no error.
+func (a *Assembler) Cut() Cut {
+	return Cut{Epoch: a.epoch, Data: a.data, Digest: a.digest}
+}

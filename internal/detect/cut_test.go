@@ -1,0 +1,159 @@
+package detect
+
+import (
+	"bytes"
+	"testing"
+
+	"catocs/internal/state"
+)
+
+func testCut(t *testing.T, size int) Cut {
+	t.Helper()
+	st := state.NewStore()
+	for i := 0; i < size; i++ {
+		st.Put(string(rune('a'+i%26))+string(rune('0'+i%10)), []byte{byte(i), byte(i >> 8)})
+	}
+	cut, err := CaptureCut(7, st)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	return cut
+}
+
+func TestCutDigestEqualsStateEquality(t *testing.T) {
+	a := testCut(t, 40)
+	b := testCut(t, 40)
+	if a.Digest != b.Digest {
+		t.Fatalf("equal stores produced digests %x and %x", a.Digest, b.Digest)
+	}
+	c := testCut(t, 41)
+	if a.Digest == c.Digest {
+		t.Fatalf("different stores share digest %x", a.Digest)
+	}
+}
+
+func TestCutChunking(t *testing.T) {
+	cut := testCut(t, 40)
+	size := 16
+	total := cut.Chunks(size)
+	if total < 2 {
+		t.Fatalf("test cut too small to chunk: %d bytes", len(cut.Data))
+	}
+	var joined []byte
+	for i := 0; i < total; i++ {
+		joined = append(joined, cut.Chunk(i, size)...)
+	}
+	if !bytes.Equal(joined, cut.Data) {
+		t.Fatalf("chunks do not reassemble the cut")
+	}
+	if cut.Chunk(total, size) != nil {
+		t.Fatalf("chunk past the end returned data")
+	}
+	empty := Cut{Epoch: 1}
+	if empty.Chunks(size) != 1 {
+		t.Fatalf("empty cut chunks = %d, want 1", empty.Chunks(size))
+	}
+}
+
+func TestAssemblerOutOfOrderAndDuplicates(t *testing.T) {
+	cut := testCut(t, 40)
+	size := 16
+	total := cut.Chunks(size)
+	asm := NewAssembler(7)
+	// Deliver in reverse with duplicates — the transfer rides the raw
+	// transport, which guarantees neither order nor uniqueness.
+	for i := total - 1; i >= 0; i-- {
+		for rep := 0; rep < 2; rep++ {
+			complete, err := asm.Add(7, i, total, cut.Digest, cut.Chunk(i, size))
+			if err != nil {
+				t.Fatalf("add chunk %d: %v", i, err)
+			}
+			if complete != (i == 0 && rep == 0) {
+				t.Fatalf("chunk %d rep %d complete=%v", i, rep, complete)
+			}
+			if complete {
+				if !bytes.Equal(asm.Cut().Data, cut.Data) {
+					t.Fatalf("reassembled cut differs from original")
+				}
+				if asm.Cut().Digest != cut.Digest {
+					t.Fatalf("reassembled digest mismatch")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestAssemblerResumeFromSecondDonor(t *testing.T) {
+	cut := testCut(t, 40)
+	size := 16
+	total := cut.Chunks(size)
+	if total < 3 {
+		t.Fatalf("need ≥3 chunks, got %d", total)
+	}
+	asm := NewAssembler(7)
+	// Donor one dies after the first chunk.
+	if _, err := asm.Add(7, 0, total, cut.Digest, cut.Chunk(0, size)); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if asm.NextIndex() != 1 {
+		t.Fatalf("resume index = %d, want 1", asm.NextIndex())
+	}
+	// Donor two serves from the resume index; its cut is identical (both
+	// captured at the same flush barrier).
+	for i := asm.NextIndex(); i < total; i++ {
+		complete, err := asm.Add(7, i, total, cut.Digest, cut.Chunk(i, size))
+		if err != nil {
+			t.Fatalf("resume add %d: %v", i, err)
+		}
+		if complete != (i == total-1) {
+			t.Fatalf("chunk %d complete=%v", i, complete)
+		}
+	}
+	if !bytes.Equal(asm.Cut().Data, cut.Data) {
+		t.Fatalf("resumed reassembly differs from original")
+	}
+}
+
+func TestAssemblerRejectsWrongEpochAndDisagreeingDonors(t *testing.T) {
+	cut := testCut(t, 40)
+	size := 16
+	total := cut.Chunks(size)
+	asm := NewAssembler(7)
+	if _, err := asm.Add(8, 0, total, cut.Digest, cut.Chunk(0, size)); err == nil {
+		t.Fatalf("wrong-epoch chunk accepted")
+	}
+	if _, err := asm.Add(7, 0, total, cut.Digest, cut.Chunk(0, size)); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if _, err := asm.Add(7, 1, total, cut.Digest^1, cut.Chunk(1, size)); err == nil {
+		t.Fatalf("disagreeing donor digest accepted")
+	}
+	if _, err := asm.Add(7, 1, total+1, cut.Digest, cut.Chunk(1, size)); err == nil {
+		t.Fatalf("disagreeing donor total accepted")
+	}
+}
+
+func TestAssemblerDetectsCorruptReassembly(t *testing.T) {
+	cut := testCut(t, 40)
+	size := 16
+	total := cut.Chunks(size)
+	asm := NewAssembler(7)
+	for i := 0; i < total; i++ {
+		data := cut.Chunk(i, size)
+		if i == 1 {
+			data = append([]byte(nil), data...)
+			data[0] ^= 0xff // a flipped byte the per-chunk path cannot see
+		}
+		complete, err := asm.Add(7, i, total, cut.Digest, data)
+		if i < total-1 {
+			if err != nil {
+				t.Fatalf("add %d: %v", i, err)
+			}
+			continue
+		}
+		if !complete || err == nil {
+			t.Fatalf("corrupt reassembly passed the digest check (complete=%v err=%v)", complete, err)
+		}
+	}
+}

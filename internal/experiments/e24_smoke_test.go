@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestE24Smoke runs both substrates at a small N and checks the
+// structural claims the published table rests on: the membership arm
+// reconfigures with zero oracle violations, transfers real state, and
+// absorbs the rejoin replay as dups; the scalecast arm reconfigures
+// with zero transfer bytes and a far smaller availability window (its
+// operator has no detection latency).
+func TestE24Smoke(t *testing.T) {
+	const (
+		n    = 8
+		seed = int64(24)
+	)
+	mc := RunE24("multicast", n, seed)
+	sc := RunE24("scalecast", n, seed)
+
+	if mc.Violations != 0 {
+		t.Fatalf("multicast arm: %d churn-oracle violations", mc.Violations)
+	}
+	if mc.Reconfigs < 4 {
+		t.Errorf("multicast arm: %d reconfigs, want ≥4 (crash, rejoin, 2 joins, leave may coalesce one)", mc.Reconfigs)
+	}
+	if mc.TransferBytes == 0 {
+		t.Errorf("multicast arm: no state transferred to joiners")
+	}
+	if mc.Dups == 0 {
+		t.Errorf("multicast arm: WAL replay produced no dup applies; rejoin path untested")
+	}
+	if mc.MetaPerReconfig <= 0 {
+		t.Errorf("multicast arm: no membership metadata per reconfig")
+	}
+
+	if sc.Reconfigs != 5 {
+		t.Errorf("scalecast arm: %d reconfigs, want 5 (operator rewires never coalesce)", sc.Reconfigs)
+	}
+	if sc.TransferBytes != 0 {
+		t.Errorf("scalecast arm: %d transfer bytes, want 0 by construction", sc.TransferBytes)
+	}
+	if sc.Dups != 0 {
+		t.Errorf("scalecast arm: %d dups, want 0 — nothing replays", sc.Dups)
+	}
+	if sc.MetaPerReconfig <= 0 {
+		t.Errorf("scalecast arm: rewire cost not isolated from the control run")
+	}
+	if sc.UnavailMax >= mc.UnavailMax {
+		t.Errorf("scalecast unavail %.1fms not below multicast %.1fms: detection latency should dominate",
+			sc.UnavailMax*1000, mc.UnavailMax*1000)
+	}
+
+	// Determinism: the table is reproducible from (sizes, seed).
+	if again := RunE24("multicast", n, seed); again.Digest != mc.Digest {
+		t.Errorf("multicast digest not deterministic: %x vs %x", mc.Digest, again.Digest)
+	}
+
+	tbl := TableE24([]int{n}, seed)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows = %d, want 2", len(tbl.Rows))
+	}
+}

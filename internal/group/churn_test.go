@@ -1,0 +1,512 @@
+package group
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"catocs/internal/detect"
+	"catocs/internal/multicast"
+	"catocs/internal/sim"
+	"catocs/internal/state"
+	"catocs/internal/transport"
+	"catocs/internal/vclock"
+	"catocs/internal/wal"
+)
+
+// churnApp is the application each member runs in these tests: applied
+// payloads become store keys, so state equality is snapshot-digest
+// equality, and application-level IDs give the at-least-once replay
+// path its exactly-once semantics (dedup on presence).
+type churnApp struct {
+	store *state.Store
+	dups  int
+}
+
+func newChurnApp() *churnApp { return &churnApp{store: state.NewStore()} }
+
+func (a *churnApp) apply(payload any) {
+	key := "m:" + string(payload.([]byte))
+	if _, _, ok := a.store.Get(key); ok {
+		a.dups++
+		return
+	}
+	a.store.Put(key, uint64(1))
+}
+
+func (a *churnApp) deliver(d multicast.Delivered) { a.apply(d.Payload) }
+
+func (a *churnApp) digest(t *testing.T) uint64 {
+	t.Helper()
+	cut, err := detect.CaptureCut(0, a.store)
+	if err != nil {
+		t.Fatalf("capture cut: %v", err)
+	}
+	return cut.Digest
+}
+
+// churnHarness is the group harness plus per-member churn apps and
+// state sources.
+type churnHarness struct {
+	*harness
+	apps []*churnApp
+}
+
+// atomicCfg is the substrate these tests run: causal + atomic, the
+// mode with unstable buffers for the flush to reconcile.
+func atomicCfg() multicast.Config {
+	return multicast.Config{Group: "g", Ordering: multicast.Causal, Atomic: true}
+}
+
+// buildChurnGroup assembles members whose deliveries feed churn apps.
+func buildChurnGroup(t *testing.T, n int, seed int64, gcfg Config) *churnHarness {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	k.SetEventLimit(10_000_000)
+	net := transport.NewSimNet(k, transport.LinkConfig{BaseDelay: time.Millisecond})
+	mux := transport.NewMux(net)
+	h := &harness{k: k, net: net, mux: mux, delivers: make([][]any, n)}
+	ch := &churnHarness{harness: h, apps: make([]*churnApp, n)}
+	nodes := make([]transport.NodeID, n)
+	for i := range nodes {
+		nodes[i] = transport.NodeID(i)
+	}
+	for i := range ch.apps {
+		ch.apps[i] = newChurnApp()
+	}
+	h.members = multicast.NewGroup(mux, nodes, atomicCfg(), func(rank vclock.ProcessID) multicast.DeliverFunc {
+		app := ch.apps[rank]
+		return app.deliver
+	})
+	h.monitors = make([]*Monitor, n)
+	for i, m := range h.members {
+		h.monitors[i] = NewMonitor(mux, m, "g", gcfg)
+		app := ch.apps[i]
+		h.monitors[i].StateSource = func() []byte {
+			data, err := app.store.SnapshotBytes()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			return data
+		}
+	}
+	return ch
+}
+
+func payloadBytes(origin, k int) []byte {
+	return []byte(fmt.Sprintf("o%dn%d", origin, k))
+}
+
+func TestJoinerStateTransfer(t *testing.T) {
+	ch := buildChurnGroup(t, 4, 11, Config{})
+	ch.start()
+	// Build up state before the join.
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 5; k++ {
+			i, k := i, k
+			ch.k.At(time.Duration(10+k*5)*time.Millisecond, func() {
+				p := payloadBytes(i, k)
+				ch.members[i].Multicast(p, len(p))
+			})
+		}
+	}
+	joinApp := newChurnApp()
+	var joined *multicast.Member
+	ready := false
+	var stateLen int
+	j := NewJoiner(ch.mux, transport.NodeID(10), transport.NodeID(1), "g", atomicCfg(), joinApp.deliver)
+	j.OnState = func(data []byte) {
+		stateLen = len(data)
+		if err := joinApp.store.RestoreBytes(data); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}
+	j.OnJoined = func(m *multicast.Member) {
+		joined = m
+		mon := NewMonitor(ch.mux, m, "g", Config{})
+		mon.StateSource = func() []byte {
+			data, _ := joinApp.store.SnapshotBytes()
+			return data
+		}
+		mon.Start()
+	}
+	j.OnReady = func(*multicast.Member) { ready = true }
+	ch.k.At(120*time.Millisecond, j.Start)
+	// Traffic after the join too: the joiner must receive new-view
+	// messages and apply them after the snapshot.
+	for k := 5; k < 8; k++ {
+		k := k
+		ch.k.At(time.Duration(350+k*5)*time.Millisecond, func() {
+			p := payloadBytes(0, k)
+			ch.members[0].Multicast(p, len(p))
+		})
+	}
+	ch.k.RunUntil(time.Second)
+
+	if joined == nil || !ready || !j.Done() {
+		t.Fatalf("join incomplete: joined=%v ready=%v done=%v", joined != nil, ready, j.Done())
+	}
+	if stateLen == 0 {
+		t.Fatalf("state transfer delivered no bytes")
+	}
+	if joined.GroupSize() != 5 {
+		t.Fatalf("joiner group size = %d, want 5", joined.GroupSize())
+	}
+	want := ch.apps[0].digest(t)
+	for i := 1; i < 4; i++ {
+		if got := ch.apps[i].digest(t); got != want {
+			t.Fatalf("survivor %d state digest %x != survivor 0 %x", i, got, want)
+		}
+	}
+	if got := joinApp.digest(t); got != want {
+		t.Fatalf("joiner state digest %x != survivors %x (delivery-equivalence broken)", got, want)
+	}
+}
+
+func TestDonorCrashMidTransferFailover(t *testing.T) {
+	ch := buildChurnGroup(t, 4, 12, Config{})
+	ch.start()
+	// Enough state that the cut spans multiple chunks (forces Total>1
+	// and a meaningful resume index).
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	for k := 0; k < 20; k++ {
+		k := k
+		ch.k.At(time.Duration(10+k)*time.Millisecond, func() {
+			p := append([]byte(fmt.Sprintf("big%02d:", k)), big...)
+			ch.members[0].Multicast(p, len(p))
+		})
+	}
+	joinApp := newChurnApp()
+	restored := false
+	j := NewJoiner(ch.mux, transport.NodeID(10), transport.NodeID(1), "g", atomicCfg(), joinApp.deliver)
+	j.RetryEvery = 30 * time.Millisecond
+	j.OnState = func(data []byte) {
+		restored = true
+		if err := joinApp.store.RestoreBytes(data); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}
+	j.OnJoined = func(m *multicast.Member) {
+		// Crash the primary donor (rank 0 survives every flush here, so
+		// it is donors[0]) the instant the joiner learns the view —
+		// before its first SnapPull can be answered. The watchdog must
+		// fail over to the second donor.
+		ch.net.Crash(0)
+		ch.monitors[0].Stop()
+		ch.members[0].Close()
+		NewMonitor(ch.mux, m, "g", Config{}).Start()
+	}
+	ch.k.At(150*time.Millisecond, j.Start)
+	ch.k.RunUntil(2 * time.Second)
+
+	if !restored || !j.Done() {
+		t.Fatalf("transfer did not complete after donor crash: restored=%v done=%v", restored, j.Done())
+	}
+	want := ch.apps[1].digest(t)
+	if got := joinApp.digest(t); got != want {
+		t.Fatalf("joiner digest %x != survivor 1 digest %x after donor failover", got, want)
+	}
+	if ch.monitors[1].Stats.StateBytes.Value() == 0 {
+		t.Fatalf("failover donor served no state bytes")
+	}
+}
+
+func TestWALCrashRecoveryRejoin(t *testing.T) {
+	ch := buildChurnGroup(t, 3, 13, Config{})
+	ch.start()
+	dev := wal.NewDevice()
+	mlog, _, err := wal.OpenMemberLog(dev)
+	if err != nil {
+		t.Fatalf("open member log: %v", err)
+	}
+	// Node 2 casts write-ahead through its member log.
+	for k := 0; k < 4; k++ {
+		k := k
+		ch.k.At(time.Duration(10+k*5)*time.Millisecond, func() {
+			p := payloadBytes(2, k)
+			mlog.LogCast(p)
+			ch.members[2].Multicast(p, len(p))
+		})
+	}
+	// One more cast is logged but never transmitted — the crash hits
+	// between the WAL append and the send. Only replay can surface it.
+	ch.k.At(40*time.Millisecond, func() {
+		mlog.LogCast([]byte("o2n99"))
+		ch.net.Crash(2)
+		ch.monitors[2].Stop()
+		ch.members[2].Close()
+	})
+
+	recApp := newChurnApp()
+	var recovered *multicast.Member
+	var rejoinEpoch uint64
+	var rejoinInc uint32
+	replayed := -1
+	rec := &Recoverer{
+		OnState: func(data []byte) {
+			if err := recApp.store.RestoreBytes(data); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+		},
+		OnJoined: func(m *multicast.Member) {
+			mon := NewMonitor(ch.mux, m, "g", Config{})
+			mon.StateSource = func() []byte {
+				data, _ := recApp.store.SnapshotBytes()
+				return data
+			}
+			mon.Start()
+		},
+		OnRecovered: func(m *multicast.Member, epoch uint64, inc uint32, n int) {
+			recovered, rejoinEpoch, rejoinInc, replayed = m, epoch, inc, n
+		},
+	}
+	ch.k.At(400*time.Millisecond, func() {
+		ch.net.Recover(2)
+		j, _, err := rec.Recover(ch.mux, transport.NodeID(2),
+			[]transport.NodeID{0, 1}, "g", atomicCfg(), recApp.deliver, dev)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		j.Start()
+	})
+	ch.k.RunUntil(2 * time.Second)
+
+	if recovered == nil {
+		t.Fatalf("recovery never completed")
+	}
+	if rejoinInc != 1 {
+		t.Fatalf("rejoin incarnation = %d, want 1", rejoinInc)
+	}
+	if replayed != 5 {
+		t.Fatalf("replayed %d casts, want 5 (4 sent + 1 logged-unsent)", replayed)
+	}
+	if rejoinEpoch == 0 {
+		t.Fatalf("rejoin epoch = 0, want post-view-change epoch")
+	}
+	// Same identity: node 2 is back in everyone's view.
+	for i := 0; i < 2; i++ {
+		found := false
+		for _, n := range ch.members[i].ViewNodes() {
+			if n == transport.NodeID(2) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("survivor %d view %v does not readmit node 2", i, ch.members[i].ViewNodes())
+		}
+	}
+	// Convergence: all three apps hold the same state, including the
+	// logged-but-never-sent cast that only replay could deliver.
+	want := ch.apps[0].digest(t)
+	if got := ch.apps[1].digest(t); got != want {
+		t.Fatalf("survivor digests diverge: %x vs %x", got, want)
+	}
+	if got := recApp.digest(t); got != want {
+		t.Fatalf("recovered member digest %x != survivors %x", got, want)
+	}
+	if _, _, ok := ch.apps[0].store.Get("m:o2n99"); !ok {
+		t.Fatalf("replayed unsent cast never reached the survivors")
+	}
+}
+
+func TestJoinCoordinatorCrashMidFlush(t *testing.T) {
+	// The joiner-retry race: the JoinReq is forwarded to coordinator 0,
+	// which crashes mid-flush with the admission queued only in its
+	// memory. Nothing preserves pendingJoins across coordinators, so
+	// the join survives solely because the joiner re-requests until a
+	// view admits it. Crashing node 3 first stalls the flush (its
+	// FlushState never arrives, and the coordinator retries for several
+	// suspect timeouts), guaranteeing "mid-flush" without sub-ms timing.
+	ch := buildChurnGroup(t, 4, 14, Config{})
+	ch.start()
+	joinApp := newChurnApp()
+	j := NewJoiner(ch.mux, transport.NodeID(10), transport.NodeID(1), "g", atomicCfg(), joinApp.deliver)
+	j.OnState = func(data []byte) { _ = joinApp.store.RestoreBytes(data) }
+	var joined *multicast.Member
+	j.OnJoined = func(m *multicast.Member) {
+		joined = m
+		NewMonitor(ch.mux, m, "g", Config{}).Start()
+	}
+	ch.k.At(100*time.Millisecond, func() {
+		ch.net.Crash(3)
+		ch.monitors[3].Stop()
+		ch.members[3].Close()
+		j.Start()
+	})
+	// ~102ms: JoinReq forwarded to 0, flush starts with node 3 still in
+	// the survivor set and stalls. 200ms is squarely inside the
+	// watchdog-retry window — kill the coordinator there.
+	ch.k.At(200*time.Millisecond, func() {
+		if !ch.monitors[0].flushing {
+			t.Fatalf("test premise broken: coordinator not mid-flush at crash time")
+		}
+		ch.net.Crash(0)
+		ch.monitors[0].Stop()
+		ch.members[0].Close()
+	})
+	ch.k.RunUntil(3 * time.Second)
+
+	if !j.Done() || joined == nil {
+		t.Fatalf("join never completed after coordinator crash mid-flush")
+	}
+	// The admitting view comes from the next coordinator (rank 1) and
+	// contains exactly the live members plus the joiner.
+	nodes := joined.ViewNodes()
+	want := map[transport.NodeID]bool{1: true, 2: true, 10: true}
+	if len(nodes) != len(want) {
+		t.Fatalf("admitted view %v, want members %v", nodes, want)
+	}
+	for _, n := range nodes {
+		if !want[n] {
+			t.Fatalf("admitted view %v contains unexpected node %d", nodes, n)
+		}
+	}
+	if ch.members[1].Epoch() != joined.Epoch() {
+		t.Fatalf("joiner epoch %d != survivor epoch %d", joined.Epoch(), ch.members[1].Epoch())
+	}
+}
+
+func TestStaleEpochAndIncarnationPacketsDropped(t *testing.T) {
+	ch := buildChurnGroup(t, 3, 15, Config{})
+	ch.start()
+	dev := wal.NewDevice()
+	mlog, _, err := wal.OpenMemberLog(dev)
+	if err != nil {
+		t.Fatalf("open member log: %v", err)
+	}
+	// Node 2 casts, then crashes with a torn tail: the last append was
+	// interrupted mid-write and must not survive recovery.
+	ch.k.At(10*time.Millisecond, func() {
+		p := payloadBytes(2, 0)
+		mlog.LogCast(p)
+		ch.members[2].Multicast(p, len(p))
+	})
+	ch.k.At(30*time.Millisecond, func() {
+		dev.AppendTorn(wal.Record{Object: "\x00cast", Seq: 2, Value: []byte("torn")})
+		ch.net.Crash(2)
+		ch.monitors[2].Stop()
+		ch.members[2].Close()
+	})
+
+	recApp := newChurnApp()
+	var recovered *multicast.Member
+	replayed := -1
+	rec := &Recoverer{
+		OnState: func(data []byte) { _ = recApp.store.RestoreBytes(data) },
+		OnJoined: func(m *multicast.Member) {
+			mon := NewMonitor(ch.mux, m, "g", Config{})
+			mon.Start()
+		},
+		OnRecovered: func(m *multicast.Member, _ uint64, _ uint32, n int) {
+			recovered, replayed = m, n
+		},
+	}
+	ch.k.At(400*time.Millisecond, func() {
+		ch.net.Recover(2)
+		j, _, err := rec.Recover(ch.mux, transport.NodeID(2),
+			[]transport.NodeID{0, 1}, "g", atomicCfg(), recApp.deliver, dev)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		j.Start()
+	})
+	// While the rejoin settles, two stale pre-crash packets arrive at
+	// survivor 0, as if delayed in the network across the crash:
+	// one from the dead epoch, one forged with the current epoch but
+	// the old incarnation (the epoch-collision case the incarnation
+	// guard exists for).
+	ch.k.At(900*time.Millisecond, func() {
+		old := &multicast.DataMsg{Group: "g", Epoch: 0, Sender: 2, Seq: 9,
+			Payload: []byte("stale-epoch"), PayloadSize: 11}
+		ch.net.Send(transport.NodeID(2), transport.NodeID(0), old)
+		forged := &multicast.DataMsg{Group: "g", Epoch: ch.members[0].Epoch(),
+			Inc: 0, Sender: ch.members[0].Rank(), Seq: 999,
+			Payload: []byte("stale-inc"), PayloadSize: 9}
+		// Forge the sender as rank 0's own identity at incarnation 0 —
+		// but rank 0 is at incarnation 0, so aim at the recovered
+		// member's rank instead, whose incarnation moved to 1.
+		for r, n := range ch.members[0].ViewNodes() {
+			if n == transport.NodeID(2) {
+				forged.Sender = vclock.ProcessID(r)
+			}
+		}
+		ch.net.Send(transport.NodeID(2), transport.NodeID(0), forged)
+	})
+	ch.k.RunUntil(2 * time.Second)
+
+	if recovered == nil {
+		t.Fatalf("recovery never completed")
+	}
+	if replayed != 1 {
+		t.Fatalf("replayed %d casts, want 1 (torn tail must not replay)", replayed)
+	}
+	if _, _, ok := ch.apps[0].store.Get("m:stale-epoch"); ok {
+		t.Fatalf("stale-epoch packet was applied at a survivor")
+	}
+	if _, _, ok := ch.apps[0].store.Get("m:stale-inc"); ok {
+		t.Fatalf("stale-incarnation packet was applied at a survivor")
+	}
+	if _, _, ok := ch.apps[0].store.Get("m:torn"); ok {
+		t.Fatalf("torn WAL record resurfaced after recovery")
+	}
+	if ch.members[0].StaleDrops.Value() == 0 {
+		t.Fatalf("incarnation guard never fired at survivor 0")
+	}
+	// Exactly-once into the stability tracker: the replayed cast is
+	// buffered once at the recovered member (it is unstable until the
+	// new view acks it) — not duplicated by the replay path.
+	count := 0
+	for _, d := range recovered.UnstableData() {
+		if string(d.Payload.([]byte)) == "o2n0" {
+			count++
+		}
+	}
+	if count > 1 {
+		t.Fatalf("replayed cast buffered %d times in the stability tracker, want at most 1", count)
+	}
+	// And it must have reached the survivors exactly once at the
+	// application: dedup counters stayed at the duplicates the replay
+	// legitimately caused (the original delivery survived the flush),
+	// never more than one per survivor.
+	if _, _, ok := ch.apps[0].store.Get("m:o2n0"); !ok {
+		t.Fatalf("replayed cast never applied at survivor 0")
+	}
+	if ch.apps[0].dups > 1 {
+		t.Fatalf("survivor 0 absorbed %d duplicate applies of the replay, want ≤1", ch.apps[0].dups)
+	}
+}
+
+func TestGracefulLeave(t *testing.T) {
+	ch := buildChurnGroup(t, 4, 16, Config{})
+	ch.start()
+	// The leaver casts right before asking to leave: the flush must
+	// carry those casts into the agreed delivery set even though the
+	// leaver is gone from the next view.
+	ch.k.At(50*time.Millisecond, func() {
+		p := payloadBytes(3, 0)
+		ch.members[3].Multicast(p, len(p))
+	})
+	ch.k.At(60*time.Millisecond, func() { ch.monitors[3].Leave() })
+	ch.k.RunUntil(time.Second)
+
+	for i := 0; i < 3; i++ {
+		if ch.members[i].GroupSize() != 3 {
+			t.Fatalf("member %d group size = %d after leave, want 3", i, ch.members[i].GroupSize())
+		}
+		if ch.members[i].Epoch() != 1 {
+			t.Fatalf("member %d epoch = %d after leave, want 1", i, ch.members[i].Epoch())
+		}
+		if _, _, ok := ch.apps[i].store.Get("m:o3n0"); !ok {
+			t.Fatalf("member %d lost the leaver's final cast", i)
+		}
+	}
+	if !ch.monitors[3].stopped {
+		t.Fatalf("leaver's monitor still running after exclusion")
+	}
+	if ch.monitors[0].Stats.ViewChanges.Value() != 1 {
+		t.Fatalf("leave took %d view changes, want 1", ch.monitors[0].Stats.ViewChanges.Value())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"catocs/internal/detect"
 	"catocs/internal/metrics"
 	"catocs/internal/multicast"
 	"catocs/internal/transport"
@@ -100,10 +101,21 @@ type NewView struct {
 	OldEpoch uint64
 	NewEpoch uint64
 	Nodes    []transport.NodeID // new view, ranked
+	// Incs gives each rank's incarnation number: survivors keep theirs,
+	// a joiner enters at the incarnation it requested (0 for a first
+	// life, its bumped WAL incarnation for a crash-recovery rejoin).
+	// Every member installs the vector so stale pre-crash packets are
+	// dropped at the multicast layer.
+	Incs []uint32
+	// Donors names the members (lowest surviving ranks first) that
+	// captured a state snapshot at this view boundary and will serve it
+	// to the view's joiners; empty when the view admits none. More than
+	// one so a joiner survives its donor crashing mid-transfer.
+	Donors []transport.NodeID
 }
 
 // ApproxSize implements transport.Sizer.
-func (v NewView) ApproxSize() int { return 24 + 8*len(v.Nodes) }
+func (v NewView) ApproxSize() int { return 24 + 8*len(v.Nodes) + 4*len(v.Incs) + 8*len(v.Donors) }
 
 // Config parameterizes monitors.
 type Config struct {
@@ -135,6 +147,8 @@ type Stats struct {
 	Heartbeats    metrics.Counter   // heartbeat messages sent
 	SuppressTime  metrics.Histogram // seconds spent suppressed, per view change
 	DetectionTime metrics.Histogram // suspicion delay: silence start -> suspected
+	StateBytes    metrics.Counter   // snapshot bytes served to joiners
+	StateChunks   metrics.Counter   // snapshot chunks served to joiners
 }
 
 // Monitor runs membership for one multicast member. Like the member,
@@ -162,13 +176,32 @@ type Monitor struct {
 	suppressStart time.Duration
 	// Participant flush state: who asked for the flush in progress.
 	flushCoord vclock.ProcessID
-	// pendingJoins are admission requests awaiting the next view
+	// pendingJoins are admission requests awaiting the next view,
+	// mapping each joiner to the incarnation it asked to join at
 	// (coordinator only).
-	pendingJoins map[transport.NodeID]bool
+	pendingJoins map[transport.NodeID]uint32
+	// pendingLeaves are graceful departures awaiting the next view
+	// (coordinator only). A leaver participates in the flush — its
+	// unstable messages survive into the agreed delivery set — and is
+	// then excluded from the new view.
+	pendingLeaves map[transport.NodeID]bool
 	// lastView is the most recently installed view, kept so a straggler
 	// whose NewView was lost can be healed when its stale-epoch
 	// heartbeat arrives.
 	lastView *NewView
+	// lastCut is the state snapshot this member captured at its most
+	// recent view boundary as a donor (nil otherwise); see transfer.go.
+	lastCut *detect.Cut
+	// leaving is set by Leave until the view excluding us arrives.
+	leaving bool
+
+	// StateSource, if set, snapshots this member's application state at
+	// a view boundary — called only when the installed view names this
+	// member a donor, at the instant between the last force-delivered
+	// fill and Resume, which the flush barrier makes a consistent cut
+	// (see internal/detect/cut.go). The bytes are opaque to the group
+	// layer; the joiner's OnState receives them verbatim.
+	StateSource func() []byte
 
 	// OnView, if set, fires after each view installation with the new
 	// view's nodes.
@@ -182,13 +215,14 @@ type Monitor struct {
 // on the same node.
 func NewMonitor(net transport.Network, member *multicast.Member, groupName string, cfg Config) *Monitor {
 	mon := &Monitor{
-		cfg:          cfg,
-		net:          net,
-		member:       member,
-		group:        groupName,
-		lastHeard:    make(map[vclock.ProcessID]time.Duration),
-		suspected:    make(map[vclock.ProcessID]bool),
-		pendingJoins: make(map[transport.NodeID]bool),
+		cfg:           cfg,
+		net:           net,
+		member:        member,
+		group:         groupName,
+		lastHeard:     make(map[vclock.ProcessID]time.Duration),
+		suspected:     make(map[vclock.ProcessID]bool),
+		pendingJoins:  make(map[transport.NodeID]uint32),
+		pendingLeaves: make(map[transport.NodeID]bool),
 	}
 	net.Register(member.Node(), mon.handle)
 	return mon
@@ -205,6 +239,35 @@ func (m *Monitor) Start() {
 
 // Stop permanently halts the monitor (timers stop re-arming).
 func (m *Monitor) Stop() { m.stopped = true }
+
+// Leave requests a graceful departure: this member keeps
+// participating — heartbeating, answering the flush, contributing its
+// unstable messages to the agreed delivery set — until a view
+// excluding it arrives, at which point installView stops the monitor
+// and closes the member. The request retries until then (it travels
+// the same lossy network as everything else). The last member of a
+// group cannot leave; the coordinator holds such a request back.
+func (m *Monitor) Leave() {
+	if m.stopped || m.leaving {
+		return
+	}
+	m.leaving = true
+	m.askLeave()
+}
+
+func (m *Monitor) askLeave() {
+	if m.stopped {
+		return
+	}
+	req := LeaveReq{Group: m.group, Node: m.member.Node()}
+	if m.isCoordinator() {
+		m.pendingLeaves[m.member.Node()] = true
+		m.maybeCoordinate()
+	} else {
+		m.forwardToCoordinator(req)
+	}
+	m.net.After(m.cfg.suspect(), m.askLeave)
+}
 
 // ForceSuspect marks a rank suspected on external evidence — the
 // multicast layer's flow-control detector accusing a laggard that
@@ -303,9 +366,10 @@ func (m *Monitor) isCoordinator() bool {
 }
 
 // maybeCoordinate starts a flush if this monitor is the coordinator
-// and there is work: suspects to remove or joiners to admit.
+// and there is work: suspects or leavers to remove, or joiners to
+// admit.
 func (m *Monitor) maybeCoordinate() {
-	if m.flushing || (len(m.Suspected()) == 0 && len(m.pendingJoins) == 0) {
+	if m.flushing || (len(m.Suspected()) == 0 && len(m.pendingJoins) == 0 && len(m.pendingLeaves) == 0) {
 		return
 	}
 	if !m.isCoordinator() {
@@ -448,20 +512,89 @@ func (m *Monitor) handle(from transport.NodeID, payload any) {
 			return
 		}
 		if m.isCoordinator() {
-			m.pendingJoins[msg.Node] = true
-			m.maybeCoordinate()
+			m.onJoinReq(msg)
 			return
 		}
-		// Forward to the coordinator; the joiner may have contacted any
-		// member.
-		m.Stats.FlushMsgs.Inc()
-		for r := 0; r < m.member.GroupSize(); r++ {
-			if !m.suspected[vclock.ProcessID(r)] {
-				m.sendTo(vclock.ProcessID(r), msg)
-				return
+		m.forwardToCoordinator(msg)
+	case LeaveReq:
+		if msg.Group != m.group {
+			return
+		}
+		if m.isCoordinator() {
+			if m.rankOfNode(msg.Node) >= 0 {
+				m.pendingLeaves[msg.Node] = true
+				m.maybeCoordinate()
 			}
+			return
+		}
+		m.forwardToCoordinator(msg)
+	case SnapPull:
+		if msg.Group != m.group {
+			return
+		}
+		m.serveSnap(msg)
+	}
+}
+
+// onJoinReq (coordinator) queues an admission. The incarnation makes
+// two cases unambiguous that the node address alone cannot:
+//
+//   - A *reborn* identity: the node is still in the current view (it
+//     crashed and restarted before anyone suspected it) but asks to
+//     join at a higher incarnation. Its old self is dead by
+//     definition — suspect it so the flush excises the stale rank,
+//     and queue the readmission.
+//   - A *stale* request: a duplicate JoinReq at or below the view's
+//     current incarnation for that node (a retry in flight across its
+//     own admission). Ignored.
+func (m *Monitor) onJoinReq(msg JoinReq) {
+	if r := m.rankOfNode(msg.Node); r >= 0 {
+		if msg.Inc <= m.incOf(r) {
+			return // stale: this life is already in the view
+		}
+		if r == int(m.member.Rank()) {
+			return // our own ghost cannot readmit through us
+		}
+		if !m.suspected[vclock.ProcessID(r)] {
+			m.suspected[vclock.ProcessID(r)] = true
+			m.Stats.DetectionTime.ObserveDuration(m.net.Now() - m.lastHeard[vclock.ProcessID(r)])
 		}
 	}
+	if msg.Inc >= m.pendingJoins[msg.Node] {
+		m.pendingJoins[msg.Node] = msg.Inc
+	}
+	m.maybeCoordinate()
+}
+
+// forwardToCoordinator relays a membership request to the lowest
+// unsuspected rank; the requester may have contacted any member.
+func (m *Monitor) forwardToCoordinator(msg any) {
+	for r := 0; r < m.member.GroupSize(); r++ {
+		if !m.suspected[vclock.ProcessID(r)] {
+			m.Stats.FlushMsgs.Inc()
+			m.sendTo(vclock.ProcessID(r), msg)
+			return
+		}
+	}
+}
+
+// rankOfNode returns node's rank in the current view, or -1.
+func (m *Monitor) rankOfNode(node transport.NodeID) int {
+	for r, n := range m.viewNodes() {
+		if n == node {
+			return r
+		}
+	}
+	return -1
+}
+
+// incOf returns rank r's incarnation in the current view.
+func (m *Monitor) incOf(r int) uint32 {
+	incs := m.member.ViewIncs()
+	if incs == nil || r < 0 || r >= len(incs) {
+		return 0
+	}
+	return incs[r]
 }
 
 // onFlushReq suppresses transmission and reports state to the
@@ -557,10 +690,25 @@ func (m *Monitor) onFlushDone(d FlushDone) {
 	if len(m.dones) != len(m.survivors) {
 		return
 	}
-	nodes := make([]transport.NodeID, len(m.survivors))
+	// Survivors stay, minus graceful leavers — who participated in the
+	// flush (their unstable messages are in the agreed delivery set)
+	// and are excluded only now. A leave that would empty the view is
+	// held back: someone must remain to coordinate.
+	staying := make([]vclock.ProcessID, 0, len(m.survivors))
+	for _, r := range m.survivors {
+		if !m.pendingLeaves[m.nodeOf(r)] {
+			staying = append(staying, r)
+		}
+	}
+	if len(staying) == 0 {
+		staying = append(staying, m.survivors[0])
+	}
+	nodes := make([]transport.NodeID, len(staying))
+	incs := make([]uint32, 0, len(staying))
 	inView := make(map[transport.NodeID]bool)
-	for i, r := range m.survivors {
+	for i, r := range staying {
 		nodes[i] = m.nodeOf(r)
+		incs = append(incs, m.incOf(int(r)))
 		inView[nodes[i]] = true
 	}
 	// Admit pending joiners at the tail of the rank order, skipping any
@@ -572,8 +720,22 @@ func (m *Monitor) onFlushDone(d FlushDone) {
 		}
 	}
 	sort.Slice(joiners, func(i, j int) bool { return joiners[i] < joiners[j] })
+	for _, n := range joiners {
+		incs = append(incs, m.pendingJoins[n])
+	}
 	nodes = append(nodes, joiners...)
-	nv := &NewView{Group: m.group, OldEpoch: m.flushEpoch, NewEpoch: m.flushEpoch + 1, Nodes: nodes}
+	nv := &NewView{Group: m.group, OldEpoch: m.flushEpoch, NewEpoch: m.flushEpoch + 1, Nodes: nodes, Incs: incs}
+	if len(joiners) > 0 {
+		// Joiners need state: the two lowest staying ranks capture the
+		// cut at install time and serve it (two, so the transfer
+		// survives one donor crash; see transfer.go).
+		for _, r := range staying {
+			nv.Donors = append(nv.Donors, m.nodeOf(r))
+			if len(nv.Donors) == 2 {
+				break
+			}
+		}
+	}
 	for _, r := range m.survivors {
 		if r == m.member.Rank() {
 			continue
@@ -585,7 +747,8 @@ func (m *Monitor) onFlushDone(d FlushDone) {
 		m.Stats.FlushMsgs.Inc()
 		m.net.Send(m.member.Node(), n, nv)
 	}
-	m.pendingJoins = make(map[transport.NodeID]bool)
+	m.pendingJoins = make(map[transport.NodeID]uint32)
+	m.pendingLeaves = make(map[transport.NodeID]bool)
 	m.installView(nv)
 }
 
@@ -600,13 +763,28 @@ func (m *Monitor) installView(v *NewView) {
 		}
 	}
 	if newRank < 0 {
-		// We were excluded (wrongly suspected, or healed partition
-		// minority): stop rather than diverge.
+		// We were excluded (graceful leave, wrongly suspected, or healed
+		// partition minority): stop rather than diverge.
 		m.Stop()
 		m.member.Close()
 		return
 	}
-	m.member.InstallView(v.Nodes, vclock.ProcessID(newRank), v.NewEpoch)
+	// Donors capture the state cut here — after every old-view fill was
+	// force-delivered (the application saw the agreed delivery set) and
+	// before Resume lets new-view traffic move. Suppression plus the
+	// drained fills make this instant a Chandy-Lamport consistent cut
+	// with empty channels, so no marker protocol is needed.
+	m.lastCut = nil
+	if m.StateSource != nil {
+		for _, d := range v.Donors {
+			if d == self {
+				data := m.StateSource()
+				m.lastCut = &detect.Cut{Epoch: v.NewEpoch, Data: data, Digest: detect.DigestBytes(data)}
+				break
+			}
+		}
+	}
+	m.member.InstallViewIncs(v.Nodes, vclock.ProcessID(newRank), v.NewEpoch, v.Incs)
 	m.lastView = v
 	if m.member.Suppressed() {
 		m.Stats.SuppressTime.ObserveDuration(m.net.Now() - m.suppressStart)

@@ -3,29 +3,54 @@ package group
 import (
 	"time"
 
+	"catocs/internal/detect"
 	"catocs/internal/multicast"
 	"catocs/internal/transport"
 	"catocs/internal/vclock"
 )
 
-// Join protocol: a new process asks any current member to admit it.
-// The request is forwarded to the coordinator (lowest live rank),
-// which runs the same virtually synchronous flush used for failures —
+// Join protocol: a new process asks a current member to admit it. The
+// request is forwarded to the coordinator (lowest live rank), which
+// runs the same virtually synchronous flush used for failures —
 // survivors agree on the old view's delivery set — and then announces
-// a new view that includes the joiner. The joiner starts in the new
-// epoch with no old-view messages; transferring application state to
-// a joiner is an application-level concern (the paper's position,
-// §4.4: recovery and reconciliation dominate and sit outside the
-// CATOCS layer anyway).
+// a new view that includes the joiner. When the joiner supplies an
+// OnState hook, the view's donors stream it a consistent snapshot of
+// application state captured at the view boundary (transfer.go), so it
+// enters delivery-equivalent to the survivors; without the hook it
+// starts empty, the paper's §4.4 default where recovery sits outside
+// the communication layer.
+//
+// The join request is not reliable end-to-end: the contacted member
+// forwards it to the coordinator, and a coordinator that crashes
+// mid-flush takes the queued admission down with it — nothing in the
+// flush protocol preserves another node's pendingJoins. The joiner
+// covers this race by re-sending until a view admits it, rotating
+// through its contacts so a dead contact (or dead coordinator behind
+// a live contact) cannot wedge the join. TestJoinCoordinatorCrashMidFlush
+// exercises exactly this.
 
 // JoinReq asks for admission to the group.
 type JoinReq struct {
 	Group string
 	Node  transport.NodeID
+	// Inc is the incarnation to join at: 0 for a first life, the
+	// WAL-bumped incarnation for a crash-recovery rejoin. It lets the
+	// coordinator distinguish a reborn member from its own ghost and
+	// drop duplicate requests from a life already admitted.
+	Inc uint32
 }
 
 // ApproxSize implements transport.Sizer.
-func (JoinReq) ApproxSize() int { return 24 }
+func (JoinReq) ApproxSize() int { return 28 }
+
+// LeaveReq asks for a graceful departure (see Monitor.Leave).
+type LeaveReq struct {
+	Group string
+	Node  transport.NodeID
+}
+
+// ApproxSize implements transport.Sizer.
+func (LeaveReq) ApproxSize() int { return 24 }
 
 // Joiner runs the joining side. Create it with NewJoiner, call Start,
 // and receive the ready member from OnJoined once the coordinator's
@@ -33,19 +58,47 @@ func (JoinReq) ApproxSize() int { return 24 }
 type Joiner struct {
 	net       transport.Network
 	node      transport.NodeID
-	contact   transport.NodeID
 	groupName string
 	mcfg      multicast.Config
 	deliver   multicast.DeliverFunc
 
-	// OnJoined fires once with the new, view-installed member.
+	// Contacts are the members asked for admission, tried in rotation
+	// (one per retry). NewJoiner seeds it with the single contact
+	// argument; callers may extend it before Start.
+	Contacts []transport.NodeID
+	// Inc is the incarnation to join at (see JoinReq.Inc).
+	Inc uint32
+	// OnJoined fires once with the new, view-installed member — before
+	// any state transfer completes, so the caller can attach a Monitor
+	// and start heartbeating while chunks stream.
 	OnJoined func(*multicast.Member)
-	// RetryEvery re-sends the join request until admitted (default
-	// 50ms).
+	// OnState, if set, requests state transfer: it receives the donor's
+	// snapshot bytes once reassembled and verified. Deliveries are
+	// gated until then — the snapshot is the state at the view
+	// boundary, and new-view messages must apply after it, not race it.
+	OnState func([]byte)
+	// OnReady fires once the member is fully usable: immediately after
+	// OnJoined when no state transfer runs, else after OnState returned
+	// and gated deliveries flushed. Crash recovery replays its unstable
+	// casts here.
+	OnReady func(*multicast.Member)
+	// RetryEvery re-sends the join request until admitted, and paces
+	// the transfer watchdog (default 50ms).
 	RetryEvery time.Duration
 
 	started bool
 	done    bool
+	asks    int // join attempts, for contact rotation
+	member  *multicast.Member
+
+	// State-transfer fetch state (transfer.go).
+	fetching  bool
+	asm       *detect.Assembler
+	donors    []transport.NodeID
+	donorIdx  int
+	lastIndex int
+	epoch     uint64
+	gate      []multicast.Delivered
 }
 
 // NewJoiner prepares a join via the given contact member's node. net
@@ -54,7 +107,7 @@ func NewJoiner(net transport.Network, node, contact transport.NodeID, groupName 
 	j := &Joiner{
 		net:       net,
 		node:      node,
-		contact:   contact,
+		Contacts:  []transport.NodeID{contact},
 		groupName: groupName,
 		mcfg:      mcfg,
 		deliver:   deliver,
@@ -76,6 +129,7 @@ func (j *Joiner) Start() {
 		return
 	}
 	j.started = true
+	j.asks = 0
 	j.ask()
 }
 
@@ -83,15 +137,22 @@ func (j *Joiner) ask() {
 	if j.done {
 		return
 	}
-	j.net.Send(j.node, j.contact, JoinReq{Group: j.groupName, Node: j.node})
+	contact := j.Contacts[j.asks%len(j.Contacts)]
+	j.asks++
+	j.net.Send(j.node, contact, JoinReq{Group: j.groupName, Node: j.node, Inc: j.Inc})
 	j.net.After(j.retryEvery(), j.ask)
 }
 
 // Done reports whether the join completed.
 func (j *Joiner) Done() bool { return j.done }
 
-// handle waits for the admitting NewView.
-func (j *Joiner) handle(_ transport.NodeID, payload any) {
+// handle waits for the admitting NewView, then drives the state
+// transfer (transfer.go).
+func (j *Joiner) handle(from transport.NodeID, payload any) {
+	if chunk, ok := payload.(*SnapChunk); ok {
+		j.onChunk(chunk)
+		return
+	}
 	if j.done {
 		return
 	}
@@ -110,9 +171,36 @@ func (j *Joiner) handle(_ transport.NodeID, payload any) {
 		return // a view change that did not admit us; keep retrying
 	}
 	j.done = true
-	m := multicast.NewMember(j.net, nv.Nodes, vclock.ProcessID(rank), j.mcfg, j.deliver)
-	m.InstallView(nv.Nodes, vclock.ProcessID(rank), nv.NewEpoch)
+	m := multicast.NewMember(j.net, nv.Nodes, vclock.ProcessID(rank), j.mcfg, j.gatedDeliver)
+	m.InstallViewIncs(nv.Nodes, vclock.ProcessID(rank), nv.NewEpoch, nv.Incs)
+	j.member = m
+	wantState := j.OnState != nil && len(nv.Donors) > 0
+	if wantState {
+		// Gate before OnJoined: the monitor the caller attaches may
+		// deliver immediately.
+		j.fetching = true
+		j.donors = append([]transport.NodeID(nil), nv.Donors...)
+		j.epoch = nv.NewEpoch
+		j.asm = detect.NewAssembler(nv.NewEpoch)
+	}
 	if j.OnJoined != nil {
 		j.OnJoined(m)
 	}
+	if wantState {
+		j.pull()
+		j.net.After(j.retryEvery(), j.watchdog)
+	} else if j.OnReady != nil {
+		j.OnReady(m)
+	}
+}
+
+// gatedDeliver queues deliveries while the snapshot is in flight and
+// passes them through otherwise. Order within the gate is delivery
+// order, so flushing preserves the substrate's guarantees.
+func (j *Joiner) gatedDeliver(d multicast.Delivered) {
+	if j.fetching {
+		j.gate = append(j.gate, d)
+		return
+	}
+	j.deliver(d)
 }

@@ -1,0 +1,75 @@
+package group
+
+import (
+	"time"
+
+	"catocs/internal/multicast"
+	"catocs/internal/transport"
+	"catocs/internal/wal"
+)
+
+// Crash recovery: a member that crashed restarts from its WAL and
+// rejoins as the same identity. The pieces compose rather than add a
+// new protocol:
+//
+//  1. The member log yields the pre-crash incarnation and the casts
+//     past the stability frontier (wal.OpenMemberLog, CRC-validated,
+//     torn tail truncated).
+//  2. The incarnation is durably bumped, then carried on the JoinReq:
+//     survivors that still list the old life suspect it and readmit
+//     the new one in a single view change, and every member installs
+//     the new incarnation vector so stale pre-crash packets are
+//     dropped at the multicast layer.
+//  3. The ordinary join runs, including snapshot state transfer — the
+//     recovered member's application state is whatever the survivors
+//     agreed on, which includes any of its own pre-crash casts that
+//     survived somewhere.
+//  4. Once ready, the unstable casts replay as fresh multicasts under
+//     the new incarnation. Replay is at-least-once: a cast that was
+//     delivered at some survivor before the crash arrives again. The
+//     paper's §4.4 position is that this reconciliation belongs to the
+//     application — payloads carry application identities and the
+//     applier dedups on them (the chaos churn application does exactly
+//     that, and counts the duplicates it absorbed).
+type Recoverer struct {
+	// OnState receives the donors' snapshot (see Joiner.OnState);
+	// required for the recovered member to restore application state.
+	OnState func([]byte)
+	// OnJoined is passed through to the Joiner (attach the Monitor
+	// here).
+	OnJoined func(*multicast.Member)
+	// OnRecovered fires after the replay: the rejoined member, the
+	// epoch it rejoined in, its new incarnation, and how many unstable
+	// casts were replayed.
+	OnRecovered func(m *multicast.Member, rejoinEpoch uint64, inc uint32, replayed int)
+	// RetryEvery paces the join retry and transfer watchdog.
+	RetryEvery time.Duration
+}
+
+// Recover opens the member log on dev, bumps the incarnation, and
+// returns a Joiner primed to rejoin as the same node identity via the
+// given contacts. The caller calls Start on it. The returned MemberLog
+// is the same log, ready for the new life's LogCast calls.
+func (r *Recoverer) Recover(net transport.Network, node transport.NodeID, contacts []transport.NodeID,
+	groupName string, mcfg multicast.Config, deliver multicast.DeliverFunc, dev *wal.Device) (*Joiner, *wal.MemberLog, error) {
+	log, rec, err := wal.OpenMemberLog(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	inc, _ := log.BumpIncarnation()
+	j := NewJoiner(net, node, contacts[0], groupName, mcfg, deliver)
+	j.Contacts = append([]transport.NodeID(nil), contacts...)
+	j.Inc = inc
+	j.RetryEvery = r.RetryEvery
+	j.OnState = r.OnState
+	j.OnJoined = r.OnJoined
+	j.OnReady = func(m *multicast.Member) {
+		for _, p := range rec.Casts {
+			m.Multicast(p, len(p))
+		}
+		if r.OnRecovered != nil {
+			r.OnRecovered(m, m.Epoch(), inc, len(rec.Casts))
+		}
+	}
+	return j, log, nil
+}

@@ -1,0 +1,134 @@
+package group
+
+import (
+	"catocs/internal/detect"
+	"catocs/internal/transport"
+)
+
+// State transfer: how a joiner becomes delivery-equivalent to the
+// survivors. The donor side is passive and stateless beyond lastCut —
+// each NewView that admits joiners names its two lowest staying ranks
+// as donors (NewView.Donors); each donor captures the application
+// state at the install barrier (a consistent cut; see installView and
+// internal/detect/cut.go) and answers SnapPull requests by streaming
+// the cut in chunks. The joiner drives: it pulls from the first donor,
+// reassembles chunks through a detect.Assembler (duplicates and
+// reordering tolerated), and on a stall — the donor crashed, or the
+// link is eating chunks — re-pulls from the assembler's resume index,
+// rotating donors. Both donors captured the same cut (the flush
+// barrier agreed on the delivery set first), so chunks from different
+// donors interleave safely; the assembler verifies the advertised
+// digest over the reassembled bytes before the joiner applies them.
+
+// snapChunkBytes is the transfer chunk size.
+const snapChunkBytes = 32 << 10
+
+// SnapPull asks a donor to (re)send a view's state cut starting at
+// chunk From — 0 for a fresh transfer, the resume index after a donor
+// failover.
+type SnapPull struct {
+	Group string
+	Epoch uint64
+	Node  transport.NodeID // reply address
+	From  int
+}
+
+// ApproxSize implements transport.Sizer.
+func (SnapPull) ApproxSize() int { return 40 }
+
+// SnapChunk is one slice of a donor's state cut. Total and Digest
+// describe the whole cut so any single chunk lets the receiver size
+// the transfer and, at the end, verify it.
+type SnapChunk struct {
+	Group  string
+	Epoch  uint64
+	Index  int
+	Total  int
+	Digest uint64
+	Data   []byte
+}
+
+// ApproxSize implements transport.Sizer.
+func (c *SnapChunk) ApproxSize() int { return 48 + len(c.Data) }
+
+// serveSnap (donor) streams the captured cut to a puller. A member
+// that holds no cut for the requested epoch stays silent — it may have
+// installed a later view already, or never been a donor; the joiner's
+// watchdog will rotate to the other donor.
+func (m *Monitor) serveSnap(pull SnapPull) {
+	cut := m.lastCut
+	if cut == nil || cut.Epoch != pull.Epoch {
+		return
+	}
+	total := cut.Chunks(snapChunkBytes)
+	for i := pull.From; i < total; i++ {
+		data := cut.Chunk(i, snapChunkBytes)
+		m.Stats.StateChunks.Inc()
+		m.Stats.StateBytes.Add(uint64(len(data)))
+		m.net.Send(m.member.Node(), pull.Node, &SnapChunk{
+			Group:  m.group,
+			Epoch:  cut.Epoch,
+			Index:  i,
+			Total:  total,
+			Digest: cut.Digest,
+			Data:   data,
+		})
+	}
+}
+
+// pull (joiner) requests the cut from the current donor, starting at
+// the assembler's resume index.
+func (j *Joiner) pull() {
+	j.lastIndex = j.asm.NextIndex()
+	j.net.Send(j.node, j.donors[j.donorIdx], SnapPull{
+		Group: j.groupName,
+		Epoch: j.epoch,
+		Node:  j.node,
+		From:  j.asm.NextIndex(),
+	})
+}
+
+// watchdog (joiner) re-pulls on stall, rotating donors so a crashed
+// donor cannot wedge the transfer.
+func (j *Joiner) watchdog() {
+	if !j.fetching {
+		return
+	}
+	if j.asm.NextIndex() <= j.lastIndex {
+		j.donorIdx = (j.donorIdx + 1) % len(j.donors)
+	}
+	j.pull()
+	j.net.After(j.retryEvery(), j.watchdog)
+}
+
+// onChunk (joiner) feeds the assembler; on completion the verified
+// snapshot reaches OnState, the delivery gate flushes in order, and
+// the member is ready.
+func (j *Joiner) onChunk(c *SnapChunk) {
+	if !j.fetching || c.Group != j.groupName {
+		return
+	}
+	complete, err := j.asm.Add(c.Epoch, c.Index, c.Total, c.Digest, c.Data)
+	if err != nil {
+		if complete {
+			// Reassembly finished but the digest check failed: the
+			// transfer is poisoned; restart it from scratch.
+			j.asm = detect.NewAssembler(j.epoch)
+			j.lastIndex = -1
+			j.pull()
+		}
+		return
+	}
+	if !complete {
+		return
+	}
+	j.fetching = false
+	j.OnState(j.asm.Cut().Data)
+	for _, d := range j.gate {
+		j.deliver(d)
+	}
+	j.gate = nil
+	if j.OnReady != nil {
+		j.OnReady(j.member)
+	}
+}

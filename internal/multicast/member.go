@@ -200,6 +200,16 @@ type Member struct {
 	epoch   uint64
 	deliver DeliverFunc
 
+	// Incarnation guard (dynamic membership). inc is this member's own
+	// incarnation, stamped on every cast; incs, when non-nil, is the
+	// per-rank incarnation vector of the current view, and any data
+	// whose stamp disagrees is a packet from a previous life of that
+	// identity — dropped before it can reach the ordering layer. Static
+	// groups (every path that calls InstallView without incarnations)
+	// leave incs nil and skip the check entirely.
+	inc  uint32
+	incs []uint32
+
 	closed     bool
 	suppressed bool
 	outbox     []any // control sends queued while suppressed
@@ -328,6 +338,7 @@ type Member struct {
 	SentCount      metrics.Counter
 	CtrlMsgs       metrics.Counter   // protocol (non-data) messages sent
 	Duplicates     metrics.Counter   // duplicate data copies discarded
+	StaleDrops     metrics.Counter   // data dropped by the incarnation guard
 	AdmissionStall metrics.Histogram // Block/Suspect admission stall (seconds)
 	ShedCount      metrics.Counter   // casts rejected by the Shed policy
 	SuspectCount   metrics.Counter   // suspicions this member raised
@@ -473,6 +484,15 @@ func (m *Member) ViewNodes() []transport.NodeID {
 // Epoch returns the current view epoch.
 func (m *Member) Epoch() uint64 { return m.epoch }
 
+// ViewIncs returns a copy of the current view's incarnation vector, or
+// nil for a view installed without one (static groups).
+func (m *Member) ViewIncs() []uint32 {
+	if m.incs == nil {
+		return nil
+	}
+	return append([]uint32(nil), m.incs...)
+}
+
 // DeliveredClock returns a copy of the per-sender delivered counts.
 func (m *Member) DeliveredClock() vclock.VC { return m.delivered.Clone() }
 
@@ -609,6 +629,7 @@ func (m *Member) multicastNow(payload any, size int) MsgID {
 	msg := &DataMsg{
 		Group:       m.cfg.Group,
 		Epoch:       m.epoch,
+		Inc:         m.inc,
 		Sender:      m.rank,
 		Seq:         m.sendSeq,
 		SentAt:      m.net.Now(),
@@ -715,6 +736,9 @@ func (m *Member) Handle(from transport.NodeID, payload any) {
 		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch || !m.validRank(msg.Sender) {
 			return
 		}
+		if m.staleInc(msg) {
+			return
+		}
 		m.observeLiveness(msg.Sender)
 		m.onData(msg)
 	case *OrderMsg:
@@ -751,6 +775,9 @@ func (m *Member) Handle(from transport.NodeID, payload any) {
 		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch || !m.validRank(msg.Data.Sender) {
 			return
 		}
+		if m.staleInc(msg.Data) {
+			return
+		}
 		m.onData(msg.Data)
 	case *OrderNack:
 		if msg.Group != m.cfg.Group || msg.Epoch != m.epoch {
@@ -779,6 +806,22 @@ func (m *Member) isDuplicate(msg *DataMsg) bool {
 func (m *Member) validRank(p vclock.ProcessID) bool {
 	return int(p) >= 0 && int(p) < len(m.nodes)
 }
+
+// staleInc reports whether a data message was stamped by a previous
+// incarnation of its sender — a pre-crash packet still in flight after
+// the identity rejoined with a bumped incarnation. The caller has
+// already validated the rank. Views installed without incarnation
+// vectors (incs nil) never drop.
+func (m *Member) staleInc(msg *DataMsg) bool {
+	if m.incs == nil || msg.Inc == m.incs[msg.Sender] {
+		return false
+	}
+	m.StaleDrops.Inc()
+	return true
+}
+
+// Incarnation returns this member's own incarnation number.
+func (m *Member) Incarnation() uint32 { return m.inc }
 
 // onData routes an arriving data message. In delta-clock mode the full
 // causal stamp is first reconstructed along the sender's sequence

@@ -38,8 +38,16 @@ func (id MsgID) String() string { return fmt.Sprintf("%d:%d", id.Sender, id.Seq)
 // uses it; the VC field is populated only in causal mode, and Epoch
 // guards against cross-view delivery.
 type DataMsg struct {
-	Group  string
-	Epoch  uint64
+	Group string
+	Epoch uint64
+	// Inc is the sender's incarnation number: 0 for a process's first
+	// life, bumped by WAL crash-recovery each time the same identity
+	// rejoins. Epoch rejects packets from a previous view; Inc rejects
+	// packets from a previous *life* — the case where concurrent
+	// coordinators (a healed partition) or a fast restart reuse an epoch
+	// number, so the epoch alone cannot tell a stale pre-crash packet
+	// from a live one.
+	Inc    uint32
 	Sender vclock.ProcessID
 	Seq    uint64    // per-sender sequence, 1-based
 	VC     vclock.VC // causal dependency stamp; VC[Sender] == Seq
@@ -92,6 +100,9 @@ func (m *DataMsg) ApproxSize() int {
 	size += 8 * len(m.VC)
 	size += 12 * len(m.VCDelta) // u32 index + u64 value per changed entry
 	size += 8 * len(m.DeliveredVC)
+	if m.Inc != 0 {
+		size += 4 // incarnation stamp, carried only by reborn senders
+	}
 	return size
 }
 

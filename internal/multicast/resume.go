@@ -1,0 +1,102 @@
+package multicast
+
+import "catocs/internal/vclock"
+
+// Static-membership recovery. The SimNet stack recovers a crashed
+// member through the membership protocol: a view change resets every
+// survivor's per-sender chains around the rejoiner, so the reborn
+// process can start its sequence space from scratch under a new
+// incarnation. A static group — the real-TCP fleet, which has no
+// membership protocol at all — offers no such reset: survivors hold
+// delivered[rank]=k forever, and a restarted member that re-entered at
+// seq 1 would sit behind their FIFO gap check until the heat death of
+// the holdback queue. The pair below is the fleet's alternative: the
+// member checkpoints its chain frontiers into its WAL on shutdown and
+// resumes them on restart, splicing itself back into the very same
+// sequence space it left.
+
+// CheckpointChains returns the receive-chain state ResumeChains needs
+// to restore: the contiguous delivered (ack) clock and, for total
+// orderings, the contiguous global-order delivery prefix (0 when the
+// ordering has none). Call from the transport's dispatch context.
+func (m *Member) CheckpointChains() (ack []uint64, totalFrontier uint64) {
+	ack = append([]uint64(nil), m.stabilityClock()...)
+	switch m.cfg.Ordering {
+	case TotalSeq, TotalCausal:
+		totalFrontier = m.nextGlobal - 1
+	}
+	return ack, totalFrontier
+}
+
+// ResumeChains splices a restarted member back into a static group's
+// sequence space. Call once, before any traffic, from the transport's
+// dispatch context (in practice: inside the same Inject closure that
+// built the member).
+//
+//   - sendSeq resumes the send chain: the next Multicast is stamped
+//     sendSeq+1. Resuming at the WAL's *stable* cast count and then
+//     re-multicasting the unstable suffix hands the suffix its
+//     original sequence numbers back, so survivors that already
+//     delivered a replayed cast drop it as a seq-level duplicate and
+//     survivors that missed it deliver it — at-least-once replay with
+//     the dedup built into the FIFO chains.
+//   - ack resumes the receive chains from the last checkpoint:
+//     deliveries from the previous life are not re-requested, and the
+//     NACK path asks peers only for the downtime gap — which they can
+//     serve, because this member's frozen ack row kept exactly that
+//     gap unstable (buffered for retransmission) everywhere.
+//   - totalFrontier resumes the global delivery order (total
+//     orderings): positions at or below it are already applied. A
+//     resumed TotalCausal *sequencer* also restarts assignment there;
+//     its pre-crash assignment log does not survive, so order
+//     announcements still in flight at shutdown are unrecoverable —
+//     the one gap between this splice and a full membership protocol,
+//     tracked as WAL-logging the assignment log.
+//
+// All frontiers only move forward; a stale checkpoint merely widens
+// the re-requested gap. Delta-clock stamps need no special handling:
+// the send side's delta base restarts at zero, so pre-refresh deltas
+// list every nonzero component — and since clocks only grow, applying
+// those absolute components reconstructs the full stamp at receivers
+// whose chains predate the crash.
+func (m *Member) ResumeChains(sendSeq uint64, ack []uint64, totalFrontier uint64) {
+	if sendSeq > m.sendSeq {
+		m.sendSeq = sendSeq
+	}
+	for r, v := range ack {
+		if r >= m.delivered.Len() {
+			break
+		}
+		if v > m.delivered.Get(vclock.ProcessID(r)) {
+			m.delivered.Set(vclock.ProcessID(r), v)
+		}
+	}
+	if m.sendSeq > m.delivered.Get(m.rank) {
+		m.delivered.Set(m.rank, m.sendSeq)
+	}
+	// The dedup frontier (aliased as contig for total orderings, and
+	// the source of stability acks) and the known-sent horizon both
+	// start from the same resumed state: everything at or below the
+	// checkpoint is delivered, and is known to exist.
+	m.deliveredIDs.hi.Merge(m.delivered)
+	if m.cfg.Atomic {
+		m.known.Merge(m.delivered)
+	}
+	switch m.cfg.Ordering {
+	case TotalSeq, TotalCausal:
+		if totalFrontier+1 > m.nextGlobal {
+			m.nextGlobal = totalFrontier + 1
+			m.orderBase = m.nextGlobal
+			m.orderHead = 0
+		}
+		if totalFrontier > m.maxGlobalSeen {
+			m.maxGlobalSeen = totalFrontier
+		}
+		if m.cfg.Ordering == TotalCausal && m.rank == m.cfg.SequencerRank {
+			if totalFrontier > m.seqCounter {
+				m.seqCounter = totalFrontier
+			}
+			m.seqDelivered.Merge(m.delivered)
+		}
+	}
+}

@@ -88,10 +88,27 @@ func (m *Member) ForceDeliver(msg *DataMsg) {
 // member list, new rank for this member, all per-view ordering state
 // cleared. The member's transport address must be unchanged (it is the
 // node, not the rank, that addresses the network). The delivery
-// callback and accumulated metrics persist across views.
+// callback and accumulated metrics persist across views. Views
+// installed this way carry no incarnation vector — the static-group
+// case, where epoch checks alone reject cross-view packets.
 func (m *Member) InstallView(nodes []transport.NodeID, rank vclock.ProcessID, epoch uint64) {
+	m.InstallViewIncs(nodes, rank, epoch, nil)
+}
+
+// InstallViewIncs is InstallView for dynamic groups: incs, when
+// non-nil, gives the incarnation number of each rank in the new view
+// (incs[rank] is this member's own). Data stamped with any other
+// incarnation for its rank is a leftover from a previous life of that
+// identity — a pre-crash packet surviving a WAL-recovery rejoin — and
+// is dropped by the incarnation guard in Handle. Epochs cannot catch
+// those alone: a fast restart can rejoin before survivors notice the
+// crash, and a healed partition can reuse epoch numbers.
+func (m *Member) InstallViewIncs(nodes []transport.NodeID, rank vclock.ProcessID, epoch uint64, incs []uint32) {
 	if nodes[rank] != m.Node() {
 		panic("multicast: InstallView must keep the member's transport address")
+	}
+	if incs != nil && len(incs) != len(nodes) {
+		panic("multicast: incarnation vector length must match the view")
 	}
 	if m.trace != nil {
 		m.trace.Mark(m.net.Now(), int(m.Node()),
@@ -100,6 +117,13 @@ func (m *Member) InstallView(nodes []transport.NodeID, rank vclock.ProcessID, ep
 	m.nodes = append([]transport.NodeID(nil), nodes...)
 	m.rank = rank
 	m.epoch = epoch
+	if incs != nil {
+		m.incs = append([]uint32(nil), incs...)
+		m.inc = incs[rank]
+	} else {
+		m.incs = nil
+		m.inc = 0
+	}
 	m.sendSeq = 0
 	m.delivered = vclock.New(len(nodes))
 	m.pendQ = newShardQ(len(nodes))

@@ -36,6 +36,7 @@ const (
 	dataFlagVC          = 1 << 0 // full vector clock present
 	dataFlagDelta       = 1 << 1 // delta-encoded clock present
 	dataFlagDeliveredVC = 1 << 2 // piggybacked stability clock present
+	dataFlagInc         = 1 << 3 // nonzero sender incarnation present
 )
 
 func init() {
@@ -173,7 +174,13 @@ func encDataMsgBody(dst []byte, m *DataMsg) ([]byte, error) {
 	if len(m.DeliveredVC) > 0 {
 		flags |= dataFlagDeliveredVC
 	}
+	if m.Inc != 0 {
+		flags |= dataFlagInc
+	}
 	w.U8(flags)
+	if flags&dataFlagInc != 0 {
+		w.U32(m.Inc)
+	}
 	if flags&dataFlagVC != 0 {
 		if err := appendVC(&w, m.VC); err != nil {
 			return nil, err
@@ -208,8 +215,11 @@ func decDataMsg(buf []byte) (any, error) {
 	}
 	m.PayloadSize = int(r.U32())
 	flags := r.U8()
-	if flags&^byte(dataFlagVC|dataFlagDelta|dataFlagDeliveredVC) != 0 {
+	if flags&^byte(dataFlagVC|dataFlagDelta|dataFlagDeliveredVC|dataFlagInc) != 0 {
 		return nil, fmt.Errorf("multicast: DataMsg with unknown flag bits 0x%02x", flags)
+	}
+	if flags&dataFlagInc != 0 {
+		m.Inc = r.U32()
 	}
 	if flags&dataFlagVC != 0 {
 		m.VC = readVC(r)

@@ -11,6 +11,7 @@ import (
 	"catocs/internal/transport"
 	"catocs/internal/transport/tcpnet"
 	"catocs/internal/vclock"
+	"catocs/internal/wal"
 )
 
 // SubstrateConfig maps a substrate name to the multicast configuration
@@ -49,6 +50,18 @@ type NodeConfig struct {
 	EpochNanos int64
 	Queue      flowcontrol.Budget // tcpnet outbound budget override
 
+	// Log, when non-nil, is this member's durable identity: every load
+	// cast is written ahead of transmission, and Recovered (from
+	// wal.OpenMemberLog on the same log) splices the member back into
+	// the group's sequence space — send chain resumed at the stable
+	// cast count, receive chains at the last LogChains checkpoint, the
+	// unstable cast suffix re-multicast under its original sequence
+	// numbers. This is the static-fleet analogue of the SimNet rejoin:
+	// no view change exists to reset survivors' chains, so the WAL has
+	// to carry them across the restart instead.
+	Log       *wal.MemberLog
+	Recovered wal.RecoveredMember
+
 	Tracer   *obs.Tracer
 	Registry *obs.Registry
 }
@@ -62,6 +75,8 @@ type NodeSnapshot struct {
 	Ingested  uint64          `json:"ingested"`  // load publications multicast
 	Delivered uint64          `json:"delivered"` // ordered deliveries from the group
 	Echoed    uint64          `json:"echoed"`    // own casts echoed back as "done"
+	Replayed  uint64          `json:"replayed"`  // WAL casts re-multicast at startup
+	Inc       uint32          `json:"inc"`       // WAL incarnation (0 = first life)
 	Stats     transport.Stats `json:"transport"`
 	NetStats  tcpnet.NetStats `json:"tcp"`
 }
@@ -83,6 +98,7 @@ type FleetNode struct {
 	ingested  uint64
 	delivered uint64
 	echoed    uint64
+	replayed  uint64
 }
 
 // StartFleetNode builds the node and brings its listener up. All
@@ -144,8 +160,24 @@ func StartFleetNode(cfg NodeConfig) (*FleetNode, error) {
 				return
 			}
 			f.ingested++
+			if cfg.Log != nil {
+				cfg.Log.LogCast(value) // write-ahead: replayable after a crash
+			}
 			f.Member.Multicast(value, len(value))
 		})
+		if cfg.Log != nil {
+			// Splice back into the sequence space before any traffic:
+			// resume the send chain at the stable prefix, the receive
+			// chains at the last checkpoint, then re-multicast the
+			// unstable suffix — it gets its pre-crash sequence numbers
+			// back, so survivors dedup or deliver per copy as needed.
+			stable := cfg.Log.CastCount() - uint64(len(cfg.Recovered.Casts))
+			f.Member.ResumeChains(stable, cfg.Recovered.AckClock, cfg.Recovered.TotalFrontier)
+			for _, p := range cfg.Recovered.Casts {
+				f.replayed++
+				f.Member.Multicast(p, len(p))
+			}
+		}
 	})
 	<-ready
 	return f, nil
@@ -155,6 +187,10 @@ func StartFleetNode(cfg NodeConfig) (*FleetNode, error) {
 func (f *FleetNode) Snapshot() NodeSnapshot {
 	snap := NodeSnapshot{ID: int(f.cfg.ID), Rank: f.rank, Substrate: f.cfg.Substrate}
 	done := make(chan struct{})
+	if f.cfg.Log != nil {
+		snap.Replayed = f.replayed
+		snap.Inc = f.cfg.Log.Incarnation()
+	}
 	f.Net.Inject(func() {
 		snap.Ingested = f.ingested
 		snap.Delivered = f.delivered
@@ -169,6 +205,34 @@ func (f *FleetNode) Snapshot() NodeSnapshot {
 	snap.Stats = f.Net.Stats()
 	snap.NetStats = f.Net.NetStats()
 	return snap
+}
+
+// Persist checkpoints the member's recovery state into the WAL (no-op
+// without one): the receive-chain clocks always and, when clean, a
+// stability mark retiring every logged cast from the replay set. Clean
+// is the operator-intended exit (SIGINT, -run elapsing) — the next
+// start replays nothing. An unclean persist (the SIGTERM recovery
+// drill) deliberately leaves the unstable suffix on the log, so the
+// next start exercises the replay path exactly as a SimNet rejoin
+// would.
+func (f *FleetNode) Persist(clean bool) {
+	if f.cfg.Log == nil {
+		return
+	}
+	done := make(chan struct{})
+	f.Net.Inject(func() {
+		defer close(done)
+		ack, totalFrontier := f.Member.CheckpointChains()
+		f.cfg.Log.LogChains(ack, totalFrontier)
+		if clean {
+			f.cfg.Log.LogStable(f.cfg.Log.CastCount())
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		// A wedged dispatcher loses the checkpoint; replay covers it.
+	}
 }
 
 // Close tears the node down.

@@ -1,0 +1,157 @@
+package state
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Store snapshot encoding. A snapshot is the transferable form of a
+// Store — what a state-transfer donor streams to a joiner so it enters
+// the view with the survivors' application state (the recovery work
+// the paper's §4.4 says ordered communication cannot do for you). The
+// encoding is deterministic (objects sorted by name) so any two stores
+// with equal contents produce byte-identical snapshots; equality of
+// snapshot digests is therefore equality of state, which the chaos
+// joiner-state oracle relies on.
+//
+// Versions are preserved exactly: restore rebuilds each record at its
+// donor-side version rather than re-Putting (which would re-tick the
+// state clock and break prescriptive-ordering stamps already in
+// flight).
+
+// Value type tags on the wire.
+const (
+	snapNil    = 0
+	snapBytes  = 1
+	snapString = 2
+	snapInt64  = 3 // int and int64
+	snapUint64 = 4
+)
+
+// SnapshotBytes serializes the store's full contents. Values must be
+// nil, []byte, string, int, int64, or uint64 — the types a store fed
+// from decoded wire payloads can hold; anything else is an error
+// rather than a silently lossy encoding.
+func (s *Store) SnapshotBytes() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.objects))
+	for name := range s.objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf := binary.LittleEndian.AppendUint64(nil, s.puts)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, name := range names {
+		r := s.objects[name]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint64(buf, r.seq)
+		switch v := r.value.(type) {
+		case nil:
+			buf = append(buf, snapNil)
+		case []byte:
+			buf = append(buf, snapBytes)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+			buf = append(buf, v...)
+		case string:
+			buf = append(buf, snapString)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+			buf = append(buf, v...)
+		case int:
+			buf = append(buf, snapInt64)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+		case int64:
+			buf = append(buf, snapInt64)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		case uint64:
+			buf = append(buf, snapUint64)
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		default:
+			return nil, fmt.Errorf("state: cannot snapshot %q value of type %T", name, r.value)
+		}
+	}
+	return buf, nil
+}
+
+// RestoreBytes replaces the store's contents with a snapshot produced
+// by SnapshotBytes, versions intact. int values re-decode as int64 —
+// the store compares and transfers values, it does not do arithmetic
+// on them.
+func (s *Store) RestoreBytes(buf []byte) error {
+	r := snapReader{buf: buf}
+	puts := r.u64()
+	n := int(r.u32())
+	objects := make(map[string]*record, n)
+	for i := 0; i < n && !r.bad; i++ {
+		name := string(r.take(int(r.u32())))
+		rec := &record{seq: r.u64()}
+		switch tag := r.u8(); tag {
+		case snapNil:
+		case snapBytes:
+			rec.value = append([]byte(nil), r.take(int(r.u32()))...)
+		case snapString:
+			rec.value = string(r.take(int(r.u32())))
+		case snapInt64:
+			rec.value = int64(r.u64())
+		case snapUint64:
+			rec.value = r.u64()
+		default:
+			return fmt.Errorf("state: snapshot object %q has unknown value tag %d", name, tag)
+		}
+		if !r.bad {
+			objects[name] = rec
+		}
+	}
+	if r.bad || r.off != len(r.buf) {
+		return fmt.Errorf("state: malformed snapshot (%d bytes, offset %d)", len(r.buf), r.off)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects = objects
+	s.puts = puts
+	return nil
+}
+
+// snapReader is a minimal bounds-checked cursor; bad latches on any
+// overrun so a truncated snapshot fails as one error at the end.
+type snapReader struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.bad || n < 0 || r.off+n > len(r.buf) {
+		r.bad = true
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *snapReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *snapReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *snapReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileLog persists a Device to a real file so a member's identity log
+// survives an OS-process restart — the path cmd/node takes on
+// SIGTERM→restart. The in-memory Device remains the source of truth
+// (and the unit the recovery discipline is defined on); the file is a
+// mirror of its structured appends, replayed back into a Device on
+// open. Frames are length-prefixed and carry the *stored* CRC, so a
+// torn in-memory record round-trips as a torn record and the
+// MemberLog/Recover CRC checks behave identically whether the device
+// lived through the crash or was reloaded from disk. A partial frame
+// at the end of the file (a crash mid-write at the file layer) is
+// truncated on open, the file-level analogue of the device's torn
+// tail.
+//
+// Writes go through the OS page cache without fsync: the model's
+// durability unit is the process, not the machine — exactly what the
+// SIGTERM→restart recovery path needs.
+
+// Frame value-type tags. The decoded value's dynamic type must equal
+// the appended one, because the stored CRC covers a %T rendering.
+const (
+	fileValNil    = 0
+	fileValBytes  = 1
+	fileValString = 2
+	fileValInt    = 3
+	fileValInt64  = 4
+	fileValUint64 = 5
+)
+
+const fileMaxFrame = 1 << 26
+
+// FileLog mirrors a Device into a file.
+type FileLog struct {
+	dev  *Device
+	f    *os.File
+	path string
+	offs []int64 // byte offset of the end of each mirrored frame
+	err  error   // first write error; latched, surfaced by Close
+}
+
+// OpenFileLog opens (or creates) a file-backed device. Existing frames
+// are replayed into a fresh Device; a partial trailing frame is
+// truncated.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fl := &FileLog{dev: NewDevice(), f: f, path: path}
+	good, err := fl.load()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	fl.dev.mirror = fl
+	return fl, nil
+}
+
+// Device returns the mirrored device, ready for OpenMemberLog.
+func (fl *FileLog) Device() *Device { return fl.dev }
+
+// Path returns the backing file path.
+func (fl *FileLog) Path() string { return fl.path }
+
+// Close flushes nothing (writes are synchronous into the page cache)
+// and closes the file, surfacing any latched write error.
+func (fl *FileLog) Close() error {
+	err := fl.f.Close()
+	if fl.err != nil {
+		return fl.err
+	}
+	return err
+}
+
+// load replays the file into the device, returning the byte offset of
+// the last complete frame.
+func (fl *FileLog) load() (int64, error) {
+	buf, err := io.ReadAll(fl.f)
+	if err != nil {
+		return 0, err
+	}
+	var off int64
+	for int64(len(buf))-off >= 4 {
+		n := int64(binary.LittleEndian.Uint32(buf[off:]))
+		if n > fileMaxFrame {
+			return 0, fmt.Errorf("wal: %s: frame of %d bytes at offset %d exceeds limit", fl.path, n, off)
+		}
+		if off+4+n > int64(len(buf)) {
+			break // partial trailing frame: torn at the file layer
+		}
+		r, crc, err := decodeFrame(buf[off+4 : off+4+n])
+		if err != nil {
+			return 0, fmt.Errorf("wal: %s: frame at offset %d: %w", fl.path, off, err)
+		}
+		// Re-append preserving the stored CRC (which may deliberately
+		// mismatch for a device-level torn record).
+		fl.dev.records = append(fl.dev.records, r)
+		fl.dev.crcs = append(fl.dev.crcs, crc)
+		fl.dev.bytes += uint64(r.encodedSize())
+		fl.dev.appends++
+		off += 4 + n
+		fl.offs = append(fl.offs, off)
+	}
+	return off, nil
+}
+
+// append implements deviceMirror.
+func (fl *FileLog) append(r Record, crc uint32) {
+	frame, err := encodeFrame(r, crc)
+	if err == nil {
+		_, err = fl.f.Write(frame)
+	}
+	if err != nil && fl.err == nil {
+		fl.err = err
+	}
+	var prev int64
+	if len(fl.offs) > 0 {
+		prev = fl.offs[len(fl.offs)-1]
+	}
+	fl.offs = append(fl.offs, prev+int64(len(frame)))
+}
+
+// truncate implements deviceMirror: drop mirrored frames beyond n.
+func (fl *FileLog) truncate(n int) {
+	if n >= len(fl.offs) {
+		return
+	}
+	var off int64
+	if n > 0 {
+		off = fl.offs[n-1]
+	}
+	fl.offs = fl.offs[:n]
+	if err := fl.f.Truncate(off); err != nil && fl.err == nil {
+		fl.err = err
+		return
+	}
+	if _, err := fl.f.Seek(off, io.SeekStart); err != nil && fl.err == nil {
+		fl.err = err
+	}
+}
+
+func encodeFrame(r Record, crc uint32) ([]byte, error) {
+	body := binary.LittleEndian.AppendUint32(nil, crc)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(r.Object)))
+	body = append(body, r.Object...)
+	body = binary.LittleEndian.AppendUint64(body, r.Seq)
+	switch v := r.Value.(type) {
+	case nil:
+		body = append(body, fileValNil)
+	case []byte:
+		body = append(body, fileValBytes)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
+		body = append(body, v...)
+	case string:
+		body = append(body, fileValString)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
+		body = append(body, v...)
+	case int:
+		body = append(body, fileValInt)
+		body = binary.LittleEndian.AppendUint64(body, uint64(int64(v)))
+	case int64:
+		body = append(body, fileValInt64)
+		body = binary.LittleEndian.AppendUint64(body, uint64(v))
+	case uint64:
+		body = append(body, fileValUint64)
+		body = binary.LittleEndian.AppendUint64(body, v)
+	default:
+		return nil, fmt.Errorf("cannot persist value of type %T", r.Value)
+	}
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	return append(frame, body...), nil
+}
+
+func decodeFrame(body []byte) (Record, uint32, error) {
+	r := snapCursor{buf: body}
+	crc := r.u32()
+	rec := Record{Object: string(r.take(int(r.u32())))}
+	rec.Seq = r.u64()
+	switch tag := r.u8(); tag {
+	case fileValNil:
+	case fileValBytes:
+		rec.Value = append([]byte(nil), r.take(int(r.u32()))...)
+	case fileValString:
+		rec.Value = string(r.take(int(r.u32())))
+	case fileValInt:
+		rec.Value = int(int64(r.u64()))
+	case fileValInt64:
+		rec.Value = int64(r.u64())
+	case fileValUint64:
+		rec.Value = r.u64()
+	default:
+		return rec, 0, fmt.Errorf("unknown value tag %d", tag)
+	}
+	if r.bad || r.off != len(r.buf) {
+		return rec, 0, fmt.Errorf("malformed frame body (%d bytes, offset %d)", len(r.buf), r.off)
+	}
+	return rec, crc, nil
+}
+
+// snapCursor is a bounds-checked reader; bad latches on overrun.
+type snapCursor struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+func (r *snapCursor) take(n int) []byte {
+	if r.bad || n < 0 || r.off+n > len(r.buf) {
+		r.bad = true
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *snapCursor) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *snapCursor) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *snapCursor) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -65,6 +65,17 @@ type Device struct {
 	// WriteLatency is the modeled cost of one append (used by callers
 	// that simulate time; the device itself does not sleep).
 	WriteLatency time.Duration
+	// mirror, when set, echoes structured appends to a persistent
+	// backing (see FileLog): the in-memory device stays the source of
+	// truth, the mirror is how its contents survive a real process
+	// restart.
+	mirror deviceMirror
+}
+
+// deviceMirror receives structured appends and truncations.
+type deviceMirror interface {
+	append(r Record, crc uint32)
+	truncate(n int)
 }
 
 // NewDevice returns an empty device with a 100µs modeled append cost.
@@ -75,9 +86,13 @@ func NewDevice() *Device {
 // Append logs a record and returns the modeled latency of the write.
 func (d *Device) Append(r Record) time.Duration {
 	d.records = append(d.records, r)
-	d.crcs = append(d.crcs, r.checksum())
+	crc := r.checksum()
+	d.crcs = append(d.crcs, crc)
 	d.bytes += uint64(r.encodedSize())
 	d.appends++
+	if d.mirror != nil {
+		d.mirror.append(r, crc)
+	}
 	return d.WriteLatency
 }
 
@@ -86,9 +101,13 @@ func (d *Device) Append(r Record) time.Duration {
 // match its contents. Recover treats such a tail as never written.
 func (d *Device) AppendTorn(r Record) {
 	d.records = append(d.records, r)
-	d.crcs = append(d.crcs, r.checksum()^0xdeadbeef)
+	crc := r.checksum() ^ 0xdeadbeef
+	d.crcs = append(d.crcs, crc)
 	d.bytes += uint64(r.encodedSize() / 2)
 	d.appends++
+	if d.mirror != nil {
+		d.mirror.append(r, crc)
+	}
 }
 
 // Corrupt flips record i's stored CRC, modeling bit rot inside the log
